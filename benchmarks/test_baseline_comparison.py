@@ -1,0 +1,83 @@
+"""Benchmark: classical baselines vs adapter+TSFM (paper §2 context).
+
+Puts the paper's approach next to the classical methods its Related
+Work discusses: 1-NN DTW and ROCKET.  The comparison is run on the
+surrogate datasets; the point is the *pipeline* comparison (all
+methods consume the identical data), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.adapters import make_adapter
+from repro.baselines import DTW1NNClassifier, RocketClassifier
+from repro.data import load_dataset
+from repro.evaluation import render_table
+from repro.models import build_model
+from repro.training import AdapterPipeline, FineTuneStrategy, TrainConfig
+
+from .conftest import record
+
+DATASETS = ("JapaneseVowels", "NATOPS")
+
+
+def run_comparison() -> list[list[str]]:
+    rows = []
+    for dataset_name in DATASETS:
+        dataset = load_dataset(dataset_name, seed=0, scale=0.15, max_length=48, normalize=False)
+
+        # adapter + TSFM (the paper's approach)
+        start = time.perf_counter()
+        model = build_model("moment-tiny", seed=0)
+        model.eval()
+        pipeline = AdapterPipeline(model, make_adapter("pca", 5), dataset.num_classes, seed=0)
+        pipeline.fit(
+            dataset.x_train,
+            dataset.y_train,
+            strategy=FineTuneStrategy.ADAPTER_HEAD,
+            config=TrainConfig(epochs=40, batch_size=32, learning_rate=3e-3, seed=0),
+        )
+        rows.append(
+            [dataset_name, "PCA + MOMENT head", f"{pipeline.score(dataset.x_test, dataset.y_test):.3f}",
+             f"{time.perf_counter() - start:.2f}s"]
+        )
+
+        # ROCKET
+        start = time.perf_counter()
+        rocket = RocketClassifier(num_kernels=300, seed=0).fit(dataset.x_train, dataset.y_train)
+        rows.append(
+            [dataset_name, "ROCKET (300 kernels)", f"{rocket.score(dataset.x_test, dataset.y_test):.3f}",
+             f"{time.perf_counter() - start:.2f}s"]
+        )
+
+        # 1-NN DTW (subsampled: it is quadratic)
+        start = time.perf_counter()
+        limit = min(40, len(dataset.x_train))
+        dtw = DTW1NNClassifier(band=5).fit(dataset.x_train[:limit], dataset.y_train[:limit])
+        test_limit = min(40, len(dataset.x_test))
+        dtw_accuracy = dtw.score(dataset.x_test[:test_limit], dataset.y_test[:test_limit])
+        rows.append(
+            [dataset_name, "1-NN DTW (band 5)", f"{dtw_accuracy:.3f}",
+             f"{time.perf_counter() - start:.2f}s"]
+        )
+    return rows
+
+
+def test_baselines_vs_adapter_tsfm(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = render_table(["Dataset", "Method", "Accuracy", "Wall time"], rows)
+    record("baseline_comparison", f"# Classical baselines vs adapter+TSFM\n{table}")
+    print("\n" + table)
+
+    accuracies = [float(row[2]) for row in rows]
+    assert all(np.isfinite(a) for a in accuracies)
+    # Every method must beat random guessing on at least one dataset.
+    chance = {"JapaneseVowels": 1 / 9, "NATOPS": 1 / 6}
+    by_method: dict[str, list[float]] = {}
+    for dataset_name, method, accuracy, _ in rows:
+        by_method.setdefault(method, []).append(float(accuracy) - chance[dataset_name])
+    for method, margins in by_method.items():
+        assert max(margins) > 0.1, (method, margins)

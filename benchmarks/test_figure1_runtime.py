@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 1 (mean fine-tuning time per adapter).
+
+The headline efficiency figure: simulated V100 seconds at paper scale
+(primary, matches the paper's bars) plus the actually measured
+tiny-scale wall-clock seconds (secondary evidence that the embedding
+cache is what produces the gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure1
+
+from .conftest import record
+
+
+def test_figure1_running_times(benchmark, runner):
+    result = benchmark.pedantic(figure1, args=(runner,), rounds=1, iterations=1)
+    record("figure1", result.render())
+    print("\n" + result.render())
+
+    moment = result.series["MOMENT/simulated_s"]
+    vit = result.series["ViT/simulated_s"]
+
+    fit_once = ("pca", "svd", "rand_proj", "var")
+    moment_speedup = moment["no_adapter"] / np.mean([moment[a] for a in fit_once])
+    vit_speedup = vit["no_adapter"] / np.mean([vit[a] for a in fit_once])
+
+    # Paper: "over ten times faster" for MOMENT, "two-fold" for ViT.
+    # The quantitative ratios need the full 12-dataset grid (narrow
+    # micro grids understate the channel savings); the ordering holds
+    # on any grid.
+    if len(runner.config.datasets) == 12:
+        assert moment_speedup > 5.0, f"MOMENT speedup {moment_speedup:.1f}x"
+        assert vit_speedup > 1.3, f"ViT speedup {vit_speedup:.1f}x"
+    else:
+        assert moment_speedup > 1.0
+        assert vit_speedup > 1.0
+    # lcomb is the slowest configuration for both models.
+    assert moment["lcomb"] > max(moment[a] for a in fit_once)
+    assert vit["lcomb"] > max(vit[a] for a in fit_once)
+
+    # Measured tiny-scale wall times show the same ordering where defined.
+    measured = result.series["MOMENT/measured_s"]
+    if np.isfinite(measured["no_adapter"]) and np.isfinite(measured["pca"]):
+        assert measured["no_adapter"] > measured["pca"]

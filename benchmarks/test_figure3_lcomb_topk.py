@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 3 (lcomb vs lcomb_top_k, k=7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure3
+
+from .conftest import record
+
+
+def test_figure3_lcomb_vs_topk(benchmark, runner):
+    result = benchmark.pedantic(figure3, args=(runner,), rounds=1, iterations=1)
+    record("figure3", result.render())
+    print("\n" + result.render())
+
+    for model in runner.config.models:
+        plain = result.series[f"{model}/lcomb"]
+        top_k = result.series[f"{model}/lcomb_top_k"]
+        assert set(plain) == set(top_k) == set(runner.config.datasets)
+        # Both variants should track each other (same adapter family):
+        # mean absolute gap stays moderate, as in the paper's figure.
+        gaps = [
+            abs(plain[d] - top_k[d])
+            for d in plain
+            if np.isfinite(plain[d]) and np.isfinite(top_k[d])
+        ]
+        assert gaps, "no dataset ran for both lcomb variants"
+        assert float(np.mean(gaps)) < 0.35

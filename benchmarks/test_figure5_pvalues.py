@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 5 (pairwise Welch p-value heatmaps).
+
+Paper finding: no statistically significant difference between
+fine-tuning methods — the minimum pairwise p-value is 0.46 for MOMENT
+and 0.25 for ViT.  We assert the same qualitative conclusion: no pair
+of methods differs at the 5% level.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+
+from .conftest import record
+
+
+def test_figure5_pairwise_pvalues(benchmark, runner):
+    result = benchmark.pedantic(figure5, args=(runner,), rounds=1, iterations=1)
+    record("figure5", result.render())
+    print("\n" + result.render())
+
+    for model in runner.config.models:
+        min_p = result.series[f"{model}/min_p"]["min_p"]
+        assert 0.0 <= min_p <= 1.0
+        # The paper's conclusion: methods are statistically
+        # indistinguishable when pooling accuracies across datasets.
+        assert min_p > 0.05, f"{model}: min pairwise p = {min_p:.3f}"

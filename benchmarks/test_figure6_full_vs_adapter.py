@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (lcomb: full FT vs adapter+head)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6
+
+from .conftest import record
+
+
+def test_figure6_full_vs_adapter_head(benchmark, runner):
+    result = benchmark.pedantic(figure6, args=(runner,), rounds=1, iterations=1)
+    record("figure6", result.render())
+    print("\n" + result.render())
+
+    for model in runner.config.models:
+        adapter_head = result.series[f"{model}/adapter+head"]
+        full = result.series[f"{model}/full"]
+        assert set(adapter_head) == set(full) == set(runner.config.datasets)
+        # Both regimes produce finite accuracies on at least the
+        # datasets that fit the budget.
+        assert any(np.isfinite(v) for v in adapter_head.values())
+        assert any(np.isfinite(v) for v in full.values())

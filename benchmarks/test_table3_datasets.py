@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3 (dataset characteristics)."""
+
+from __future__ import annotations
+
+from repro.data import DATASETS
+from repro.experiments import table3
+
+from .conftest import record
+
+
+def test_table3_dataset_characteristics(benchmark):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    record("table3", result.render())
+    print("\n" + result.render())
+
+    assert len(result.rows) == len(DATASETS) == 12
+    # Spot-check the extremes the paper highlights.
+    duck = next(row for row in result.rows if "Duck" in row[0])
+    assert duck[3] == "1345"  # widest dataset
+    motor = next(row for row in result.rows if "Motor" in row[0])
+    assert motor[4] == "3000"  # longest dataset

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 4 (PCA hyperparameter variants, MOMENT)."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+from .conftest import record
+
+
+def test_table4_pca_variants_moment(benchmark, runner):
+    result = benchmark.pedantic(table4, args=(runner,), rounds=1, iterations=1)
+    record("table4", result.render())
+    print("\n" + result.render())
+
+    assert result.headers == ["Dataset", "PCA", "Scaled PCA", "Patch_8", "Patch_16"]
+    assert len(result.rows) == len(runner.config.datasets)
+    # Every variant produced a value (these regimes always fit the GPU).
+    for (_, _, col), values in result.values.items():
+        assert values is not None, col

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 5 (PCA hyperparameter variants, ViT)."""
+
+from __future__ import annotations
+
+from repro.experiments import table5
+
+from .conftest import record
+
+
+def test_table5_pca_variants_vit(benchmark, runner):
+    result = benchmark.pedantic(table5, args=(runner,), rounds=1, iterations=1)
+    record("table5", result.render())
+    print("\n" + result.render())
+
+    assert result.headers == ["Dataset", "PCA", "Scaled PCA", "Patch_8", "Patch_16"]
+    assert len(result.rows) == len(runner.config.datasets)
+    for (_, model, _), values in result.values.items():
+        assert model == "ViT"
+        assert values is not None

@@ -1,0 +1,30 @@
+"""Final benchmark: assemble the paper-vs-measured report.
+
+Named ``zz`` so pytest collects it last: by then the session-shared
+runner has every table/figure run cached and the report costs almost
+nothing extra.  Writes both ``benchmarks/results/experiments_report.md``
+and the repository-root ``EXPERIMENTS.md`` when the full (12-dataset,
+3-seed) grid was used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import build_report
+
+from .conftest import record
+
+
+def test_zz_experiments_report(benchmark, runner):
+    report = benchmark.pedantic(build_report, args=(runner,), rounds=1, iterations=1)
+    record("experiments_report", report)
+
+    full_grid = len(runner.config.datasets) == 12 and len(runner.config.seeds) == 3
+    if full_grid:
+        Path(__file__).parent.parent.joinpath("EXPERIMENTS.md").write_text(report)
+
+    assert report.startswith("# EXPERIMENTS")
+    assert "Table 1" in report
+    if full_grid:
+        assert "Status agreement: 24/24 cells." in report

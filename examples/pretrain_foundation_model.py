@@ -1,0 +1,72 @@
+"""Pretraining walkthrough: build both TSFMs from scratch.
+
+The paper consumes ready-made checkpoints; this library also ships the
+pretraining stage itself.  This example pretrains
+
+* a MOMENT-style model with masked-patch reconstruction, and
+* a ViT-style model with MoCo-flavoured InfoNCE,
+
+on a synthetic heterogeneous corpus, then shows that pretraining
+actually helps a downstream classification head.
+
+Run with:  python examples/pretrain_foundation_model.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapters import make_adapter
+from repro.data import load_dataset
+from repro.models import (
+    MomentModel,
+    ViTModel,
+    pretrain_moment,
+    pretrain_vit,
+    synthetic_pretraining_corpus,
+)
+from repro.training import AdapterPipeline, FineTuneStrategy, TrainConfig
+
+
+def downstream_accuracy(model, dataset) -> float:
+    pipeline = AdapterPipeline(model, make_adapter("pca", 5), dataset.num_classes, seed=0)
+    pipeline.fit(
+        dataset.x_train,
+        dataset.y_train,
+        strategy=FineTuneStrategy.ADAPTER_HEAD,
+        config=TrainConfig(epochs=50, batch_size=32, learning_rate=3e-3, seed=0),
+    )
+    return pipeline.score(dataset.x_test, dataset.y_test)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    corpus = synthetic_pretraining_corpus(num_series=192, length=128, rng=rng)
+    print(f"Pretraining corpus: {corpus.shape[0]} series of length {corpus.shape[1]}\n")
+
+    # --- MOMENT: masked-patch reconstruction ---------------------------
+    moment = MomentModel("moment-tiny", seed=0)
+    losses = pretrain_moment(moment, corpus, steps=120, batch_size=32, mask_ratio=0.3, seed=0)
+    print(
+        "MOMENT masked reconstruction: "
+        f"loss {losses[0]:.3f} -> {losses[-1]:.3f} over {len(losses)} steps"
+    )
+
+    # --- ViT: InfoNCE with momentum key encoder ------------------------
+    vit = ViTModel("vit-tiny", seed=0)
+    losses = pretrain_vit(vit, corpus, steps=120, batch_size=32, seed=0)
+    print(
+        "ViT InfoNCE contrastive:      "
+        f"loss {losses[0]:.3f} -> {losses[-1]:.3f} over {len(losses)} steps\n"
+    )
+
+    # --- does pretraining help downstream? -----------------------------
+    dataset = load_dataset("NATOPS", seed=0, scale=0.25, max_length=64, normalize=False)
+    print(f"Downstream task: {dataset.describe()}")
+    random_init = MomentModel("moment-tiny", seed=0)
+    print(f"  MOMENT random init : accuracy={downstream_accuracy(random_init, dataset):.3f}")
+    print(f"  MOMENT pretrained  : accuracy={downstream_accuracy(moment, dataset):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Final deliverable assembly: run after `pytest benchmarks/ --benchmark-only`
+# has produced benchmarks/results/ and EXPERIMENTS.md (via test_zz_report).
+#
+#   bash scripts/finalize.sh
+#
+# 1. runs the full test suite into test_output.txt;
+# 2. appends the qualitative commentary to the generated EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+if [ -f EXPERIMENTS.md ] && ! grep -q "Known deviations" EXPERIMENTS.md; then
+    cat docs/experiments_commentary.md >> EXPERIMENTS.md
+    echo "appended commentary to EXPERIMENTS.md"
+fi

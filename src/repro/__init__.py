@@ -1,0 +1,52 @@
+"""repro — reproduction of "User-Friendly Foundation Model Adapters for
+Multivariate Time Series Classification" (ICDE 2025).
+
+The package bundles everything the paper's experiments need, built
+from scratch on numpy:
+
+* :mod:`repro.nn` — a minimal deep-learning framework (autodiff,
+  transformer encoder, optimizers);
+* :mod:`repro.models` — MOMENT-style and ViT-style time-series
+  foundation models with their pretraining objectives;
+* :mod:`repro.adapters` — the dimensionality-reduction adapters (PCA,
+  Scaled/Patch-PCA, SVD, random projection, variance selection, and
+  the learnable linear combiner);
+* :mod:`repro.data` — the UEA Table-3 registry and synthetic
+  surrogate datasets;
+* :mod:`repro.resources` — the V100-32GB cost model deciding OK/TO/COM;
+* :mod:`repro.training` — head / adapter+head / full fine-tuning with
+  embedding caching;
+* :mod:`repro.evaluation` — accuracy, Welch t-tests, ranks, rendering;
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+
+Quickstart::
+
+    from repro.data import load_dataset
+    from repro.models import load_pretrained
+    from repro.adapters import make_adapter
+    from repro.training import AdapterPipeline, FineTuneStrategy
+
+    ds = load_dataset("Heartbeat", seed=0, scale=0.1)
+    model = load_pretrained("moment-tiny", seed=0)
+    pipeline = AdapterPipeline(model, make_adapter("pca", 5), ds.num_classes)
+    pipeline.fit(ds.x_train, ds.y_train, strategy=FineTuneStrategy.ADAPTER_HEAD)
+    print("accuracy:", pipeline.score(ds.x_test, ds.y_test))
+"""
+
+from . import nn  # noqa: F401  (import order: nn first, it has no siblings)
+from . import adapters, baselines, data, evaluation, experiments, models, resources, training
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "baselines",
+    "models",
+    "adapters",
+    "data",
+    "resources",
+    "training",
+    "evaluation",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Dimensionality-reduction adapters (the paper's §3.3 methods)."""
+
+from .base import Adapter, FittedAdapter, IdentityAdapter
+from .linear_combiner import LinearCombinerAdapter, LinearCombinerModule
+from .pca import PatchPCAAdapter, PCAAdapter, ScaledPCAAdapter, pca_reconstruction_error
+from .random_projection import RandomProjectionAdapter
+from .registry import ADAPTER_NAMES, make_adapter
+from .supervised import ClusterAverageAdapter, LDAAdapter
+from .svd import TruncatedSVDAdapter
+from .variance import VarianceSelectorAdapter
+
+__all__ = [
+    "Adapter",
+    "FittedAdapter",
+    "IdentityAdapter",
+    "PCAAdapter",
+    "ScaledPCAAdapter",
+    "PatchPCAAdapter",
+    "pca_reconstruction_error",
+    "TruncatedSVDAdapter",
+    "RandomProjectionAdapter",
+    "VarianceSelectorAdapter",
+    "LinearCombinerAdapter",
+    "LinearCombinerModule",
+    "ADAPTER_NAMES",
+    "make_adapter",
+    "LDAAdapter",
+    "ClusterAverageAdapter",
+]

@@ -1,0 +1,153 @@
+"""Adapter interface.
+
+An *adapter* maps multivariate series ``(N, T, D)`` to a reduced
+channel space ``(N, T', D')`` before the (channel-independent)
+foundation model consumes them.  Two families exist:
+
+* **fit-once adapters** (PCA, SVD, random projection, variance
+  selection): fitted on the training split once, then frozen.  Because
+  they never change during fine-tuning, the frozen encoder's
+  embeddings can be precomputed and cached — the source of the paper's
+  ~10x speedup.
+* **trainable adapters** (the linear combiner / lcomb family): an
+  ``repro.nn`` module optimised jointly with the classification head,
+  requiring a full encoder forward (and possibly backward) every step.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..data.preprocessing import validate_series
+
+__all__ = ["Adapter", "FittedAdapter", "IdentityAdapter"]
+
+
+class Adapter(abc.ABC):
+    """Common adapter API.
+
+    Attributes
+    ----------
+    output_channels:
+        The reduced channel count ``D'`` this adapter produces.
+    trainable:
+        Whether the adapter carries parameters updated during
+        fine-tuning (controls embedding-cache eligibility).
+    """
+
+    trainable: bool = False
+
+    def __init__(self, output_channels: int) -> None:
+        if output_channels <= 0:
+            raise ValueError(f"output_channels must be positive, got {output_channels}")
+        self.output_channels = output_channels
+        self.input_channels: int | None = None
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "Adapter":
+        """Fit the adapter on training data ``x`` of shape (N, T, D)."""
+
+    @abc.abstractmethod
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Reduce ``x`` from (N, T, D) to (N, T', D')."""
+
+    def fit_transform(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        """Fit on ``x`` and return its reduced form in one call."""
+        return self.fit(x, y).transform(x)
+
+    # ------------------------------------------------------------------
+    def _check_fit_input(self, x: np.ndarray) -> np.ndarray:
+        x = validate_series(x)
+        d = x.shape[-1]
+        if self.output_channels > d:
+            raise ValueError(
+                f"{self.name}: output_channels={self.output_channels} exceeds "
+                f"input channels D={d}"
+            )
+        self.input_channels = d
+        return x
+
+    def _check_transform_input(self, x: np.ndarray) -> np.ndarray:
+        x = validate_series(x)
+        if self.input_channels is None:
+            raise RuntimeError(f"{self.name} used before fit()")
+        if x.shape[-1] != self.input_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.input_channels} channels, "
+                f"got {x.shape[-1]}"
+            )
+        return x
+
+
+class FittedAdapter(Adapter):
+    """Base for fit-once (non-trainable) adapters holding a linear map.
+
+    Subclasses implement :meth:`_fit_projection` returning a
+    ``(D', D)`` projection applied uniformly across time steps (plus an
+    optional per-channel preprocessing handled by the subclass).
+    """
+
+    def __init__(self, output_channels: int) -> None:
+        super().__init__(output_channels)
+        self.projection_: np.ndarray | None = None
+
+    @abc.abstractmethod
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        """Compute the (D', D) projection from (N*T, D) training rows."""
+
+    def _preprocess(self, flat: np.ndarray) -> np.ndarray:
+        """Hook for centering/scaling applied at both fit and transform."""
+        return flat
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "FittedAdapter":
+        x = self._check_fit_input(x)
+        flat = x.reshape(-1, x.shape[-1])
+        projection = self._fit_projection(self._preprocess_fit(flat), y)
+        expected = (self.output_channels, x.shape[-1])
+        if projection.shape != expected:
+            raise AssertionError(
+                f"{self.name}._fit_projection returned shape {projection.shape}, "
+                f"expected {expected}"
+            )
+        self.projection_ = projection
+        return self
+
+    def _preprocess_fit(self, flat: np.ndarray) -> np.ndarray:
+        """Fit-time preprocessing; default delegates to :meth:`_preprocess`."""
+        return self._preprocess(flat)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_transform_input(x)
+        if self.projection_ is None:
+            raise RuntimeError(f"{self.name} used before fit()")
+        n, t, d = x.shape
+        flat = self._preprocess(x.reshape(-1, d))
+        reduced = flat @ self.projection_.T
+        return reduced.reshape(n, t, self.output_channels)
+
+
+class IdentityAdapter(Adapter):
+    """No-op adapter (the paper's "no adapter" configuration)."""
+
+    def __init__(self) -> None:
+        # output_channels is resolved at fit time to the input D.
+        super().__init__(output_channels=1)
+
+    @property
+    def name(self) -> str:
+        return "no_adapter"
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "IdentityAdapter":
+        x = validate_series(x)
+        self.input_channels = x.shape[-1]
+        self.output_channels = x.shape[-1]
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return self._check_transform_input(x)

@@ -1,0 +1,138 @@
+"""Linear Combiner (lcomb) — the paper's learnable adapter.
+
+``lcomb`` learns the channel-mixing matrix ``W in R^{D' x D}``
+*supervisedly*, jointly with the classification head (and optionally
+the whole network).  Because its parameters change every optimisation
+step, the foundation model must be re-run on every batch — the reason
+it is the slowest adapter in Figure 1.
+
+``lcomb_top_k`` (Appendix C.2) regularises the mixing: each row of the
+(softmax-normalised) attention matrix keeps only its top-``k`` weights,
+renormalised to sum to one, focusing each virtual channel on the
+``k`` most relevant input channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import Adapter
+
+__all__ = ["LinearCombinerAdapter", "LinearCombinerModule"]
+
+
+class LinearCombinerModule(nn.Module):
+    """The trainable mixing network: ``y = x @ A.T`` over channels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        D and D'.
+    top_k:
+        If given, apply the paper's top-k rule: rows of the softmax
+        attention keep only their ``k`` largest entries, renormalised
+        by the sum of the kept weights.  The selection mask is treated
+        as a constant for gradients (straight-through on the kept
+        entries), matching the "select then rescale" description.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        top_k: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if out_channels > in_channels:
+            raise ValueError(
+                f"out_channels={out_channels} exceeds in_channels={in_channels}"
+            )
+        if top_k is not None and not 1 <= top_k <= in_channels:
+            raise ValueError(f"top_k must be in [1, {in_channels}], got {top_k}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.top_k = top_k
+        self.weight = nn.Parameter(nn.init.xavier_uniform((out_channels, in_channels), rng))
+
+    def mixing_matrix(self) -> nn.Tensor:
+        """Return the effective (D', D) mixing matrix as a graph node."""
+        if self.top_k is None:
+            return self.weight
+        attention = F.softmax(self.weight, axis=-1)
+        # Top-k mask per row, computed outside the graph.
+        kept = np.argsort(attention.data, axis=-1)[:, -self.top_k :]
+        mask = np.zeros_like(attention.data)
+        np.put_along_axis(mask, kept, 1.0, axis=-1)
+        masked = attention * nn.Tensor(mask)
+        row_sums = masked.sum(axis=-1, keepdims=True)
+        return masked / (row_sums + 1e-12)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        """Mix channels: (..., D) -> (..., D') via the current matrix."""
+        x = nn.as_tensor(x)
+        if x.shape[-1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} channels, got {x.shape[-1]}"
+            )
+        return x @ self.mixing_matrix().transpose()
+
+    def __repr__(self) -> str:
+        variant = f", top_k={self.top_k}" if self.top_k is not None else ""
+        return f"LinearCombinerModule({self.in_channels}->{self.out_channels}{variant})"
+
+
+class LinearCombinerAdapter(Adapter):
+    """Adapter wrapper exposing :class:`LinearCombinerModule` via the
+    common adapter API.
+
+    ``fit`` only instantiates the module (lazily, once the input width
+    is known); the actual training happens inside the fine-tuning
+    pipeline, which discovers the module through :attr:`module` and
+    adds its parameters to the optimiser.
+    """
+
+    trainable = True
+
+    def __init__(
+        self,
+        output_channels: int,
+        top_k: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(output_channels)
+        self.top_k = top_k
+        self.seed = seed
+        self.module: LinearCombinerModule | None = None
+
+    @property
+    def name(self) -> str:
+        return "lcomb" if self.top_k is None else "lcomb_top_k"
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "LinearCombinerAdapter":
+        x = self._check_fit_input(x)
+        if self.module is None or self.module.in_channels != x.shape[-1]:
+            self.module = LinearCombinerModule(
+                in_channels=x.shape[-1],
+                out_channels=self.output_channels,
+                top_k=self.top_k,
+                rng=np.random.default_rng(self.seed),
+            )
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the *current* mixing weights outside the autodiff graph."""
+        x = self._check_transform_input(x)
+        if self.module is None:
+            raise RuntimeError("lcomb used before fit()")
+        with nn.no_grad():
+            return self.module(nn.Tensor(x)).data
+
+    def transform_tensor(self, x: nn.Tensor) -> nn.Tensor:
+        """Differentiable transform used inside the training pipeline."""
+        if self.module is None:
+            raise RuntimeError("lcomb used before fit()")
+        return self.module(x)

@@ -1,0 +1,224 @@
+"""PCA-family adapters: PCA, Scaled PCA, and Patch-PCA.
+
+Following §3.3 of the paper, PCA is applied to the ``(N*T, D)``
+reshape of the data — capturing cross-channel (spatial) correlations
+over all time steps while leaving the temporal axis intact — rather
+than the ``(N, T*D)`` reshape, which destroys temporal structure and
+is unstable when ``N << T*D``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.preprocessing import validate_series
+from .base import FittedAdapter
+
+__all__ = ["PCAAdapter", "ScaledPCAAdapter", "PatchPCAAdapter", "pca_reconstruction_error"]
+
+
+def _principal_directions(flat: np.ndarray, k: int, center: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` principal directions of (M, D) rows.
+
+    Decomposes whichever Gram matrix is smaller: the D x D covariance
+    when rows are plentiful (the usual (N*T, D) reshape), or the dual
+    M x M matrix when the feature dimension dominates — the Patch-PCA
+    regime, where ``pws * D`` can reach tens of thousands while only a
+    few hundred patch rows exist.
+
+    Returns ``(components, explained_variance)`` with components of
+    shape (k, D), rows ordered by decreasing variance.
+    """
+    rows, dims = flat.shape
+    if k > dims:
+        raise ValueError(f"cannot extract {k} components from D={dims}")
+    if center:
+        flat = flat - flat.mean(axis=0, keepdims=True)
+    denominator = max(rows - 1, 1)
+
+    if dims <= rows:
+        gram = (flat.T @ flat) / denominator
+        eigenvalues, eigenvectors = np.linalg.eigh(gram)
+        order = np.argsort(eigenvalues)[::-1][:k]
+        components = eigenvectors[:, order].T
+        variances = np.maximum(eigenvalues[order], 0.0)
+    else:
+        # Dual path: eigenvectors u of (X X^T)/den give right singular
+        # directions v = X^T u / ||X^T u||, with the same eigenvalues.
+        if k > rows:
+            raise ValueError(
+                f"cannot extract {k} components from {rows} rows of "
+                f"{dims}-dimensional data (rank is at most {rows})"
+            )
+        dual = (flat @ flat.T) / denominator
+        eigenvalues, eigenvectors = np.linalg.eigh(dual)
+        order = np.argsort(eigenvalues)[::-1][:k]
+        variances = np.maximum(eigenvalues[order], 0.0)
+        projected = flat.T @ eigenvectors[:, order]  # (D, k)
+        norms = np.linalg.norm(projected, axis=0)
+        norms[norms < 1e-12] = 1.0
+        components = (projected / norms).T
+
+    # Fix sign convention (largest-|.| coordinate positive) so results
+    # are deterministic across LAPACK implementations.
+    signs = np.sign(components[np.arange(k), np.abs(components).argmax(axis=1)])
+    signs[signs == 0] = 1.0
+    return components * signs[:, None], variances
+
+
+class PCAAdapter(FittedAdapter):
+    """Standard PCA over channels: (N*T, D) -> top D' components."""
+
+    def __init__(self, output_channels: int) -> None:
+        super().__init__(output_channels)
+        self.mean_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "PCA"
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        self.mean_ = flat.mean(axis=0)
+        components, variance = _principal_directions(
+            flat, self.output_channels, center=True
+        )
+        self.explained_variance_ = variance
+        return components
+
+    def _preprocess(self, flat: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            # fit-time call: mean not known yet; handled in _preprocess_fit.
+            return flat
+        return flat - self.mean_
+
+    def _preprocess_fit(self, flat: np.ndarray) -> np.ndarray:
+        return flat
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total channel variance captured per component."""
+        if self.explained_variance_ is None:
+            raise RuntimeError("PCA used before fit()")
+        total = self.explained_variance_.sum()
+        if total <= 0:
+            return np.zeros_like(self.explained_variance_)
+        return self.explained_variance_ / total
+
+
+class ScaledPCAAdapter(PCAAdapter):
+    """PCA on channel-standardised data (the paper's 'Scaled PCA').
+
+    Each channel is divided by its training-set standard deviation
+    before the eigendecomposition, i.e. PCA on the correlation rather
+    than covariance matrix.
+    """
+
+    def __init__(self, output_channels: int, eps: float = 1e-8) -> None:
+        super().__init__(output_channels)
+        self.eps = eps
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "Scaled_PCA"
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        self.scale_ = flat.std(axis=0) + self.eps
+        return super()._fit_projection(flat / self.scale_, y)
+
+    def _preprocess(self, flat: np.ndarray) -> np.ndarray:
+        if self.scale_ is not None:
+            flat = flat / self.scale_
+        return super()._preprocess(flat)
+
+    def _preprocess_fit(self, flat: np.ndarray) -> np.ndarray:
+        return flat
+
+
+class PatchPCAAdapter(FittedAdapter):
+    """Patch-PCA (Appendix C.1): PCA over (patch window x channels) blocks.
+
+    The series is cut into ``n_p`` non-overlapping windows of
+    ``patch_window_size`` (pws) steps; PCA runs on the
+    ``(N*n_p, pws*D)`` reshape with ``pws * D'`` components, and the
+    reduced patches are unfolded back to ``(N, n_p*pws, D')``.  With
+    ``pws=1`` this is exactly :class:`PCAAdapter`.  Trailing steps not
+    filling a whole window are dropped (documented behaviour).
+    """
+
+    def __init__(self, output_channels: int, patch_window_size: int = 8) -> None:
+        super().__init__(output_channels)
+        if patch_window_size <= 0:
+            raise ValueError(
+                f"patch_window_size must be positive, got {patch_window_size}"
+            )
+        self.patch_window_size = patch_window_size
+        self.mean_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return f"Patch_PCA(pws={self.patch_window_size})"
+
+    def _patchify(self, x: np.ndarray) -> np.ndarray:
+        """(N, T, D) -> (N * n_p, pws * D); drops the ragged tail."""
+        n, t, d = x.shape
+        pws = self.patch_window_size
+        n_patches = t // pws
+        if n_patches == 0:
+            raise ValueError(
+                f"sequence length {t} shorter than patch window {pws}"
+            )
+        trimmed = x[:, : n_patches * pws, :]
+        return trimmed.reshape(n * n_patches, pws * d)
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "PatchPCAAdapter":
+        x = self._check_fit_input(x)
+        patches = self._patchify(x)
+        self.mean_ = patches.mean(axis=0)
+        k = self.patch_window_size * self.output_channels
+        if k > patches.shape[1]:
+            raise ValueError(
+                f"pws*D'={k} components exceed patch dimension {patches.shape[1]}"
+            )
+        # The sample rank bounds the extractable components; when the
+        # training split has fewer patch rows than pws*D' (tiny
+        # surrogates of short series), keep the rank's worth of
+        # components and pad with zero directions so the output
+        # geometry stays (N, n_p*pws, D').
+        effective_k = min(k, patches.shape[0])
+        components, _ = _principal_directions(patches, effective_k, center=True)
+        if effective_k < k:
+            padding = np.zeros((k - effective_k, patches.shape[1]))
+            components = np.vstack([components, padding])
+        self.projection_ = components  # (pws*D', pws*D)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_transform_input(x)
+        if self.projection_ is None or self.mean_ is None:
+            raise RuntimeError(f"{self.name} used before fit()")
+        n, t, _ = x.shape
+        pws = self.patch_window_size
+        n_patches = t // pws
+        patches = self._patchify(x) - self.mean_
+        reduced = patches @ self.projection_.T  # (N*n_p, pws*D')
+        return reduced.reshape(n, n_patches * pws, self.output_channels)
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        raise NotImplementedError("PatchPCAAdapter overrides fit() directly")
+
+
+def pca_reconstruction_error(adapter: PCAAdapter, x: np.ndarray) -> float:
+    """Mean squared reconstruction error of PCA on (N, T, D) data.
+
+    Diagnostic used in tests: projecting to D' components and back
+    should lose only the variance outside the retained subspace.
+    """
+    x = validate_series(x)
+    flat = x.reshape(-1, x.shape[-1])
+    if adapter.projection_ is None or adapter.mean_ is None:
+        raise RuntimeError("PCA used before fit()")
+    centered = flat - adapter.mean_
+    reduced = centered @ adapter.projection_.T
+    restored = reduced @ adapter.projection_ + adapter.mean_
+    return float(((flat - restored) ** 2).mean())

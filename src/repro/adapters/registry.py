@@ -1,0 +1,80 @@
+"""Adapter factory keyed by the names used in the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Adapter, IdentityAdapter
+from .linear_combiner import LinearCombinerAdapter
+from .pca import PatchPCAAdapter, PCAAdapter, ScaledPCAAdapter
+from .random_projection import RandomProjectionAdapter
+from .supervised import ClusterAverageAdapter, LDAAdapter
+from .svd import TruncatedSVDAdapter
+from .variance import VarianceSelectorAdapter
+
+__all__ = ["ADAPTER_NAMES", "make_adapter"]
+
+#: Default top-k used by lcomb_top_k in the paper (Appendix C.2).
+DEFAULT_TOP_K = 7
+
+
+def _build(name: str, output_channels: int, seed: int, **kwargs) -> Adapter:
+    factories: dict[str, Callable[[], Adapter]] = {
+        "none": lambda: IdentityAdapter(),
+        "pca": lambda: PCAAdapter(output_channels),
+        "scaled_pca": lambda: ScaledPCAAdapter(output_channels),
+        "patch_pca": lambda: PatchPCAAdapter(
+            output_channels, patch_window_size=kwargs.get("patch_window_size", 8)
+        ),
+        "svd": lambda: TruncatedSVDAdapter(output_channels),
+        "rand_proj": lambda: RandomProjectionAdapter(
+            output_channels, seed=seed, sparse=kwargs.get("sparse", False)
+        ),
+        "var": lambda: VarianceSelectorAdapter(output_channels),
+        "lda": lambda: LDAAdapter(output_channels),
+        "cluster_avg": lambda: ClusterAverageAdapter(output_channels),
+        "lcomb": lambda: LinearCombinerAdapter(output_channels, seed=seed),
+        "lcomb_top_k": lambda: LinearCombinerAdapter(
+            output_channels, top_k=kwargs.get("top_k", DEFAULT_TOP_K), seed=seed
+        ),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise KeyError(f"unknown adapter {name!r}; known: {sorted(factories)}") from None
+
+
+#: Canonical adapter names, in the order of the paper's Table 2 columns.
+ADAPTER_NAMES: tuple[str, ...] = (
+    "pca",
+    "svd",
+    "rand_proj",
+    "var",
+    "lcomb",
+    "lcomb_top_k",
+)
+
+
+def make_adapter(
+    name: str,
+    output_channels: int = 5,
+    seed: int = 0,
+    **kwargs,
+) -> Adapter:
+    """Construct an adapter by table name.
+
+    Parameters
+    ----------
+    name:
+        One of ``none``, ``pca``, ``scaled_pca``, ``patch_pca``,
+        ``svd``, ``rand_proj``, ``var``, ``lcomb``, ``lcomb_top_k``
+        (case-insensitive).
+    output_channels:
+        Reduced channel count D' (paper default: 5).
+    seed:
+        Seed for stochastic adapters (random projection, lcomb init).
+    kwargs:
+        Adapter-specific options: ``patch_window_size`` (patch_pca),
+        ``sparse`` (rand_proj), ``top_k`` (lcomb_top_k).
+    """
+    return _build(name.lower(), output_channels, seed, **kwargs)

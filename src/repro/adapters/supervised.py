@@ -1,0 +1,166 @@
+"""Extension adapters beyond the paper's §3.3 set.
+
+The paper's conclusion calls for "more complex adapter configurations"
+as future work.  This module contributes two fit-once extensions that
+slot into the same pipeline:
+
+* :class:`LDAAdapter` — a *supervised* fit-once adapter: Fisher linear
+  discriminant directions over channels.  Unlike lcomb it needs no
+  gradient steps (one generalized eigenproblem), so it keeps the
+  embedding-cache fast path while still using label information.
+* :class:`ClusterAverageAdapter` — average groups of correlated
+  channels (complete-linkage hierarchical clustering on correlation
+  distance).  Each virtual channel is an interpretable set of input
+  channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import squareform
+
+from .base import FittedAdapter
+from .pca import _principal_directions
+
+__all__ = ["LDAAdapter", "ClusterAverageAdapter"]
+
+
+class LDAAdapter(FittedAdapter):
+    """Fisher discriminant channel mixing (supervised, fit-once).
+
+    Treats every time step of every training series as one labelled
+    observation of the D channels, then solves the generalized
+    eigenproblem ``S_b v = lambda (S_w + shrinkage I) v`` for the
+    between-/within-class scatter matrices.  LDA yields at most
+    ``C - 1`` discriminant directions; if ``D' > C - 1`` the remaining
+    rows are filled with the leading PCA directions of the within-class
+    residual, so the adapter always produces exactly D' channels.
+    """
+
+    def __init__(self, output_channels: int, shrinkage: float = 1e-3) -> None:
+        super().__init__(output_channels)
+        if shrinkage <= 0:
+            raise ValueError(f"shrinkage must be positive, got {shrinkage}")
+        self.shrinkage = shrinkage
+        self.discriminant_dims_: int | None = None
+
+    @property
+    def name(self) -> str:
+        return "LDA"
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "LDAAdapter":
+        if y is None:
+            raise ValueError("LDAAdapter requires labels; got y=None")
+        x = self._check_fit_input(x)
+        n, t, d = x.shape
+        y = np.asarray(y)
+        if y.shape != (n,):
+            raise ValueError(f"labels shape {y.shape} does not match {n} samples")
+        flat = x.reshape(n * t, d)
+        labels = np.repeat(y, t)
+
+        grand_mean = flat.mean(axis=0)
+        classes = np.unique(labels)
+        if len(classes) < 2:
+            raise ValueError("LDA needs at least two classes")
+        within = np.zeros((d, d))
+        between = np.zeros((d, d))
+        for cls in classes:
+            members = flat[labels == cls]
+            mean = members.mean(axis=0)
+            centered = members - mean
+            within += centered.T @ centered
+            offset = (mean - grand_mean)[:, None]
+            between += len(members) * (offset @ offset.T)
+        within /= len(flat)
+        between /= len(flat)
+        within += self.shrinkage * np.trace(within) / d * np.eye(d)
+
+        # Generalized symmetric eigenproblem via whitening.
+        eigvals_w, eigvecs_w = np.linalg.eigh(within)
+        eigvals_w = np.maximum(eigvals_w, 1e-12)
+        whitener = eigvecs_w @ np.diag(eigvals_w**-0.5) @ eigvecs_w.T
+        projected_between = whitener @ between @ whitener
+        eigvals_b, eigvecs_b = np.linalg.eigh(projected_between)
+        order = np.argsort(eigvals_b)[::-1]
+        max_dims = min(self.output_channels, len(classes) - 1)
+        directions = (whitener @ eigvecs_b[:, order[:max_dims]]).T  # (k, D)
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        self.discriminant_dims_ = max_dims
+
+        if max_dims < self.output_channels:
+            # Fill with leading PCA directions of the data, orthogonalised
+            # against the discriminants for non-degenerate extra channels.
+            extra_needed = self.output_channels - max_dims
+            pca_dirs, _ = _principal_directions(flat, min(d, max_dims + extra_needed), center=True)
+            rows = [directions]
+            basis = directions.copy()
+            for candidate in pca_dirs:
+                residual = candidate - basis.T @ (basis @ candidate)
+                norm = np.linalg.norm(residual)
+                if norm < 1e-8:
+                    continue
+                residual /= norm
+                rows.append(residual[None, :])
+                basis = np.vstack([basis, residual[None, :]])
+                if basis.shape[0] == self.output_channels:
+                    break
+            directions = np.vstack(rows)
+            if directions.shape[0] < self.output_channels:
+                raise RuntimeError(
+                    "could not construct enough independent directions; "
+                    f"got {directions.shape[0]}, need {self.output_channels}"
+                )
+        self.projection_ = directions[: self.output_channels]
+        return self
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        raise NotImplementedError("LDAAdapter overrides fit() directly")
+
+
+class ClusterAverageAdapter(FittedAdapter):
+    """Average D' groups of correlated channels (fit-once, unsupervised).
+
+    Channels are clustered by complete-linkage hierarchical clustering
+    on the distance ``1 - |corr|``; each output channel is the mean of
+    one cluster, so the reduction is directly interpretable ("virtual
+    channel 3 = sensors {12, 40, 41}").
+    """
+
+    @property
+    def name(self) -> str:
+        return "Cluster_Avg"
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        d = flat.shape[1]
+        if self.output_channels == d:
+            return np.eye(d)
+        with np.errstate(invalid="ignore"):
+            corr = np.corrcoef(flat, rowvar=False)
+        corr = np.nan_to_num(corr, nan=0.0)
+        distance = 1.0 - np.abs(corr)
+        np.fill_diagonal(distance, 0.0)
+        condensed = squareform(distance, checks=False)
+        tree = linkage(condensed, method="complete")
+        assignment = fcluster(tree, t=self.output_channels, criterion="maxclust")
+
+        projection = np.zeros((self.output_channels, d))
+        # fcluster may return fewer clusters than requested on
+        # degenerate data; split the largest clusters until we have D'.
+        cluster_ids = list(np.unique(assignment))
+        members = {cid: np.flatnonzero(assignment == cid) for cid in cluster_ids}
+        while len(members) < self.output_channels:
+            largest = max(members, key=lambda cid: len(members[cid]))
+            group = members[largest]
+            if len(group) < 2:
+                raise RuntimeError("cannot split singleton cluster further")
+            half = len(group) // 2
+            new_id = max(members) + 1
+            members[largest] = group[:half]
+            members[new_id] = group[half:]
+        for row, cid in enumerate(sorted(members)):
+            group = members[cid]
+            projection[row, group] = 1.0 / len(group)
+        self.cluster_members_ = [members[cid] for cid in sorted(members)]
+        return projection

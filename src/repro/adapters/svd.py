@@ -1,0 +1,39 @@
+"""Truncated SVD adapter.
+
+Unlike PCA, truncated SVD operates directly on the (uncentered) data
+matrix, keeping the top-``k`` right singular vectors as the channel
+projection (§3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FittedAdapter
+from .pca import _principal_directions
+
+__all__ = ["TruncatedSVDAdapter"]
+
+
+class TruncatedSVDAdapter(FittedAdapter):
+    """Project channels onto the top-D' right singular directions."""
+
+    def __init__(self, output_channels: int) -> None:
+        super().__init__(output_channels)
+        self.singular_values_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "SVD"
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        # Right singular vectors of X equal eigenvectors of X^T X; the
+        # shared helper computes them without centering.
+        components, second_moments = _principal_directions(
+            flat, self.output_channels, center=False
+        )
+        # second_moments are eigenvalues of X^T X / (M-1); singular
+        # values of X are sqrt(eigenvalue * (M-1)).
+        scale = max(len(flat) - 1, 1)
+        self.singular_values_ = np.sqrt(second_moments * scale)
+        return components

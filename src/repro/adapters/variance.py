@@ -1,0 +1,46 @@
+"""Variance-based feature (channel) selection adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FittedAdapter
+
+__all__ = ["VarianceSelectorAdapter"]
+
+
+class VarianceSelectorAdapter(FittedAdapter):
+    """Keep the D' channels with the highest training variance (§3.3, 'VAR').
+
+    Low-variance channels are treated as uninformative and dropped.
+    The projection is a 0/1 selection matrix, so the reduced series
+    are literal sub-channels of the input (no mixing) — useful when
+    interpretability of the retained channels matters.
+    """
+
+    def __init__(self, output_channels: int) -> None:
+        super().__init__(output_channels)
+        self.selected_channels_: np.ndarray | None = None
+        self.channel_variances_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "VAR"
+
+    def _fit_projection(self, flat: np.ndarray, y: np.ndarray | None) -> np.ndarray:
+        variances = flat.var(axis=0)
+        self.channel_variances_ = variances
+        # Stable ordering: by descending variance, ties broken by index.
+        order = np.lexsort((np.arange(len(variances)), -variances))
+        selected = np.sort(order[: self.output_channels])
+        self.selected_channels_ = selected
+        projection = np.zeros((self.output_channels, flat.shape[1]))
+        projection[np.arange(self.output_channels), selected] = 1.0
+        return projection
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        # Direct indexing is much cheaper than the matmul for wide D.
+        x = self._check_transform_input(x)
+        if self.selected_channels_ is None:
+            raise RuntimeError(f"{self.name} used before fit()")
+        return x[:, :, self.selected_channels_]

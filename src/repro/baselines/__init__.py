@@ -1,0 +1,17 @@
+"""Classical baselines from the paper's Related Work (§2).
+
+ROCKET (random convolution kernels + ridge) and 1-NN DTW — the
+methods TSFM-based classification is measured against.
+"""
+
+from .dtw import DTW1NNClassifier, dtw_distance
+from .ridge import RidgeClassifier
+from .rocket import RocketClassifier, RocketTransform
+
+__all__ = [
+    "RidgeClassifier",
+    "RocketTransform",
+    "RocketClassifier",
+    "dtw_distance",
+    "DTW1NNClassifier",
+]

@@ -1,0 +1,103 @@
+"""Dynamic Time Warping and the 1-NN DTW classifier.
+
+The canonical classical time-series baseline (Salvador & Chan, 2007,
+cited in §2).  Implements dependent multivariate DTW (one warping path
+shared by all channels, Euclidean local cost) with an optional
+Sakoe–Chiba band, and a 1-nearest-neighbour classifier on top.
+
+DTW is O(T^2) per pair and the classifier O(N_train x N_test) pairs —
+the scalability wall that motivates both ROCKET and TSFMs; keep it to
+small surrogates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.preprocessing import validate_series
+
+__all__ = ["dtw_distance", "DTW1NNClassifier"]
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: int | None = None,
+) -> float:
+    """Dependent multivariate DTW distance between (T, D) series.
+
+    Parameters
+    ----------
+    a, b:
+        Series of shape (T_a, D) and (T_b, D) (same D).
+    band:
+        Sakoe–Chiba band half-width; ``None`` means unconstrained.
+        The band is widened automatically to at least ``|T_a - T_b|``
+        so a valid path always exists.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"channel mismatch: {a.shape[1]} vs {b.shape[1]}")
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("empty series")
+
+    if band is None:
+        band = max(n, m)
+    band = max(band, abs(n - m))
+
+    # Squared Euclidean local cost, computed lazily per row for memory.
+    previous = np.full(m + 1, np.inf)
+    previous[0] = 0.0
+    current = np.empty(m + 1)
+    for i in range(1, n + 1):
+        current[:] = np.inf
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        costs = ((b[lo - 1 : hi] - a[i - 1]) ** 2).sum(axis=1)
+        for offset, j in enumerate(range(lo, hi + 1)):
+            best = min(previous[j], previous[j - 1], current[j - 1])
+            current[j] = costs[offset] + best
+        previous, current = current.copy(), current
+    return float(np.sqrt(previous[m]))
+
+
+class DTW1NNClassifier:
+    """1-nearest-neighbour classification under DTW distance."""
+
+    def __init__(self, band: int | None = None) -> None:
+        self.band = band
+        self._x_train: np.ndarray | None = None
+        self._y_train: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DTW1NNClassifier":
+        """Store the training series and labels (lazy learner)."""
+        x = validate_series(x)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError("x and y lengths differ")
+        self._x_train = x
+        self._y_train = y.astype(np.int64)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Label each series with its DTW-nearest training neighbour."""
+        if self._x_train is None:
+            raise RuntimeError("DTW1NNClassifier used before fit()")
+        x = validate_series(x)
+        predictions = np.empty(len(x), dtype=np.int64)
+        for row, sample in enumerate(x):
+            distances = [
+                dtw_distance(sample, train, band=self.band) for train in self._x_train
+            ]
+            predictions[row] = self._y_train[int(np.argmin(distances))]
+        return predictions
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(x, y)``."""
+        return float((self.predict(x) == np.asarray(y)).mean())

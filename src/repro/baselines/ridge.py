@@ -1,0 +1,98 @@
+"""Ridge classifier (closed form), the standard ROCKET head.
+
+One-vs-rest ridge regression on +-1 targets, solved in closed form —
+no iterative optimisation, which is exactly why ROCKET pairs with it:
+feature extraction is the only expensive part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RidgeClassifier"]
+
+
+class RidgeClassifier:
+    """Multi-class one-vs-rest ridge regression classifier.
+
+    Parameters
+    ----------
+    alpha:
+        L2 regularisation strength.  The ROCKET paper cross-validates
+        this; :meth:`fit` accepts a list of candidates and picks the
+        best by leave-out validation on a split of the training data.
+    """
+
+    def __init__(self, alpha: float | list[float] = 1.0) -> None:
+        self.alphas = [alpha] if np.isscalar(alpha) else list(alpha)
+        if any(a <= 0 for a in self.alphas):
+            raise ValueError("alpha must be positive")
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.alpha_: float | None = None
+        self.classes_: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _solve(self, x: np.ndarray, targets: np.ndarray, alpha: float) -> np.ndarray:
+        """Closed-form ridge: (X^T X + alpha I)^-1 X^T Y.
+
+        Uses the dual form when features outnumber samples (ROCKET's
+        10k features vs a few hundred samples), which is much cheaper.
+        """
+        n, d = x.shape
+        if d <= n:
+            gram = x.T @ x + alpha * np.eye(d)
+            return np.linalg.solve(gram, x.T @ targets)
+        # dual: w = X^T (X X^T + alpha I)^-1 Y
+        gram = x @ x.T + alpha * np.eye(n)
+        return x.T @ np.linalg.solve(gram, targets)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeClassifier":
+        """Fit one-vs-rest ridge weights (selecting alpha if several)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError(f"bad shapes: x {x.shape}, y {y.shape}")
+        self.classes_ = np.unique(y)
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0) + 1e-8
+        x = (x - self._mean) / self._std
+        targets = np.where(y[:, None] == self.classes_[None, :], 1.0, -1.0)
+
+        if len(self.alphas) == 1:
+            self.alpha_ = self.alphas[0]
+        else:
+            # pick alpha on a 75/25 split of the training data
+            rng = np.random.default_rng(0)
+            order = rng.permutation(len(x))
+            cut = max(1, int(0.75 * len(x)))
+            tr, va = order[:cut], order[cut:]
+            best_alpha, best_score = self.alphas[0], -np.inf
+            for alpha in self.alphas:
+                coef = self._solve(x[tr], targets[tr], alpha)
+                score = (x[va] @ coef).argmax(axis=1)
+                acc = (self.classes_[score] == y[va]).mean() if len(va) else 0.0
+                if acc > best_score:
+                    best_alpha, best_score = alpha, acc
+            self.alpha_ = best_alpha
+
+        self.coef_ = self._solve(x, targets, self.alpha_)
+        self.intercept_ = np.zeros(len(self.classes_))
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Per-class scores (N, C); argmax gives the prediction."""
+        if self.coef_ is None:
+            raise RuntimeError("RidgeClassifier used before fit()")
+        x = (np.asarray(x, dtype=np.float64) - self._mean) / self._std
+        return x @ self.coef_ + self.intercept_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        return self.classes_[self.decision_function(x).argmax(axis=1)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(x, y)``."""
+        return float((self.predict(x) == np.asarray(y)).mean())

@@ -1,0 +1,138 @@
+"""ROCKET: RandOm Convolutional KErnel Transform (Dempster et al., 2020).
+
+The classical fast baseline the paper's Related Work contrasts with
+TSFMs.  Random 1D convolution kernels (random length/weights/bias/
+dilation/padding) are applied to each series; each kernel contributes
+two features — the global max and the *proportion of positive values*
+(PPV) — and a ridge classifier runs on the feature matrix.
+
+For multivariate input we follow the common channel-independent
+variant: each kernel is assigned one random input channel.  Like the
+TSFMs it competes with, cost grows with the channel count — ROCKET
+needs proportionally more kernels to cover wide inputs, which is the
+scalability issue §2 of the paper points out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.preprocessing import validate_series
+from .ridge import RidgeClassifier
+
+__all__ = ["RocketTransform", "RocketClassifier"]
+
+
+class RocketTransform:
+    """Random convolution kernel feature extractor.
+
+    Parameters
+    ----------
+    num_kernels:
+        Number of random kernels (the paper's default is 10,000; a few
+        hundred suffice for the small surrogates in this repo).
+    seed:
+        Controls all kernel randomness.
+    """
+
+    def __init__(self, num_kernels: int = 1000, seed: int = 0) -> None:
+        if num_kernels <= 0:
+            raise ValueError("num_kernels must be positive")
+        self.num_kernels = num_kernels
+        self.seed = seed
+        self._kernels: list[dict] | None = None
+        self.num_channels_: int | None = None
+
+    def fit(self, x: np.ndarray) -> "RocketTransform":
+        """Draw the random kernels for the given input geometry."""
+        x = validate_series(x)
+        _, t, d = x.shape
+        rng = np.random.default_rng(self.seed)
+        kernels = []
+        for _ in range(self.num_kernels):
+            length = int(rng.choice([7, 9, 11]))
+            weights = rng.normal(size=length)
+            weights -= weights.mean()
+            # dilation sampled on a log scale up to the series length
+            max_exponent = max(0.0, np.log2((t - 1) / (length - 1))) if t > length else 0.0
+            dilation = int(2 ** rng.uniform(0.0, max_exponent))
+            padding = ((length - 1) * dilation) // 2 if rng.random() < 0.5 else 0
+            kernels.append(
+                {
+                    "weights": weights,
+                    "bias": float(rng.uniform(-1.0, 1.0)),
+                    "dilation": dilation,
+                    "padding": padding,
+                    "channel": int(rng.integers(0, d)),
+                }
+            )
+        self._kernels = kernels
+        self.num_channels_ = d
+        return self
+
+    def _apply_kernel(self, series: np.ndarray, kernel: dict) -> tuple[float, float]:
+        """Return (PPV, max) of one kernel on one univariate series."""
+        weights = kernel["weights"]
+        dilation = kernel["dilation"]
+        padding = kernel["padding"]
+        if padding:
+            series = np.pad(series, padding)
+        span = (len(weights) - 1) * dilation
+        out_len = len(series) - span
+        if out_len <= 0:
+            value = float(series.sum() * weights.sum() + kernel["bias"])
+            return float(value > 0), value
+        # Dilated correlation via strided gather.
+        index = np.arange(out_len)[:, None] + np.arange(len(weights))[None, :] * dilation
+        conv = series[index] @ weights + kernel["bias"]
+        return float((conv > 0).mean()), float(conv.max())
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """(N, T, D) -> (N, 2 * num_kernels) ROCKET feature matrix."""
+        x = validate_series(x)
+        if self._kernels is None:
+            raise RuntimeError("RocketTransform used before fit()")
+        if x.shape[-1] != self.num_channels_:
+            raise ValueError(
+                f"expected {self.num_channels_} channels, got {x.shape[-1]}"
+            )
+        features = np.empty((len(x), 2 * self.num_kernels))
+        for row, sample in enumerate(x):
+            for col, kernel in enumerate(self._kernels):
+                ppv, peak = self._apply_kernel(sample[:, kernel["channel"]], kernel)
+                features[row, 2 * col] = ppv
+                features[row, 2 * col + 1] = peak
+        return features
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Draw kernels for ``x`` and return its feature matrix."""
+        return self.fit(x).transform(x)
+
+
+class RocketClassifier:
+    """ROCKET features + ridge classifier, the full baseline."""
+
+    def __init__(
+        self,
+        num_kernels: int = 1000,
+        seed: int = 0,
+        alphas: list[float] | None = None,
+    ) -> None:
+        self.transform_ = RocketTransform(num_kernels, seed=seed)
+        self.classifier_ = RidgeClassifier(
+            alphas if alphas is not None else [0.1, 1.0, 10.0, 100.0]
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RocketClassifier":
+        """Extract ROCKET features and fit the ridge classifier."""
+        features = self.transform_.fit_transform(x)
+        self.classifier_.fit(features, y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        return self.classifier_.predict(self.transform_.transform(x))
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(x, y)``."""
+        return float((self.predict(x) == np.asarray(y)).mean())

@@ -1,0 +1,321 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``repro datasets``
+    List the 12 UEA datasets (Table 3) with their geometry.
+``repro adapters``
+    List the available adapters.
+``repro simulate``
+    Price a fine-tuning job on the simulated V100-32GB: OK / TO / COM,
+    simulated seconds and peak memory.
+``repro run``
+    Fine-tune one (dataset, model, adapter) combination on the
+    surrogate data and report test accuracy; optionally save the
+    fitted pipeline.
+``repro table`` / ``repro figure``
+    Regenerate one of the paper's tables (1–5) or figures (1–6,
+    ``claims``) and print it.
+
+Invoke as ``python -m repro.cli ...`` or the installed ``repro``
+script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .adapters import make_adapter
+from .adapters.registry import ADAPTER_NAMES
+from .data import dataset_info, dataset_names
+from .evaluation import render_table
+from .experiments import (
+    ExperimentRunner,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    get_preset,
+    headline_claims,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .models import load_pretrained
+from .resources import simulate_finetuning
+from .training import AdapterPipeline, FineTuneStrategy, TrainConfig, save_pipeline
+
+__all__ = ["main", "build_parser"]
+
+_ALL_ADAPTERS = ("none",) + ADAPTER_NAMES + ("scaled_pca", "patch_pca", "lda", "cluster_avg")
+_PAPER_MODEL_CHOICES = ("moment-large", "vit-base-ts")
+_RUNNABLE_MODEL_CHOICES = ("moment-tiny", "vit-tiny")
+
+_TABLES = {"1": table1, "2": table2, "3": None, "4": table4, "5": table5}
+_FIGURES = {
+    "1": figure1,
+    "2": figure2,
+    "3": figure3,
+    "4": figure4,
+    "5": figure5,
+    "6": figure6,
+    "claims": headline_claims,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Foundation-model adapters for multivariate time series (ICDE 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table-3 datasets")
+    sub.add_parser("adapters", help="list available adapters")
+
+    sim = sub.add_parser("simulate", help="price a job on the simulated V100-32GB")
+    sim.add_argument("--model", choices=_PAPER_MODEL_CHOICES, default="moment-large")
+    sim.add_argument("--dataset", required=True, help="dataset name (full or short)")
+    sim.add_argument("--adapter", choices=_ALL_ADAPTERS, default="none")
+    sim.add_argument("--channels", type=int, default=5, help="reduced channel count D'")
+    sim.add_argument("--full-finetune", action="store_true", help="full FT instead of (adapter+)head")
+
+    run = sub.add_parser("run", help="fine-tune on the surrogate data and report accuracy")
+    run.add_argument("--model", choices=_RUNNABLE_MODEL_CHOICES, default="moment-tiny")
+    run.add_argument("--dataset", required=True)
+    run.add_argument("--adapter", choices=_ALL_ADAPTERS, default="pca")
+    run.add_argument("--channels", type=int, default=5)
+    run.add_argument("--strategy", choices=[s.value for s in FineTuneStrategy], default="adapter_head")
+    run.add_argument("--epochs", type=int, default=40)
+    run.add_argument("--batch-size", type=int, default=32)
+    run.add_argument("--learning-rate", type=float, default=3e-3)
+    run.add_argument("--scale", type=float, default=0.1, help="surrogate dataset scale")
+    run.add_argument("--max-length", type=int, default=96)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--save", metavar="DIR", help="save the fitted pipeline to DIR")
+
+    for name, choices in (("table", _TABLES), ("figure", _FIGURES)):
+        cmd = sub.add_parser(name, help=f"regenerate a paper {name}")
+        cmd.add_argument("which", choices=sorted(choices), help=f"{name} id")
+        cmd.add_argument("--preset", default="fast", help="experiment preset (fast|standard)")
+        cmd.add_argument("--datasets", nargs="*", help="restrict to these datasets")
+        cmd.add_argument("--seeds", nargs="*", type=int, help="restrict to these seeds")
+        if name == "table":
+            cmd.add_argument("--latex", action="store_true", help="emit LaTeX instead of markdown")
+
+    baseline = sub.add_parser("baseline", help="run a classical baseline (ROCKET / 1-NN DTW)")
+    baseline.add_argument("--dataset", required=True)
+    baseline.add_argument("--method", choices=("rocket", "dtw"), default="rocket")
+    baseline.add_argument("--kernels", type=int, default=500, help="ROCKET kernel count")
+    baseline.add_argument("--band", type=int, default=5, help="DTW Sakoe-Chiba band")
+    baseline.add_argument("--scale", type=float, default=0.1)
+    baseline.add_argument("--max-length", type=int, default=64)
+    baseline.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="full paper-vs-measured report (EXPERIMENTS.md)")
+    report.add_argument("--preset", default="fast")
+    report.add_argument("--datasets", nargs="*", help="restrict to these datasets")
+    report.add_argument("--seeds", nargs="*", type=int)
+    report.add_argument("--output", metavar="FILE", help="also write the report to FILE")
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = [
+        [
+            info.name,
+            info.short_name,
+            str(info.train_size),
+            str(info.test_size),
+            str(info.num_channels),
+            str(info.sequence_length),
+            str(info.num_classes),
+            info.domain,
+        ]
+        for info in (dataset_info(name) for name in dataset_names())
+    ]
+    print(
+        render_table(
+            ["dataset", "short", "train", "test", "channels", "length", "classes", "domain"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_adapters() -> int:
+    descriptions = {
+        "none": "identity (no reduction)",
+        "pca": "principal components over channels",
+        "scaled_pca": "PCA on channel-standardised data",
+        "patch_pca": "PCA over (patch window x channels) blocks",
+        "svd": "top right-singular directions (uncentered)",
+        "rand_proj": "Johnson-Lindenstrauss random projection",
+        "var": "keep the highest-variance channels",
+        "lda": "Fisher discriminant directions (supervised, fit-once)",
+        "cluster_avg": "average correlated channel clusters",
+        "lcomb": "learnable linear combiner (trained with the head)",
+        "lcomb_top_k": "lcomb with top-k row sparsification",
+    }
+    rows = [[name, desc] for name, desc in descriptions.items()]
+    print(render_table(["adapter", "description"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    info = dataset_info(args.dataset)
+    run = simulate_finetuning(
+        args.model,
+        info,
+        adapter=None if args.adapter == "none" else args.adapter,
+        reduced_channels=args.channels,
+        full_finetune=args.full_finetune,
+    )
+    print(f"dataset : {info.name} (D={info.num_channels}, T={info.sequence_length})")
+    print(f"model   : {args.model}")
+    print(f"adapter : {args.adapter} (D'={args.channels})")
+    print(f"regime  : {'full fine-tuning' if args.full_finetune else 'head / adapter+head'}")
+    print(f"outcome : {run.status}")
+    print(f"time    : {run.seconds:,.0f} s ({run.hours:.2f} h, budget 2 h)")
+    print(f"memory  : {run.peak_memory_gib:.1f} GiB (budget 32 GiB)")
+    print(f"compute : {run.flops:.3e} FLOPs")
+    return 0 if run.ok else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .data import load_dataset
+
+    dataset = load_dataset(
+        args.dataset, seed=args.seed, scale=args.scale, max_length=args.max_length,
+        normalize=False,
+    )
+    print(f"loaded  : {dataset.describe()}")
+    model = load_pretrained(args.model, seed=args.seed)
+    adapter = make_adapter(
+        args.adapter, args.channels if args.adapter != "none" else 1, seed=args.seed
+    )
+    pipeline = AdapterPipeline(model, adapter, dataset.num_classes, seed=args.seed)
+    strategy = FineTuneStrategy(args.strategy)
+    config = TrainConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+    report = pipeline.fit(dataset.x_train, dataset.y_train, strategy=strategy, config=config)
+    accuracy = pipeline.score(dataset.x_test, dataset.y_test)
+    print(f"adapter : {adapter.name} (cached embeddings: {report.used_embedding_cache})")
+    print(f"fit     : {report.total_s:.2f} s")
+    print(f"accuracy: {accuracy:.3f}")
+    if args.save:
+        path = save_pipeline(pipeline, args.save)
+        print(f"saved   : {path}")
+    return 0
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    config = get_preset(args.preset)
+    overrides = {}
+    if args.datasets:
+        overrides["datasets"] = tuple(dataset_info(d).name for d in args.datasets)
+    if args.seeds:
+        overrides["seeds"] = tuple(args.seeds)
+    if overrides:
+        config = config.with_(**overrides)
+    return ExperimentRunner(config)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which == "3":
+        result = table3()
+    else:
+        result = _TABLES[args.which](_make_runner(args))
+    print(result.to_latex() if args.latex else result.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    builder = _FIGURES[args.which]
+    print(builder(_make_runner(args)).render())
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    import time
+
+    from .baselines import DTW1NNClassifier, RocketClassifier
+    from .data import load_dataset
+
+    dataset = load_dataset(
+        args.dataset, seed=args.seed, scale=args.scale, max_length=args.max_length,
+        normalize=False,
+    )
+    print(f"loaded  : {dataset.describe()}")
+    start = time.perf_counter()
+    if args.method == "rocket":
+        classifier = RocketClassifier(num_kernels=args.kernels, seed=args.seed)
+    else:
+        classifier = DTW1NNClassifier(band=args.band)
+    classifier.fit(dataset.x_train, dataset.y_train)
+    accuracy = classifier.score(dataset.x_test, dataset.y_test)
+    print(f"method  : {args.method}")
+    print(f"fit+eval: {time.perf_counter() - start:.2f} s")
+    print(f"accuracy: {accuracy:.3f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import build_report
+
+    text = build_report(_make_runner(args))
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `repro datasets | head`):
+        # exit quietly like standard Unix tools.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "adapters":
+        return _cmd_adapters()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

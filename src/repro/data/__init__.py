@@ -1,0 +1,33 @@
+"""Data substrate: UEA dataset registry and synthetic surrogates."""
+
+from .generators import GeneratorConfig, LatentFactorGenerator, generate_split
+from .io import load_dataset_file, save_dataset
+from .metadata import DATASETS, DatasetInfo, dataset_info, dataset_names
+from .preprocessing import (
+    Standardizer,
+    pad_or_truncate,
+    subsample,
+    validate_series,
+    zscore_per_channel,
+)
+from .uea import MultivariateDataset, load_all_datasets, load_dataset
+
+__all__ = [
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_info",
+    "dataset_names",
+    "GeneratorConfig",
+    "LatentFactorGenerator",
+    "generate_split",
+    "Standardizer",
+    "pad_or_truncate",
+    "subsample",
+    "validate_series",
+    "zscore_per_channel",
+    "MultivariateDataset",
+    "load_dataset",
+    "load_all_datasets",
+    "save_dataset",
+    "load_dataset_file",
+]

@@ -1,0 +1,79 @@
+"""Dataset import/export (.npz archives).
+
+Lets users materialise a surrogate dataset once and reload it later
+(or swap in the *real* UEA arrays, downloaded elsewhere, without
+touching the generator): the on-disk format is a plain ``.npz`` with
+four arrays plus a JSON metadata blob, so it is portable and
+inspectable with numpy alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .metadata import dataset_info
+from .preprocessing import validate_series
+from .uea import MultivariateDataset
+
+__all__ = ["save_dataset", "load_dataset_file"]
+
+_META_KEY = "__dataset_meta__"
+
+
+def save_dataset(dataset: MultivariateDataset, path: str | Path) -> Path:
+    """Write a dataset split to ``path`` (``.npz`` enforced)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    metadata = {
+        "name": dataset.info.name,
+        "seed": dataset.seed,
+        "scale": dataset.scale,
+    }
+    meta_blob = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8).copy()
+    np.savez_compressed(
+        path,
+        x_train=dataset.x_train,
+        y_train=dataset.y_train,
+        x_test=dataset.x_test,
+        y_test=dataset.y_test,
+        **{_META_KEY: meta_blob},
+    )
+    return path
+
+
+def load_dataset_file(path: str | Path) -> MultivariateDataset:
+    """Reload a dataset written by :func:`save_dataset`.
+
+    The arrays are validated (shape/finiteness) and the Table-3 entry
+    is re-attached from the metadata, so the resource simulator keeps
+    working on reloaded data.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        required = {"x_train", "y_train", "x_test", "y_test", _META_KEY}
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(f"{path} is not a dataset archive; missing {sorted(missing)}")
+        metadata = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+        x_train = validate_series(archive["x_train"], "x_train")
+        x_test = validate_series(archive["x_test"], "x_test")
+        y_train = archive["y_train"].astype(np.int64)
+        y_test = archive["y_test"].astype(np.int64)
+    if len(x_train) != len(y_train) or len(x_test) != len(y_test):
+        raise ValueError("label arrays do not align with the data arrays")
+    return MultivariateDataset(
+        info=dataset_info(metadata["name"]),
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        seed=int(metadata["seed"]),
+        scale=float(metadata["scale"]),
+    )

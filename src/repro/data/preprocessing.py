@@ -1,0 +1,126 @@
+"""Preprocessing utilities for multivariate time series.
+
+All functions operate on arrays shaped ``(N, T, D)`` — samples, time
+steps, channels — the convention used throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "validate_series",
+    "zscore_per_channel",
+    "Standardizer",
+    "pad_or_truncate",
+    "subsample",
+]
+
+
+def validate_series(x: np.ndarray, name: str = "x") -> np.ndarray:
+    """Check that ``x`` is a finite 3D (N, T, D) array; return it as float."""
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"{name} must be 3D (N, T, D), got shape {x.shape}")
+    if x.size and not np.isfinite(x).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return x.astype(np.float64, copy=False)
+
+
+def zscore_per_channel(x: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Z-normalise each sample's channels independently over time.
+
+    This is the standard per-instance normalisation used by TSFMs
+    (e.g. RevIN-style): for every (sample, channel) pair, subtract the
+    temporal mean and divide by the temporal standard deviation.
+    """
+    x = validate_series(x)
+    mean = x.mean(axis=1, keepdims=True)
+    std = x.std(axis=1, keepdims=True)
+    return (x - mean) / (std + eps)
+
+
+class Standardizer:
+    """Dataset-level channel standardiser fit on train, applied to test.
+
+    Unlike :func:`zscore_per_channel` (per-instance), this learns one
+    mean/std per channel from the training split, the statistic the
+    unsupervised adapters (PCA et al.) should be fit on.
+    """
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = eps
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "Standardizer":
+        """Learn per-channel mean/std from training data."""
+        x = validate_series(x)
+        flat = x.reshape(-1, x.shape[-1])
+        self.mean_ = flat.mean(axis=0)
+        self.std_ = flat.std(axis=0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardise ``x`` with the training statistics."""
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("Standardizer used before fit()")
+        x = validate_series(x)
+        return (x - self.mean_) / (self.std_ + self.eps)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return its standardised form."""
+        return self.fit(x).transform(x)
+
+
+def pad_or_truncate(x: np.ndarray, length: int, pad_value: float = 0.0) -> np.ndarray:
+    """Force the time axis of (N, T, D) data to exactly ``length``.
+
+    Shorter series are right-padded with ``pad_value``; longer ones are
+    truncated from the right (keeping the series prefix), matching how
+    fixed-context TSFMs consume variable-length inputs.
+    """
+    x = validate_series(x)
+    n, t, d = x.shape
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if t == length:
+        return x
+    if t > length:
+        return x[:, :length, :]
+    padded = np.full((n, length, d), pad_value, dtype=x.dtype)
+    padded[:, :t, :] = x
+    return padded
+
+
+def subsample(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_samples: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Class-stratified subsample of ``num_samples`` rows.
+
+    Implements the paper's InsectWingbeat rule (1000 of 30k train /
+    1000 of 20k test) in a reusable form.  If a class has fewer
+    members than its quota, the remainder is filled from other classes.
+    """
+    x, y = np.asarray(x), np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if num_samples >= len(x):
+        return x, y
+    classes = np.unique(y)
+    per_class = num_samples // len(classes)
+    chosen: list[np.ndarray] = []
+    for cls in classes:
+        members = np.flatnonzero(y == cls)
+        take = min(per_class, len(members))
+        chosen.append(rng.choice(members, size=take, replace=False))
+    index = np.concatenate(chosen)
+    if len(index) < num_samples:
+        remaining = np.setdiff1d(np.arange(len(x)), index)
+        extra = rng.choice(remaining, size=num_samples - len(index), replace=False)
+        index = np.concatenate([index, extra])
+    rng.shuffle(index)
+    return x[index], y[index]

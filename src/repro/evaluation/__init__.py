@@ -1,0 +1,38 @@
+"""Metrics, multi-seed aggregation, statistics and report rendering."""
+
+from .aggregate import MeanStd, aggregate_seeds
+from .metrics import accuracy, confusion_matrix, macro_f1
+from .reporting import (
+    format_csv,
+    render_bar_chart,
+    render_latex_table,
+    render_sparkline,
+    render_table,
+    write_csv,
+)
+from .stats import (
+    average_ranks,
+    mean_pairwise_pvalues,
+    pairwise_pvalue_matrix,
+    rank_scores,
+    welch_ttest,
+)
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "macro_f1",
+    "MeanStd",
+    "aggregate_seeds",
+    "welch_ttest",
+    "pairwise_pvalue_matrix",
+    "mean_pairwise_pvalues",
+    "average_ranks",
+    "rank_scores",
+    "render_table",
+    "render_bar_chart",
+    "render_sparkline",
+    "render_latex_table",
+    "write_csv",
+    "format_csv",
+]

@@ -1,0 +1,40 @@
+"""Multi-seed aggregation and mean±std formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MeanStd", "aggregate_seeds"]
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """Mean and standard deviation of a multi-seed measurement."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+    def paper_format(self) -> str:
+        """The paper's compact cell format, e.g. ``0.593±0.032``."""
+        return f"{self.mean:.3f}±{self.std:.3f}"
+
+
+def aggregate_seeds(values) -> MeanStd:
+    """Aggregate per-seed scalars into :class:`MeanStd`.
+
+    Uses the population standard deviation (ddof=0), matching how
+    small-sample ML papers conventionally report the ± spread of 3
+    seeds.
+    """
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot aggregate zero values")
+    if not np.isfinite(array).all():
+        raise ValueError("aggregation received non-finite values")
+    return MeanStd(float(array.mean()), float(array.std()), int(array.size))

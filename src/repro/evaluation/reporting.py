@@ -1,0 +1,149 @@
+"""Rendering helpers: markdown tables, CSV dumps, ASCII bar charts.
+
+The benchmark harness regenerates each paper table/figure as text:
+tables as aligned markdown, figures as labelled value series plus an
+ASCII bar chart so the "shape" (who wins, by how much) is visible in
+terminal output and CI logs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["render_table", "render_bar_chart", "render_sparkline", "render_latex_table", "write_csv", "format_csv"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned markdown-style table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for index, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[col]) for row in str_rows)) if str_rows else len(str(header))
+        for col, header in enumerate(headers)
+    ]
+    lines = [
+        "| " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + " |",
+        "|-" + "-|-".join("-" * w for w in widths) + "-|",
+    ]
+    for row in str_rows:
+        lines.append("| " + " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) + " |")
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (used for the paper's figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to chart")
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak <= 0 else int(round(width * value / peak))
+        bar = "█" * bar_len
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a unicode sparkline (training curves).
+
+    Values are resampled to ``width`` points and mapped onto eight
+    block heights; NaNs render as spaces.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("nothing to render")
+    import numpy as np
+
+    array = np.asarray(values, dtype=float)
+    if len(array) > width:
+        positions = np.linspace(0, len(array) - 1, width).round().astype(int)
+        array = array[positions]
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        return " " * len(array)
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    blocks = "▁▂▃▄▅▆▇█"
+    chars = []
+    for value in array:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        level = 0 if span == 0 else int(round((value - low) / span * (len(blocks) - 1)))
+        chars.append(blocks[level])
+    return "".join(chars)
+
+
+def render_latex_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str | None = None,
+    label: str | None = None,
+) -> str:
+    """Render a booktabs-style LaTeX table (for writing papers about
+    the reproduction).  Cell text is escaped for the common specials."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+
+    def escape(cell: object) -> str:
+        text = str(cell)
+        for char in ("&", "%", "#", "_"):
+            text = text.replace(char, "\\" + char)
+        return text.replace("±", "$\\pm$")
+
+    lines = ["\\begin{table}[ht]", "\\centering"]
+    if caption:
+        lines.append(f"\\caption{{{escape(caption)}}}")
+    if label:
+        lines.append(f"\\label{{{label}}}")
+    column_spec = "l" * len(headers)
+    lines += [f"\\begin{{tabular}}{{{column_spec}}}", "\\toprule"]
+    lines.append(" & ".join(escape(h) for h in headers) + " \\\\")
+    lines.append("\\midrule")
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {index} has {len(row)} cells, expected {len(headers)}")
+        lines.append(" & ".join(escape(cell) for cell in row) + " \\\\")
+    lines += ["\\bottomrule", "\\end{tabular}", "\\end{table}"]
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows to CSV, creating parent directories; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render CSV to a string (for logging without touching disk)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

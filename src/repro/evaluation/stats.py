@@ -1,0 +1,133 @@
+"""Statistical analyses used in the paper's evaluation.
+
+* Welch's two-sample t-test (unequal variances) — Appendix C.4's
+  pairwise p-values between fine-tuning methods (Figure 5).
+* Average ranks across datasets — Figure 4's adapter comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "welch_ttest",
+    "pairwise_pvalue_matrix",
+    "mean_pairwise_pvalues",
+    "average_ranks",
+    "rank_scores",
+]
+
+
+def welch_ttest(sample_a: np.ndarray, sample_b: np.ndarray) -> tuple[float, float]:
+    """Two-sample Student's t-test with unequal variances (Welch).
+
+    Returns ``(t_statistic, p_value)`` for the two-sided null
+    hypothesis of equal means.  Implemented directly (with a
+    cross-check against scipy in the test suite) so the formula used
+    by the paper is explicit:
+
+    ``t = (mean_a - mean_b) / sqrt(s_a^2/n_a + s_b^2/n_b)`` with
+    Welch–Satterthwaite degrees of freedom.
+    """
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("each sample needs at least 2 observations")
+    var_a = a.var(ddof=1) / a.size
+    var_b = b.var(ddof=1) / b.size
+    pooled = var_a + var_b
+    if pooled == 0:
+        # Identical constant samples: means equal iff difference is 0.
+        return (0.0, 1.0) if a.mean() == b.mean() else (math.inf, 0.0)
+    t_stat = (a.mean() - b.mean()) / math.sqrt(pooled)
+    df = pooled**2 / (
+        var_a**2 / (a.size - 1) + var_b**2 / (b.size - 1)
+    )
+    p_value = 2.0 * scipy_stats.t.sf(abs(t_stat), df)
+    return float(t_stat), float(p_value)
+
+
+def pairwise_pvalue_matrix(
+    samples: dict[str, np.ndarray],
+) -> tuple[list[str], np.ndarray]:
+    """Welch p-values between every pair of methods (Figure 5 heatmap).
+
+    ``samples`` maps method name -> accuracy observations (across
+    seeds and datasets).  The diagonal is 1 by convention.
+    """
+    names = list(samples)
+    if len(names) < 2:
+        raise ValueError("need at least two methods to compare")
+    matrix = np.ones((len(names), len(names)))
+    for i, name_i in enumerate(names):
+        for j in range(i + 1, len(names)):
+            _, p_value = welch_ttest(samples[name_i], samples[names[j]])
+            matrix[i, j] = matrix[j, i] = p_value
+    return names, matrix
+
+
+def mean_pairwise_pvalues(
+    per_dataset_samples: list[dict[str, np.ndarray]],
+    method_names: list[str],
+) -> np.ndarray:
+    """Per-dataset Welch p-values averaged across datasets (Figure 5).
+
+    The paper's heatmaps are "averaged across all datasets and three
+    different seeds": for every dataset, a Welch t-test compares the
+    two methods' per-seed accuracies; the heatmap cell is the *mean*
+    of those per-dataset p-values.  Datasets where either method has
+    fewer than two completed runs (TO/COM) are skipped for that pair.
+    """
+    k = len(method_names)
+    if k < 2:
+        raise ValueError("need at least two methods to compare")
+    sums = np.zeros((k, k))
+    counts = np.zeros((k, k))
+    for samples in per_dataset_samples:
+        for i in range(k):
+            for j in range(i + 1, k):
+                a = np.asarray(samples.get(method_names[i], ()), dtype=np.float64)
+                b = np.asarray(samples.get(method_names[j], ()), dtype=np.float64)
+                if a.size < 2 or b.size < 2:
+                    continue
+                _, p_value = welch_ttest(a, b)
+                sums[i, j] += p_value
+                counts[i, j] += 1
+    matrix = np.ones((k, k))
+    upper = counts > 0
+    matrix[upper] = sums[upper] / counts[upper]
+    matrix = np.triu(matrix, 1) + np.triu(matrix, 1).T + np.eye(k)
+    return matrix
+
+
+def rank_scores(scores: np.ndarray) -> np.ndarray:
+    """Rank one dataset's method scores: 1 = best (highest), ties averaged."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"expected 1D scores, got shape {scores.shape}")
+    # Rank descending with average tie handling (scipy ranks ascending).
+    return scipy_stats.rankdata(-scores, method="average")
+
+
+def average_ranks(score_table: np.ndarray, method_names: list[str]) -> dict[str, float]:
+    """Mean rank of each method over datasets (Figure 4).
+
+    ``score_table`` is (num_datasets, num_methods); higher scores are
+    better; missing runs may be NaN and rank last for that dataset.
+    """
+    table = np.asarray(score_table, dtype=np.float64)
+    if table.ndim != 2 or table.shape[1] != len(method_names):
+        raise ValueError(
+            f"score_table shape {table.shape} incompatible with "
+            f"{len(method_names)} methods"
+        )
+    ranks = np.empty_like(table)
+    for row in range(table.shape[0]):
+        scores = table[row].copy()
+        # NaN (failed run) ranks strictly below every finite score.
+        scores[np.isnan(scores)] = -np.inf
+        ranks[row] = rank_scores(scores)
+    return {name: float(ranks[:, col].mean()) for col, name in enumerate(method_names)}

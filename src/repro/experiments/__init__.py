@@ -1,0 +1,45 @@
+"""Experiment harness: per-table and per-figure regeneration."""
+
+from .config import FAST, PAPER_MODELS, STANDARD, ExperimentConfig, get_preset
+from .figures import (
+    FigureResult,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    headline_claims,
+)
+from .report import build_report
+from .runner import ExperimentResult, ExperimentRunner
+from .sweeps import SweepPoint, sweep_adapters, sweep_reduced_channels
+from .tables import TableResult, table1, table2, table3, table4, table5
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_MODELS",
+    "FAST",
+    "STANDARD",
+    "get_preset",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "build_report",
+    "SweepPoint",
+    "sweep_reduced_channels",
+    "sweep_adapters",
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "FigureResult",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "headline_claims",
+]

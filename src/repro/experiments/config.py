@@ -1,0 +1,98 @@
+"""Experiment configuration and presets.
+
+Every experiment pairs a **paper-scale** model config (consumed by the
+resource simulator, which decides OK/TO/COM and simulated seconds)
+with a **runnable** tiny config (actually trained on CPU to produce
+accuracy numbers on the surrogate datasets).  ``ExperimentConfig``
+holds the shared knobs; presets trade fidelity for wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..data.metadata import dataset_names
+
+__all__ = ["ExperimentConfig", "PAPER_MODELS", "FAST", "STANDARD", "get_preset"]
+
+#: Paper model label -> (paper-scale config, runnable config).
+PAPER_MODELS: dict[str, tuple[str, str]] = {
+    "MOMENT": ("moment-large", "moment-tiny"),
+    "ViT": ("vit-base-ts", "vit-tiny"),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every table/figure regeneration.
+
+    Attributes
+    ----------
+    datasets:
+        Dataset names to sweep (default: all 12 of Table 3).
+    seeds:
+        Random seeds; the paper averages over 3.
+    reduced_channels:
+        D' for all adapters (paper: 5).
+    data_scale / max_length:
+        CPU-budget knobs for the surrogate datasets; the resource
+        simulator always uses paper-scale geometry regardless.
+    pretrain_steps:
+        Synthetic-corpus pretraining steps for the runnable models.
+    head_epochs / joint_epochs / full_epochs:
+        Experiment-scale epochs for cached-head training, trainable-
+        adapter training and full fine-tuning respectively.
+    batch_size / learning_rate:
+        Optimisation knobs for all loops.
+    """
+
+    datasets: tuple[str, ...] = field(default_factory=lambda: tuple(dataset_names()))
+    models: tuple[str, ...] = ("MOMENT", "ViT")
+    seeds: tuple[int, ...] = (0, 1, 2)
+    reduced_channels: int = 5
+    data_scale: float = 0.05
+    max_length: int | None = 96
+    pretrain_steps: int = 20
+    head_epochs: int = 60
+    joint_epochs: int = 12
+    full_epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    lcomb_learning_rate: float = 5e-3
+    lcomb_top_k: int = 7
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Fast preset: small surrogates, short training — minutes, not hours.
+FAST = ExperimentConfig(
+    seeds=(0, 1, 2),
+    data_scale=0.04,
+    max_length=64,
+    pretrain_steps=15,
+    head_epochs=40,
+    joint_epochs=12,
+    full_epochs=10,
+)
+
+#: Standard preset: larger surrogates and longer training.
+STANDARD = ExperimentConfig(
+    data_scale=0.1,
+    max_length=128,
+    pretrain_steps=40,
+    head_epochs=80,
+    joint_epochs=20,
+    full_epochs=20,
+)
+
+_PRESETS = {"fast": FAST, "standard": STANDARD}
+
+
+def get_preset(name: str) -> ExperimentConfig:
+    """Look up a preset by name (``fast`` or ``standard``)."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; known: {sorted(_PRESETS)}") from None

@@ -1,0 +1,211 @@
+"""Experiment runner: one (dataset, model, adapter, strategy, seed) job.
+
+Each job combines two layers, mirroring DESIGN.md's substitution:
+
+1. the **resource simulator** prices the job at *paper scale*
+   (moment-large / vit-base-ts on the real Table-3 geometry, V100,
+   2-hour budget) and decides OK / TO / COM plus simulated seconds;
+2. if (and only if) the simulated job fits the budget, the runnable
+   tiny model is actually fine-tuned on the surrogate dataset to
+   produce an accuracy — the paper, likewise, only reports accuracy
+   for jobs that completed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..adapters import make_adapter
+from ..data import load_dataset
+from ..models import build_model
+from ..models.config import RUNNABLE_COUNTERPART
+from ..models.pretraining import pretrain_moment, pretrain_vit, synthetic_pretraining_corpus
+from ..resources import RunStatus, SimulatedRun, simulate_finetuning
+from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
+from .config import PAPER_MODELS, ExperimentConfig
+
+__all__ = ["ExperimentResult", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment job."""
+
+    dataset: str
+    model: str
+    adapter: str
+    strategy: FineTuneStrategy
+    seed: int
+    status: RunStatus
+    accuracy: float | None
+    simulated: SimulatedRun
+    measured_seconds: float
+
+    @property
+    def cell(self) -> str:
+        """Table-cell rendering: accuracy, or the TO/COM label."""
+        if self.accuracy is None:
+            return str(self.status)
+        return f"{self.accuracy:.3f}"
+
+
+class ExperimentRunner:
+    """Runs jobs with process-level caches for pretraining and results.
+
+    Caching matters because the figures reuse the tables' runs: e.g.
+    Figure 4's ranks and Figure 5's p-values are computed from the
+    same accuracy sweep as Table 2.
+    """
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._results: dict[tuple, ExperimentResult] = {}
+        self._pretrained_states: dict[tuple, dict[str, np.ndarray]] = {}
+        self._datasets: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _dataset(self, name: str, seed: int):
+        key = (name, seed)
+        if key not in self._datasets:
+            self._datasets[key] = load_dataset(
+                name,
+                seed=seed,
+                scale=self.config.data_scale,
+                max_length=self.config.max_length,
+            )
+        return self._datasets[key]
+
+    def _pretrained_model(self, paper_model: str, seed: int):
+        """Build the runnable counterpart, pretrained (cached weights)."""
+        _, runnable = PAPER_MODELS[paper_model]
+        key = (runnable, seed, self.config.pretrain_steps)
+        model = build_model(runnable, seed=seed)
+        if key not in self._pretrained_states:
+            if self.config.pretrain_steps > 0:
+                rng = np.random.default_rng(seed + 1000)
+                corpus = synthetic_pretraining_corpus(96, 96, rng)
+                if model.config.family == "moment":
+                    pretrain_moment(model, corpus, steps=self.config.pretrain_steps, seed=seed)
+                else:
+                    pretrain_vit(model, corpus, steps=self.config.pretrain_steps, seed=seed)
+            self._pretrained_states[key] = model.state_dict()
+        else:
+            model.load_state_dict(self._pretrained_states[key])
+        model.eval()
+        return model
+
+    # ------------------------------------------------------------------
+    def _train_config(self, adapter: str, strategy: FineTuneStrategy, seed: int) -> TrainConfig:
+        cfg = self.config
+        trainable = adapter in ("lcomb", "lcomb_top_k")
+        if strategy is FineTuneStrategy.FULL:
+            epochs = cfg.full_epochs
+        elif trainable:
+            epochs = cfg.joint_epochs
+        else:
+            epochs = cfg.head_epochs
+        lr = cfg.lcomb_learning_rate if trainable else cfg.learning_rate
+        return TrainConfig(
+            epochs=epochs,
+            batch_size=cfg.batch_size,
+            learning_rate=lr,
+            seed=seed,
+        )
+
+    def run(
+        self,
+        dataset: str,
+        model: str,
+        adapter: str = "none",
+        strategy: FineTuneStrategy = FineTuneStrategy.ADAPTER_HEAD,
+        seed: int = 0,
+        adapter_kwargs: dict | None = None,
+        simulate_adapter_as: str | None = None,
+    ) -> ExperimentResult:
+        """Run (or fetch from cache) one experiment job.
+
+        Parameters
+        ----------
+        dataset, model, adapter, strategy, seed:
+            Job coordinates.  ``model`` is a paper label ("MOMENT" or
+            "ViT"); ``adapter`` is a registry name or "none".
+        adapter_kwargs:
+            Extra adapter options (``patch_window_size``, ``top_k``).
+        simulate_adapter_as:
+            Cost-model adapter kind when the adapter name is a
+            variant the simulator does not know (e.g. ``scaled_pca``
+            simulates as ``pca``).
+        """
+        adapter_kwargs = adapter_kwargs or {}
+        key = (
+            dataset,
+            model,
+            adapter,
+            tuple(sorted(adapter_kwargs.items())),
+            strategy,
+            seed,
+        )
+        if key in self._results:
+            return self._results[key]
+
+        paper_config, _ = PAPER_MODELS[model]
+        ds = self._dataset(dataset, seed)
+        sim_adapter = simulate_adapter_as or adapter
+        simulated = simulate_finetuning(
+            paper_config,
+            ds.info,
+            adapter=None if sim_adapter == "none" else sim_adapter,
+            reduced_channels=self.config.reduced_channels,
+            full_finetune=strategy is FineTuneStrategy.FULL,
+        )
+
+        accuracy = None
+        measured = 0.0
+        if simulated.ok:
+            start = time.perf_counter()
+            runnable = self._pretrained_model(model, seed)
+            if adapter == "none":
+                built_adapter = make_adapter("none")
+                effective_strategy = strategy
+            else:
+                built_adapter = make_adapter(
+                    adapter,
+                    self.config.reduced_channels,
+                    seed=seed,
+                    **adapter_kwargs,
+                )
+                effective_strategy = strategy
+            pipeline = AdapterPipeline(runnable, built_adapter, ds.num_classes, seed=seed)
+            pipeline.fit(
+                ds.x_train,
+                ds.y_train,
+                strategy=effective_strategy,
+                config=self._train_config(adapter, strategy, seed),
+            )
+            accuracy = pipeline.score(ds.x_test, ds.y_test)
+            measured = time.perf_counter() - start
+
+        result = ExperimentResult(
+            dataset=dataset,
+            model=model,
+            adapter=adapter,
+            strategy=strategy,
+            seed=seed,
+            status=simulated.status,
+            accuracy=accuracy,
+            simulated=simulated,
+            measured_seconds=measured,
+        )
+        self._results[key] = result
+        return result
+
+    def run_seeds(self, dataset: str, model: str, **kwargs) -> list[ExperimentResult]:
+        """Run one job across all configured seeds."""
+        return [
+            self.run(dataset, model, seed=seed, **kwargs) for seed in self.config.seeds
+        ]

@@ -1,0 +1,111 @@
+"""Reusable hyperparameter sweeps over the adapter pipeline.
+
+Library-level counterparts of the ablation benchmarks: sweep the
+reduced channel count D', or compare a set of adapters, on one
+dataset — returning structured points (accuracy, wall time, simulated
+paper-scale cost) ready for tabulation or plotting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..adapters import make_adapter
+from ..data.uea import MultivariateDataset
+from ..models import build_model
+from ..resources import SimulatedRun, simulate_finetuning
+from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
+
+__all__ = ["SweepPoint", "sweep_reduced_channels", "sweep_adapters"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep configuration and its measurements."""
+
+    label: str
+    accuracy: float
+    wall_seconds: float
+    simulated: SimulatedRun
+
+
+def _fit_and_score(
+    dataset: MultivariateDataset,
+    model_name: str,
+    adapter_name: str,
+    channels: int,
+    config: TrainConfig,
+    seed: int,
+    adapter_kwargs: dict | None = None,
+) -> tuple[float, float]:
+    """Train one pipeline; returns (accuracy, wall_seconds)."""
+    start = time.perf_counter()
+    model = build_model(model_name, seed=seed)
+    model.eval()
+    adapter = make_adapter(adapter_name, channels, seed=seed, **(adapter_kwargs or {}))
+    strategy = (
+        FineTuneStrategy.HEAD if adapter_name == "none" else FineTuneStrategy.ADAPTER_HEAD
+    )
+    pipeline = AdapterPipeline(model, adapter, dataset.num_classes, seed=seed)
+    pipeline.fit(dataset.x_train, dataset.y_train, strategy=strategy, config=config)
+    accuracy = pipeline.score(dataset.x_test, dataset.y_test)
+    return accuracy, time.perf_counter() - start
+
+
+def sweep_reduced_channels(
+    dataset: MultivariateDataset,
+    channel_grid: tuple[int, ...] = (2, 5, 8, 12),
+    model_name: str = "moment-tiny",
+    paper_model: str = "moment-large",
+    adapter_name: str = "pca",
+    config: TrainConfig | None = None,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Accuracy / cost as a function of the reduced channel count D'.
+
+    The simulated cost uses the trainable-adapter (lcomb) regime at
+    paper scale, where D' actually moves the needle — the quantity the
+    D'-linearity of the cost model predicts.
+    """
+    config = config if config is not None else TrainConfig(epochs=40, seed=seed)
+    points = []
+    for channels in channel_grid:
+        if channels > dataset.num_channels:
+            raise ValueError(
+                f"D'={channels} exceeds the dataset's {dataset.num_channels} channels"
+            )
+        accuracy, wall = _fit_and_score(
+            dataset, model_name, adapter_name, channels, config, seed
+        )
+        simulated = simulate_finetuning(
+            paper_model, dataset.info, adapter="lcomb", reduced_channels=channels
+        )
+        points.append(SweepPoint(f"D'={channels}", accuracy, wall, simulated))
+    return points
+
+
+def sweep_adapters(
+    dataset: MultivariateDataset,
+    adapters: tuple[str, ...] = ("none", "pca", "svd", "rand_proj", "var"),
+    model_name: str = "moment-tiny",
+    paper_model: str = "moment-large",
+    channels: int = 5,
+    config: TrainConfig | None = None,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Compare a set of adapters on one dataset (Table-2 style, one row)."""
+    config = config if config is not None else TrainConfig(epochs=40, seed=seed)
+    points = []
+    for adapter_name in adapters:
+        accuracy, wall = _fit_and_score(
+            dataset, model_name, adapter_name, channels, config, seed
+        )
+        simulated = simulate_finetuning(
+            paper_model,
+            dataset.info,
+            adapter=None if adapter_name == "none" else adapter_name,
+            reduced_channels=channels,
+        )
+        points.append(SweepPoint(adapter_name, accuracy, wall, simulated))
+    return points

@@ -1,0 +1,196 @@
+"""Regeneration of the paper's tables (1, 2, 3, 4, 5).
+
+Each function drives the :class:`ExperimentRunner` over the relevant
+grid and renders the same rows the paper reports: accuracy mean±std
+over seeds, or the TO/COM resource labels for jobs that do not fit
+the V100/2-hour budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.metadata import dataset_info
+from ..evaluation import aggregate_seeds, render_latex_table, render_table
+from ..resources import RunStatus
+from ..training import FineTuneStrategy
+from .config import ExperimentConfig
+from .runner import ExperimentResult, ExperimentRunner
+
+__all__ = ["TableResult", "table1", "table2", "table3", "table4", "table5"]
+
+#: Table-2 adapter columns, in paper order.
+TABLE2_ADAPTERS = ("pca", "svd", "rand_proj", "var", "lcomb", "lcomb_top_k")
+
+
+@dataclass
+class TableResult:
+    """One regenerated table: structured values plus rendering."""
+
+    table_id: str
+    headers: list[str]
+    rows: list[list[str]]
+    #: Raw per-cell accuracies: (dataset, model, column) -> list over seeds,
+    #: or None when the job hit TO/COM.
+    values: dict[tuple[str, str, str], list[float] | None] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Markdown rendering: heading plus the aligned table."""
+        return f"# {self.table_id}\n" + render_table(self.headers, self.rows)
+
+    def to_latex(self, label: str | None = None) -> str:
+        """Booktabs LaTeX rendering of the same rows.
+
+        Markdown emphasis markers (** / *) used for best/second-best
+        are translated to ``\\textbf`` / ``\\textit``.
+        """
+        def delatex(cell: str) -> str:
+            if cell.startswith("**") and cell.endswith("**"):
+                return f"\\textbf{{{cell[2:-2]}}}"
+            if cell.startswith("*") and cell.endswith("*"):
+                return f"\\textit{{{cell[1:-1]}}}"
+            return cell
+
+        rows = [[delatex(str(cell)) for cell in row] for row in self.rows]
+        return render_latex_table(self.headers, rows, caption=self.table_id, label=label)
+
+
+def _aggregate_cell(results: list[ExperimentResult]) -> tuple[str, list[float] | None]:
+    """Render one table cell from the per-seed results."""
+    statuses = {r.status for r in results}
+    if statuses != {RunStatus.OK}:
+        # Resource outcomes are deterministic across seeds.
+        failed = next(r.status for r in results if r.status is not RunStatus.OK)
+        return str(failed), None
+    accuracies = [r.accuracy for r in results]
+    return aggregate_seeds(accuracies).paper_format(), accuracies
+
+
+def _mark_best(cells: list[str], values: list[list[float] | None]) -> list[str]:
+    """Bold the best and italicise the second-best accuracy in a row."""
+    means = [np.mean(v) if v else -np.inf for v in values]
+    order = np.argsort(means)[::-1]
+    marked = list(cells)
+    if len(order) >= 1 and np.isfinite(means[order[0]]):
+        marked[order[0]] = f"**{cells[order[0]]}**"
+    if len(order) >= 2 and np.isfinite(means[order[1]]):
+        marked[order[1]] = f"*{cells[order[1]]}*"
+    return marked
+
+
+# ----------------------------------------------------------------------
+def table1(runner: ExperimentRunner) -> TableResult:
+    """Table 1: full fine-tuning without an adapter (accuracy or COM/TO)."""
+    config = runner.config
+    headers = ["Dataset"] + list(config.models)
+    result = TableResult("Table 1: full fine-tuning, no adapter", headers, [])
+    for dataset in config.datasets:
+        row = [dataset]
+        for model in config.models:
+            runs = runner.run_seeds(
+                dataset, model, adapter="none", strategy=FineTuneStrategy.FULL
+            )
+            cell, values = _aggregate_cell(runs)
+            result.values[(dataset, model, "none")] = values
+            row.append(cell)
+        result.rows.append(row)
+    return result
+
+
+def table2(runner: ExperimentRunner) -> TableResult:
+    """Table 2: head-only vs adapter+head for every adapter, D'=5."""
+    config = runner.config
+    headers = ["Dataset", "Model", "head (no adapter)"] + [
+        adapter for adapter in TABLE2_ADAPTERS
+    ]
+    result = TableResult("Table 2: adapter comparison (adapter+head, D'=5)", headers, [])
+    for dataset in config.datasets:
+        for model in config.models:
+            cells: list[str] = []
+            raw: list[list[float] | None] = []
+            head_runs = runner.run_seeds(
+                dataset, model, adapter="none", strategy=FineTuneStrategy.HEAD
+            )
+            cell, values = _aggregate_cell(head_runs)
+            result.values[(dataset, model, "head")] = values
+            cells.append(cell)
+            raw.append(values)
+            for adapter in TABLE2_ADAPTERS:
+                runs = runner.run_seeds(
+                    dataset, model, adapter=adapter, strategy=FineTuneStrategy.ADAPTER_HEAD
+                )
+                cell, values = _aggregate_cell(runs)
+                result.values[(dataset, model, adapter)] = values
+                cells.append(cell)
+                raw.append(values)
+            result.rows.append([dataset, model] + _mark_best(cells, raw))
+    return result
+
+
+def table3(config: ExperimentConfig | None = None) -> TableResult:
+    """Table 3: dataset characteristics (straight from the registry)."""
+    from .config import FAST
+
+    config = config if config is not None else FAST
+    headers = ["Dataset", "Train Size", "Test Size", "# of channels", "Sequence Len", "# of classes"]
+    result = TableResult("Table 3: dataset characteristics", headers, [])
+    for dataset in config.datasets:
+        info = dataset_info(dataset)
+        result.rows.append(
+            [
+                f"{info.name} ({info.short_name})",
+                str(info.train_size),
+                str(info.test_size),
+                str(info.num_channels),
+                str(info.sequence_length),
+                str(info.num_classes),
+            ]
+        )
+    return result
+
+
+def _pca_variants_table(runner: ExperimentRunner, model: str, table_id: str) -> TableResult:
+    """Shared implementation of Tables 4 and 5 (PCA hyperparameters)."""
+    config = runner.config
+    columns = [
+        ("PCA", "pca", {}),
+        ("Scaled PCA", "scaled_pca", {}),
+        ("Patch_8", "patch_pca", {"patch_window_size": 8}),
+        ("Patch_16", "patch_pca", {"patch_window_size": 16}),
+    ]
+    headers = ["Dataset"] + [label for label, _, _ in columns]
+    result = TableResult(table_id, headers, [])
+    for dataset in config.datasets:
+        cells: list[str] = []
+        raw: list[list[float] | None] = []
+        for label, adapter, kwargs in columns:
+            runs = [
+                runner.run(
+                    dataset,
+                    model,
+                    adapter=adapter,
+                    strategy=FineTuneStrategy.ADAPTER_HEAD,
+                    seed=seed,
+                    adapter_kwargs=kwargs,
+                    simulate_adapter_as="pca",
+                )
+                for seed in config.seeds
+            ]
+            cell, values = _aggregate_cell(runs)
+            result.values[(dataset, model, label)] = values
+            cells.append(cell)
+            raw.append(values)
+        result.rows.append([dataset] + _mark_best(cells, raw))
+    return result
+
+
+def table4(runner: ExperimentRunner) -> TableResult:
+    """Table 4: PCA variant comparison for MOMENT."""
+    return _pca_variants_table(runner, "MOMENT", "Table 4: PCA variants, MOMENT")
+
+
+def table5(runner: ExperimentRunner) -> TableResult:
+    """Table 5: PCA variant comparison for ViT."""
+    return _pca_variants_table(runner, "ViT", "Table 5: PCA variants, ViT")

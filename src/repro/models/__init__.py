@@ -1,0 +1,37 @@
+"""Time-series foundation models (MOMENT-style and ViT-style)."""
+
+from .base import FoundationModel
+from .config import MODEL_CONFIGS, RUNNABLE_COUNTERPART, ModelConfig, get_config
+from .heads import ClassificationHead
+from .moment import MomentModel
+from .patching import extract_patches, flatten_channels, num_patches, patch_statistics
+from .pretraining import (
+    augment_series,
+    pretrain_moment,
+    pretrain_vit,
+    synthetic_pretraining_corpus,
+)
+from .registry import MODEL_FAMILIES, build_model, load_pretrained
+from .vit import ViTModel
+
+__all__ = [
+    "FoundationModel",
+    "ModelConfig",
+    "MODEL_CONFIGS",
+    "RUNNABLE_COUNTERPART",
+    "get_config",
+    "ClassificationHead",
+    "MomentModel",
+    "ViTModel",
+    "extract_patches",
+    "flatten_channels",
+    "num_patches",
+    "patch_statistics",
+    "augment_series",
+    "pretrain_moment",
+    "pretrain_vit",
+    "synthetic_pretraining_corpus",
+    "MODEL_FAMILIES",
+    "build_model",
+    "load_pretrained",
+]

@@ -1,0 +1,86 @@
+"""Foundation-model base class: channel-independent encoding."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .. import nn
+from .config import ModelConfig
+from .patching import flatten_channels
+
+__all__ = ["FoundationModel"]
+
+
+class FoundationModel(nn.Module, abc.ABC):
+    """A channel-independent time-series encoder.
+
+    Subclasses implement :meth:`encode_univariate`, which maps a batch
+    of univariate series ``(B, T)`` to token embeddings
+    ``(B, n_patches, d_model)``.  The shared :meth:`encode` applies it
+    to each channel of a multivariate input independently and pools
+    tokens and channels into one embedding per sample — the exact
+    pipeline the paper describes for MOMENT/ViT on multivariate data.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        self.config = config
+
+    # ------------------------------------------------------------------
+    @property
+    def embed_dim(self) -> int:
+        return self.config.d_model
+
+    @abc.abstractmethod
+    def encode_univariate(self, x: nn.Tensor) -> nn.Tensor:
+        """Encode (B, T) univariate series to (B, n_patches, d_model)."""
+
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray | nn.Tensor, channel_batch: int = 0) -> nn.Tensor:
+        """Encode (N, T, D) multivariate series to (N, d_model).
+
+        Each channel is encoded independently; token embeddings are
+        mean-pooled over patches, then over channels.  ``channel_batch``
+        optionally chunks the flattened (N*D) sequence batch to bound
+        peak memory (0 = single pass); chunking is only valid outside
+        the autodiff graph (inference), so it is rejected when any
+        parameter requires grad and grad mode is on.
+
+        Accepts a :class:`nn.Tensor` input so trainable adapters
+        (lcomb) can backpropagate through the channel mixing.
+        """
+        if isinstance(x, nn.Tensor):
+            return self._encode_tensor(x)
+        flat, n, d = flatten_channels(np.asarray(x))
+        if channel_batch and channel_batch < len(flat):
+            if nn.is_grad_enabled() and any(p.requires_grad for p in self.parameters()):
+                raise RuntimeError(
+                    "channel_batch chunking is inference-only; wrap in nn.no_grad()"
+                )
+            chunks = [
+                self.encode_univariate(nn.Tensor(flat[i : i + channel_batch]))
+                .mean(axis=1)
+                .data
+                for i in range(0, len(flat), channel_batch)
+            ]
+            pooled = np.concatenate(chunks, axis=0)
+            return nn.Tensor(pooled.reshape(n, d, self.embed_dim).mean(axis=1))
+        tokens = self.encode_univariate(nn.Tensor(flat))  # (N*D, P, E)
+        pooled = tokens.mean(axis=1)  # (N*D, E)
+        return pooled.reshape(n, d, self.embed_dim).mean(axis=1)
+
+    def _encode_tensor(self, x: nn.Tensor) -> nn.Tensor:
+        """Differentiable path for tensor inputs (adapter in the graph)."""
+        n, t, d = x.shape
+        flat = x.transpose(0, 2, 1).reshape(n * d, t)
+        tokens = self.encode_univariate(flat)
+        pooled = tokens.mean(axis=1)
+        return pooled.reshape(n, d, self.embed_dim).mean(axis=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(config={self.config.name}, "
+            f"params={self.num_parameters():,})"
+        )

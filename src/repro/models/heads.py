@@ -1,0 +1,38 @@
+"""Classification heads placed on top of the frozen/fine-tuned encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["ClassificationHead"]
+
+
+class ClassificationHead(nn.Module):
+    """Linear classifier over pooled encoder embeddings.
+
+    This is the "head" of the paper's fine-tuning regimes: a single
+    linear layer mapping the encoder embedding to class logits, with
+    optional dropout for regularisation.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_classes: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {num_classes}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.embed_dim = embed_dim
+        self.num_classes = num_classes
+        self.dropout = nn.Dropout(dropout, rng=rng)
+        self.linear = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, embeddings: nn.Tensor) -> nn.Tensor:
+        """Class logits for pooled embeddings (N, E) -> (N, C)."""
+        return self.linear(self.dropout(embeddings))

@@ -1,0 +1,104 @@
+"""MOMENT-style foundation model (Goswami et al., 2024).
+
+Architecture reproduced at the family level: univariate series are cut
+into non-overlapping patches, linearly embedded, combined with learned
+positional embeddings, and processed by a pre-norm transformer
+encoder.  Pretraining is masked-patch reconstruction: a fraction of
+patch tokens is replaced by a learned mask embedding, and a linear
+reconstruction head predicts the original patch values; the loss is
+MSE on the masked patches only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .base import FoundationModel
+from .config import ModelConfig, get_config
+from .patching import num_patches
+
+__all__ = ["MomentModel"]
+
+
+class MomentModel(FoundationModel):
+    """Masked-reconstruction TSFM with non-overlapping patches."""
+
+    def __init__(self, config: ModelConfig | str = "moment-tiny", seed: int = 0) -> None:
+        if isinstance(config, str):
+            config = get_config(config)
+        if config.family != "moment":
+            raise ValueError(f"config {config.name!r} is not a moment-family config")
+        super().__init__(config)
+        rng = np.random.default_rng(seed)
+        self.patch_embed = nn.Linear(config.patch_length, config.d_model, rng=rng)
+        self.positional = nn.Parameter(
+            nn.init.normal((config.max_positions(), config.d_model), rng)
+        )
+        self.mask_token = nn.Parameter(nn.init.normal((config.d_model,), rng))
+        self.encoder = nn.TransformerEncoder(
+            d_model=config.d_model,
+            num_heads=config.num_heads,
+            d_ff=config.d_ff,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.reconstruction_head = nn.Linear(config.d_model, config.patch_length, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _patch_index(self, length: int) -> np.ndarray:
+        """(n_patches, patch_length) gather index for the time axis."""
+        cfg = self.config
+        length = min(length, cfg.max_sequence_length)
+        count = num_patches(length, cfg.patch_length, cfg.patch_stride)
+        starts = np.arange(count) * cfg.patch_stride
+        return starts[:, None] + np.arange(cfg.patch_length)[None, :]
+
+    def _patchify(self, x: nn.Tensor) -> nn.Tensor:
+        """(B, T) -> (B, n_patches, patch_length), differentiable."""
+        x = nn.as_tensor(x)
+        batch, length = x.shape
+        cfg = self.config
+        if length > cfg.max_sequence_length:
+            x = x[:, : cfg.max_sequence_length]
+            length = cfg.max_sequence_length
+        if length < cfg.patch_length:
+            pad = nn.Tensor(np.zeros((batch, cfg.patch_length - length)))
+            x = nn.concatenate([x, pad], axis=1)
+            length = cfg.patch_length
+        return x[:, self._patch_index(length)]
+
+    def _embed(self, patches: nn.Tensor, mask: np.ndarray | None = None) -> nn.Tensor:
+        """Patch values -> position-aware token embeddings.
+
+        ``mask`` is an optional boolean (B, n_patches) array marking
+        tokens to replace by the learned mask embedding (pretraining).
+        """
+        tokens = self.patch_embed(patches)  # (B, P, E)
+        if mask is not None:
+            keep = nn.Tensor((~mask).astype(np.float64)[..., None])
+            masked = nn.Tensor(mask.astype(np.float64)[..., None])
+            tokens = tokens * keep + self.mask_token.reshape(1, 1, -1) * masked
+        count = tokens.shape[1]
+        return tokens + self.positional[:count].reshape(1, count, -1)
+
+    # ------------------------------------------------------------------
+    def encode_univariate(self, x: nn.Tensor) -> nn.Tensor:
+        patches = self._patchify(x)
+        return self.encoder(self._embed(patches))
+
+    def reconstruct(self, x: nn.Tensor, mask: np.ndarray) -> tuple[nn.Tensor, nn.Tensor]:
+        """Masked forward pass for pretraining.
+
+        Returns ``(reconstruction, target_patches)`` where both are
+        (B, n_patches, patch_length); the caller computes MSE on the
+        masked positions.
+        """
+        patches = self._patchify(x)
+        if mask.shape != patches.shape[:2]:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match patch grid {patches.shape[:2]}"
+            )
+        hidden = self.encoder(self._embed(patches, mask=mask))
+        return self.reconstruction_head(hidden), patches

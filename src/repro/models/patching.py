@@ -1,0 +1,72 @@
+"""Patch tokenisation utilities for time-series foundation models.
+
+Channel-independent TSFMs treat every channel of a multivariate series
+as a separate univariate sequence; each sequence is cut into patches
+(possibly overlapping) that become transformer tokens.  These helpers
+implement that tokenisation on plain numpy arrays — gradients never
+flow through the patch *extraction* itself, only through the
+embeddings computed from the patches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["num_patches", "extract_patches", "patch_statistics", "flatten_channels"]
+
+
+def num_patches(sequence_length: int, patch_length: int, stride: int) -> int:
+    """Number of patches a length-``sequence_length`` series yields."""
+    if patch_length <= 0 or stride <= 0:
+        raise ValueError("patch_length and stride must be positive")
+    if sequence_length < patch_length:
+        return 1  # series shorter than one patch are zero-padded to a single patch
+    return (sequence_length - patch_length) // stride + 1
+
+
+def extract_patches(x: np.ndarray, patch_length: int, stride: int) -> np.ndarray:
+    """Cut (B, T) univariate series into (B, n_patches, patch_length).
+
+    Series shorter than one patch are right-padded with zeros.  A
+    ragged tail (final window not filling a full patch) is dropped,
+    mirroring the behaviour of standard TSFM tokenisers.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (B, T) input, got shape {x.shape}")
+    batch, length = x.shape
+    if length < patch_length:
+        padded = np.zeros((batch, patch_length), dtype=x.dtype)
+        padded[:, :length] = x
+        return padded[:, None, :]
+    count = num_patches(length, patch_length, stride)
+    starts = np.arange(count) * stride
+    index = starts[:, None] + np.arange(patch_length)[None, :]
+    return x[:, index]
+
+
+def patch_statistics(patches: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Per-patch statistical features (Nu-Time style numeric embedding).
+
+    Returns (B, n_patches, 2): the mean and standard deviation of each
+    patch, which the ViT model concatenates to the (normalised) patch
+    values so amplitude information survives patch normalisation.
+    """
+    mean = patches.mean(axis=-1, keepdims=True)
+    std = patches.std(axis=-1, keepdims=True) + eps
+    return np.concatenate([mean, std], axis=-1)
+
+
+def flatten_channels(x: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """(N, T, D) -> ((N*D, T), N, D): channel-independent reshaping.
+
+    Each channel becomes an independent univariate series; the model
+    treats the N*D sequences as one batch.  This is the exact reason
+    TSFM cost scales linearly in D — the property the paper's adapters
+    exploit by shrinking D to D'.
+    """
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected (N, T, D) input, got shape {x.shape}")
+    n, t, d = x.shape
+    return x.transpose(0, 2, 1).reshape(n * d, t), n, d

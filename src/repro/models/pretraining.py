@@ -1,0 +1,176 @@
+"""Pretraining objectives and the synthetic pretraining corpus.
+
+The paper consumes *already pretrained* checkpoints (MOMENT from
+HuggingFace; ViT pretrained by the authors).  Offline, we reproduce
+the pretraining stage itself on a synthetic corpus of heterogeneous
+univariate series:
+
+* MOMENT: masked-patch reconstruction (MSE on masked patches).
+* ViT: MoCo-style InfoNCE between two augmented views, with an EMA
+  momentum key encoder (He et al., 2020; Oord et al., 2018).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .moment import MomentModel
+from .vit import ViTModel
+
+__all__ = [
+    "synthetic_pretraining_corpus",
+    "pretrain_moment",
+    "pretrain_vit",
+    "augment_series",
+]
+
+
+def synthetic_pretraining_corpus(
+    num_series: int,
+    length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample a heterogeneous univariate corpus of shape (num_series, length).
+
+    Mixtures of the canonical time-series motifs (trend, seasonality,
+    AR noise, level shifts), z-normalised per series — a stand-in for
+    the large heterogeneous pretraining collections used by TSFMs.
+    """
+    if num_series <= 0 or length <= 0:
+        raise ValueError("num_series and length must be positive")
+    t = np.linspace(0.0, 1.0, length)
+    series = np.empty((num_series, length))
+    for row in range(num_series):
+        kind = rng.integers(0, 4)
+        signal = np.zeros(length)
+        if kind == 0:  # seasonal
+            for _ in range(rng.integers(1, 4)):
+                freq = rng.uniform(1.0, 12.0)
+                signal += rng.uniform(0.5, 2.0) * np.sin(
+                    2 * np.pi * freq * t + rng.uniform(0, 2 * np.pi)
+                )
+        elif kind == 1:  # trend + season
+            signal = rng.uniform(-3, 3) * t + np.sin(
+                2 * np.pi * rng.uniform(1, 6) * t
+            )
+        elif kind == 2:  # AR(1)
+            white = rng.normal(size=length)
+            rho = rng.uniform(0.5, 0.95)
+            signal[0] = white[0]
+            for step in range(1, length):
+                signal[step] = rho * signal[step - 1] + white[step]
+        else:  # level shifts
+            shifts = np.cumsum(rng.normal(0, 0.2, size=length))
+            breaks = rng.integers(0, length, size=rng.integers(1, 4))
+            for brk in breaks:
+                shifts[brk:] += rng.normal(0, 2.0)
+            signal = shifts
+        signal += rng.normal(0, 0.2, size=length)
+        std = signal.std()
+        series[row] = (signal - signal.mean()) / (std if std > 1e-8 else 1.0)
+    return series
+
+
+def augment_series(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Contrastive-view augmentation: jitter + scaling + random crop-resize."""
+    batch, length = x.shape
+    scale = rng.uniform(0.7, 1.3, size=(batch, 1))
+    jitter = rng.normal(0, 0.1, size=x.shape)
+    view = x * scale + jitter
+    # Random crop to >= 70% of the series, then resize back (linear).
+    crop_len = max(4, int(length * rng.uniform(0.7, 1.0)))
+    start = rng.integers(0, length - crop_len + 1)
+    cropped = view[:, start : start + crop_len]
+    old_grid = np.linspace(0.0, 1.0, crop_len)
+    new_grid = np.linspace(0.0, 1.0, length)
+    return np.stack([np.interp(new_grid, old_grid, row) for row in cropped])
+
+
+def pretrain_moment(
+    model: MomentModel,
+    corpus: np.ndarray,
+    steps: int,
+    batch_size: int = 32,
+    mask_ratio: float = 0.3,
+    lr: float = 1e-3,
+    seed: int = 0,
+) -> list[float]:
+    """Masked-patch reconstruction pretraining; returns per-step losses."""
+    if not 0.0 < mask_ratio < 1.0:
+        raise ValueError(f"mask_ratio must be in (0, 1), got {mask_ratio}")
+    rng = np.random.default_rng(seed)
+    optimizer = nn.AdamW(model.parameters(), lr=lr)
+    schedule = nn.WarmupCosineSchedule(
+        optimizer, warmup_steps=max(1, steps // 10), total_steps=max(2, steps)
+    )
+    model.train()
+    losses: list[float] = []
+    for _ in range(steps):
+        index = rng.choice(len(corpus), size=min(batch_size, len(corpus)), replace=False)
+        batch = nn.Tensor(corpus[index])
+        patch_grid = model._patchify(batch).shape[:2]
+        mask = rng.random(patch_grid) < mask_ratio
+        # Guarantee at least one masked patch per series.
+        empty_rows = ~mask.any(axis=1)
+        if empty_rows.any():
+            mask[empty_rows, rng.integers(0, patch_grid[1], size=empty_rows.sum())] = True
+        reconstruction, target = model.reconstruct(batch, mask)
+        loss = F.masked_mse_loss(
+            reconstruction, target.data, mask[..., None].astype(np.float64)
+        )
+        optimizer.zero_grad()
+        loss.backward()
+        nn.clip_grad_norm(model.parameters(), max_norm=1.0)
+        optimizer.step()
+        schedule.step()
+        losses.append(float(loss.data))
+    model.eval()
+    return losses
+
+
+def pretrain_vit(
+    model: ViTModel,
+    corpus: np.ndarray,
+    steps: int,
+    batch_size: int = 32,
+    temperature: float = 0.07,
+    momentum: float = 0.99,
+    lr: float = 1e-3,
+    seed: int = 0,
+) -> list[float]:
+    """MoCo-style InfoNCE pretraining with an EMA key encoder."""
+    rng = np.random.default_rng(seed)
+    key_encoder = copy.deepcopy(model)
+    key_encoder.freeze()
+    optimizer = nn.AdamW(model.parameters(), lr=lr)
+    schedule = nn.WarmupCosineSchedule(
+        optimizer, warmup_steps=max(1, steps // 10), total_steps=max(2, steps)
+    )
+    model.train()
+    losses: list[float] = []
+    query_params = dict(model.named_parameters())
+    key_params = dict(key_encoder.named_parameters())
+    for _ in range(steps):
+        index = rng.choice(len(corpus), size=min(batch_size, len(corpus)), replace=False)
+        batch = corpus[index]
+        queries = model.contrastive_embed(nn.Tensor(augment_series(batch, rng)))
+        with nn.no_grad():
+            keys = key_encoder.contrastive_embed(nn.Tensor(augment_series(batch, rng)))
+        loss = F.info_nce_loss(queries, keys.detach(), temperature=temperature)
+        optimizer.zero_grad()
+        loss.backward()
+        nn.clip_grad_norm(model.parameters(), max_norm=1.0)
+        optimizer.step()
+        schedule.step()
+        # EMA update of the key encoder.
+        for name, param in query_params.items():
+            key = key_params[name]
+            key.data *= momentum
+            key.data += (1.0 - momentum) * param.data
+        losses.append(float(loss.data))
+    model.eval()
+    return losses

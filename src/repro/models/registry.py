@@ -1,0 +1,75 @@
+"""Model factory and pretrained-checkpoint cache."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .. import nn
+from .base import FoundationModel
+from .config import MODEL_CONFIGS, RUNNABLE_COUNTERPART, get_config
+from .moment import MomentModel
+from .pretraining import pretrain_moment, pretrain_vit, synthetic_pretraining_corpus
+from .vit import ViTModel
+
+__all__ = ["build_model", "load_pretrained", "MODEL_FAMILIES"]
+
+MODEL_FAMILIES = ("moment", "vit")
+
+
+def build_model(name: str, seed: int = 0) -> FoundationModel:
+    """Instantiate a (randomly initialised) foundation model by config name."""
+    config = get_config(name)
+    if config.family == "moment":
+        return MomentModel(config, seed=seed)
+    return ViTModel(config, seed=seed)
+
+
+def load_pretrained(
+    name: str,
+    seed: int = 0,
+    pretrain_steps: int = 40,
+    corpus_size: int = 128,
+    corpus_length: int = 128,
+    cache_dir: str | Path | None = None,
+) -> FoundationModel:
+    """Build a model and pretrain it on the synthetic corpus.
+
+    Stands in for downloading a published checkpoint: the model is
+    pretrained with its family objective (masked reconstruction for
+    MOMENT, InfoNCE for ViT) on a synthetic heterogeneous corpus.
+    Results are cached on disk keyed by (name, seed, steps) so
+    experiment sweeps pay the pretraining cost once.
+
+    Paper-scale configs (``moment-large``, ``vit-base-ts``) cannot be
+    trained on CPU; they are transparently substituted by their
+    runnable counterparts (``moment-tiny``, ``vit-tiny``) — the
+    paper-scale geometry is only ever used analytically by the
+    resource simulator.
+    """
+    runnable = RUNNABLE_COUNTERPART.get(name, name)
+    if runnable not in MODEL_CONFIGS:
+        raise KeyError(f"unknown model {name!r}")
+    model = build_model(runnable, seed=seed)
+
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / f"{runnable}-seed{seed}-steps{pretrain_steps}.npz"
+        if cache_path.exists():
+            nn.load_checkpoint(model, cache_path)
+            model.eval()
+            return model
+
+    if pretrain_steps > 0:
+        rng = np.random.default_rng(seed + 1000)
+        corpus = synthetic_pretraining_corpus(corpus_size, corpus_length, rng)
+        if model.config.family == "moment":
+            pretrain_moment(model, corpus, steps=pretrain_steps, seed=seed)
+        else:
+            pretrain_vit(model, corpus, steps=pretrain_steps, seed=seed)
+    model.eval()
+
+    if cache_path is not None:
+        nn.save_checkpoint(model, cache_path, metadata={"name": runnable, "seed": seed})
+    return model

@@ -1,0 +1,93 @@
+"""ViT-style foundation model (Nu-Time / PatchTST inspired).
+
+Per Appendix B.1 of the paper: overlapping patches are extracted from
+the (univariate) series and embedded together with statistical
+features (per-patch mean and standard deviation) to form tokens for a
+transformer encoder.  Pretraining uses a MoCo-style InfoNCE objective
+between two augmented views of each series, with a momentum (EMA) key
+encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .base import FoundationModel
+from .config import ModelConfig, get_config
+from .patching import num_patches
+
+__all__ = ["ViTModel"]
+
+
+class ViTModel(FoundationModel):
+    """Contrastively pretrained TSFM with overlapping patches.
+
+    Tokens are built from patch values normalised per patch plus the
+    patch mean and standard deviation (the "statistical embedding"),
+    so amplitude information is preserved explicitly instead of being
+    destroyed by normalisation.
+    """
+
+    def __init__(self, config: ModelConfig | str = "vit-tiny", seed: int = 0) -> None:
+        if isinstance(config, str):
+            config = get_config(config)
+        if config.family != "vit":
+            raise ValueError(f"config {config.name!r} is not a vit-family config")
+        super().__init__(config)
+        rng = np.random.default_rng(seed)
+        token_dim = config.patch_length + 2  # values + (mean, std)
+        self.patch_embed = nn.Linear(token_dim, config.d_model, rng=rng)
+        self.positional = nn.Parameter(
+            nn.init.normal((config.max_positions(), config.d_model), rng)
+        )
+        self.encoder = nn.TransformerEncoder(
+            d_model=config.d_model,
+            num_heads=config.num_heads,
+            d_ff=config.d_ff,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.projection_head = nn.Linear(config.d_model, config.d_model, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _patch_index(self, length: int) -> np.ndarray:
+        cfg = self.config
+        length = min(length, cfg.max_sequence_length)
+        count = num_patches(length, cfg.patch_length, cfg.patch_stride)
+        starts = np.arange(count) * cfg.patch_stride
+        return starts[:, None] + np.arange(cfg.patch_length)[None, :]
+
+    def _patchify(self, x: nn.Tensor) -> nn.Tensor:
+        x = nn.as_tensor(x)
+        batch, length = x.shape
+        cfg = self.config
+        if length > cfg.max_sequence_length:
+            x = x[:, : cfg.max_sequence_length]
+            length = cfg.max_sequence_length
+        if length < cfg.patch_length:
+            pad = nn.Tensor(np.zeros((batch, cfg.patch_length - length)))
+            x = nn.concatenate([x, pad], axis=1)
+            length = cfg.patch_length
+        return x[:, self._patch_index(length)]
+
+    def _tokenize(self, patches: nn.Tensor) -> nn.Tensor:
+        """Patch values -> statistical tokens: [normalised values, mean, std]."""
+        mean = patches.mean(axis=-1, keepdims=True)
+        centered = patches - mean
+        std = ((centered * centered).mean(axis=-1, keepdims=True) + 1e-8).sqrt()
+        normalized = centered / std
+        tokens = nn.concatenate([normalized, mean, std], axis=-1)
+        embedded = self.patch_embed(tokens)
+        count = embedded.shape[1]
+        return embedded + self.positional[:count].reshape(1, count, -1)
+
+    # ------------------------------------------------------------------
+    def encode_univariate(self, x: nn.Tensor) -> nn.Tensor:
+        return self.encoder(self._tokenize(self._patchify(x)))
+
+    def contrastive_embed(self, x: nn.Tensor) -> nn.Tensor:
+        """Pooled projection-head embedding used by the InfoNCE objective."""
+        tokens = self.encode_univariate(x)
+        return self.projection_head(tokens.mean(axis=1))

@@ -1,0 +1,60 @@
+"""``repro.nn`` — a minimal numpy deep-learning framework.
+
+This package substitutes for PyTorch in the offline reproduction: a
+reverse-mode autodiff :class:`Tensor`, layer/module system, multi-head
+attention and transformer encoder, optimizers, and data loading.
+"""
+
+from . import functional, init
+from .attention import MultiHeadSelfAttention
+from .data import ArrayDataset, DataLoader
+from .layers import GELU, Conv1d, Dropout, Embedding, LayerNorm, Linear, ReLU
+from .module import Module, Parameter, Sequential
+from .optim import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineSchedule,
+    Optimizer,
+    WarmupCosineSchedule,
+    clip_grad_norm,
+)
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from .transformer import TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "Conv1d",
+    "GELU",
+    "ReLU",
+    "MultiHeadSelfAttention",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "CosineSchedule",
+    "WarmupCosineSchedule",
+    "ArrayDataset",
+    "DataLoader",
+    "save_checkpoint",
+    "load_checkpoint",
+]

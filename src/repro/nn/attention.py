@@ -1,0 +1,78 @@
+"""Multi-head self-attention."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Input/output shape: ``(batch, tokens, d_model)``.  An optional
+    boolean ``attn_mask`` of shape ``(tokens, tokens)`` or
+    ``(batch, tokens, tokens)`` marks positions that *may* attend
+    (True = keep, False = mask out with -inf before the softmax).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.query_proj = Linear(d_model, d_model, rng=rng)
+        self.key_proj = Linear(d_model, d_model, rng=rng)
+        self.value_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
+        """(B, T, D) -> (B, H, T, Dh)."""
+        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attn_mask: np.ndarray | None = None) -> Tensor:
+        """Attend over tokens: (B, T, D) -> (B, T, D)."""
+        x = as_tensor(x)
+        batch, tokens, d_model = x.shape
+        if d_model != self.d_model:
+            raise ValueError(f"expected d_model={self.d_model}, got {d_model}")
+
+        queries = self._split_heads(self.query_proj(x), batch, tokens)
+        keys = self._split_heads(self.key_proj(x), batch, tokens)
+        values = self._split_heads(self.value_proj(x), batch, tokens)
+
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = (queries @ keys.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        if attn_mask is not None:
+            mask = np.asarray(attn_mask, dtype=bool)
+            if mask.ndim == 2:
+                mask = mask[None, None, :, :]
+            elif mask.ndim == 3:
+                mask = mask[:, None, :, :]
+            else:
+                raise ValueError(f"attn_mask must be 2D or 3D, got ndim={mask.ndim}")
+            bias = np.where(mask, 0.0, -1e9)
+            scores = scores + Tensor(np.broadcast_to(bias, scores.shape).copy())
+
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights @ values  # (B, H, T, Dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, tokens, d_model)
+        return self.out_proj(merged)

@@ -1,0 +1,81 @@
+"""Dataset and mini-batch loading utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader"]
+
+
+class ArrayDataset:
+    """In-memory dataset of aligned numpy arrays (e.g. inputs + labels)."""
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        arrays = tuple(np.asarray(a) for a in arrays)
+        length = len(arrays[0])
+        for index, array in enumerate(arrays):
+            if len(array) != length:
+                raise ValueError(
+                    f"array {index} has length {len(array)}, expected {length}"
+                )
+        self.arrays = arrays
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index) -> tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+
+class DataLoader:
+    """Iterate over mini-batches of an :class:`ArrayDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch (the final batch may be smaller unless
+        ``drop_last``).
+    shuffle:
+        Reshuffle at the start of every epoch using ``rng``.
+    rng:
+        Generator driving the shuffle (reproducible across epochs only
+        through its own state).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            index = order[start : start + self.batch_size]
+            yield self.dataset[index]

@@ -1,0 +1,195 @@
+"""Differentiable functional operations built on :class:`repro.nn.Tensor`.
+
+These are composite operations (activations, normalisations, losses)
+expressed in terms of the primitive tensor ops, plus a few fused
+implementations with hand-written backward passes where the composite
+form would be numerically fragile (softmax, cross-entropy).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "gelu",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "layer_norm",
+    "cross_entropy",
+    "mse_loss",
+    "masked_mse_loss",
+    "info_nce_loss",
+]
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    x = as_tensor(x)
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT/GPT)."""
+    x = as_tensor(x)
+    data = x.data
+    inner = _SQRT_2_OVER_PI * (data + 0.044715 * data**3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * data**2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * data * sech2 * d_inner
+        x._accumulate(grad * local)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid with a numerically stable forward pass."""
+    x = as_tensor(x)
+    out_data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x.data))),
+        np.exp(-np.abs(x.data)) / (1.0 + np.exp(-np.abs(x.data))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with a fused, stable backward pass."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable log-sum-exp form)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+
+    def backward(grad: np.ndarray) -> None:
+        softmax_data = np.exp(out_data)
+        x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, rescale by 1/(1-p)."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = as_tensor(x)
+    keep = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    out_data = x.data * keep
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * keep)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the trailing dimension.
+
+    Normalises each feature vector to zero mean / unit variance, then
+    applies the learnable affine transform ``weight * x_hat + bias``.
+    """
+    x = as_tensor(x)
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = (variance + eps) ** -0.5
+    normalized = centered * inv_std
+    return normalized * weight + bias
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer targets (N,)."""
+    logits = as_tensor(logits)
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    targets = targets.astype(np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2D logits, got shape {logits.shape}")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over all elements."""
+    prediction = as_tensor(prediction)
+    target = target.data if isinstance(target, Tensor) else np.asarray(target)
+    diff = prediction - Tensor(target)
+    return (diff * diff).mean()
+
+
+def masked_mse_loss(
+    prediction: Tensor, target: np.ndarray, mask: np.ndarray
+) -> Tensor:
+    """MSE computed only where ``mask`` is nonzero.
+
+    Used by the MOMENT-style masked-patch reconstruction objective: the
+    loss is measured on masked patches only.
+    """
+    prediction = as_tensor(prediction)
+    target = np.asarray(target)
+    mask = np.asarray(mask, dtype=prediction.dtype)
+    total = float(mask.sum())
+    if total == 0:
+        raise ValueError("masked_mse_loss received an all-zero mask")
+    diff = (prediction - Tensor(target)) * Tensor(mask)
+    return (diff * diff).sum() / total
+
+
+def info_nce_loss(queries: Tensor, keys: Tensor, temperature: float = 0.07) -> Tensor:
+    """InfoNCE contrastive loss (Oord et al., 2018; MoCo variant).
+
+    ``queries`` and ``keys`` are (N, E) batches of embeddings where
+    row ``i`` of each is a positive pair; all other rows act as
+    negatives.  Embeddings are L2-normalised internally.
+    """
+    queries, keys = as_tensor(queries), as_tensor(keys)
+    if queries.shape != keys.shape or queries.ndim != 2:
+        raise ValueError(
+            f"expected matching 2D embeddings, got {queries.shape} and {keys.shape}"
+        )
+    q_norm = queries * ((queries * queries).sum(axis=-1, keepdims=True) + 1e-12) ** -0.5
+    k_norm = keys * ((keys * keys).sum(axis=-1, keepdims=True) + 1e-12) ** -0.5
+    logits = (q_norm @ k_norm.transpose()) * (1.0 / temperature)
+    targets = np.arange(queries.shape[0])
+    return cross_entropy(logits, targets)

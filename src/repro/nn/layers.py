@@ -1,0 +1,199 @@
+"""Core neural-network layers: Linear, LayerNorm, Dropout, Embedding, Conv1d."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["Linear", "LayerNorm", "Dropout", "Embedding", "Conv1d", "GELU", "ReLU"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over the trailing dimension.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output widths.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Generator for weight initialisation (Xavier uniform).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Affine map over the trailing dim: (..., in) -> (..., out)."""
+        x = as_tensor(x)
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation with learnable affine parameters."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalise the trailing dimension, then apply the affine."""
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero entries in training mode; identity in eval."""
+        return F.dropout(x, self.p, self.training, self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to learned vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng))
+
+    def forward(self, ids) -> Tensor:
+        """Gather embedding rows: integer ids (...,) -> (..., dim)."""
+        ids = np.asarray(ids.data if isinstance(ids, Tensor) else ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return self.weight[ids]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class Conv1d(Module):
+    """1D convolution over (batch, channels, length) via im2col matmul."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size), rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Correlate kernels over (B, C_in, L) -> (B, C_out, L_out)."""
+        x = as_tensor(x)
+        batch, channels, length = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        if self.padding:
+            x = _pad_length(x, self.padding)
+            length = length + 2 * self.padding
+        out_length = (length - self.kernel_size) // self.stride + 1
+        if out_length <= 0:
+            raise ValueError(
+                f"input length {length} too short for kernel {self.kernel_size}"
+            )
+        # im2col: gather sliding windows, (B, out_len, C * K)
+        starts = np.arange(out_length) * self.stride
+        window_index = starts[:, None] + np.arange(self.kernel_size)[None, :]
+        # x: (B, C, L) -> windows (B, C, out_len, K)
+        windows = x.transpose(0, 2, 1)[:, window_index, :]  # (B, out_len, K, C)
+        cols = windows.transpose(0, 1, 3, 2).reshape(batch, out_length, channels * self.kernel_size)
+        kernel = self.weight.reshape(self.out_channels, channels * self.kernel_size)
+        out = cols @ kernel.transpose()  # (B, out_len, out_channels)
+        if self.bias is not None:
+            out = out + self.bias
+        return out.transpose(0, 2, 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride})"
+        )
+
+
+def _pad_length(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the last axis of a (B, C, L) tensor on both sides."""
+    from .tensor import concatenate
+
+    batch, channels, _ = x.shape
+    zeros_block = Tensor(np.zeros((batch, channels, padding)))
+    return concatenate([zeros_block, x, zeros_block], axis=2)
+
+
+class GELU(Module):
+    """GELU activation as a module, for use in :class:`Sequential`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply GELU elementwise."""
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    """ReLU activation as a module, for use in :class:`Sequential`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply ReLU elementwise."""
+        return F.relu(x)

@@ -1,0 +1,164 @@
+"""Module base class and parameter container for ``repro.nn``.
+
+Mirrors the (subset of the) ``torch.nn.Module`` contract the rest of
+the codebase needs: recursive parameter discovery, train/eval mode,
+freezing, and state-dict export/import.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by modules."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances
+    as attributes; those are discovered automatically by
+    :meth:`parameters`, :meth:`named_parameters` and
+    :meth:`state_dict`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{index}", item
+
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters in this module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def trainable_parameters(self) -> list[Parameter]:
+        """Return parameters that currently require gradients."""
+        return [param for param in self.parameters() if param.requires_grad]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total scalar parameter count."""
+        params = self.trainable_parameters() if trainable_only else self.parameters()
+        return int(sum(p.size for p in params))
+
+    # ------------------------------------------------------------------
+    # Mode / freezing
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout etc.)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode (disables dropout etc.)."""
+        return self.train(False)
+
+    def freeze(self) -> "Module":
+        """Stop gradient flow into every parameter of this subtree."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Re-enable gradients for every parameter of this subtree."""
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter in the tree."""
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a name -> array snapshot of all parameters (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load a snapshot produced by :meth:`state_dict`.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on
+        shape mismatches, so silent weight corruption is impossible.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype, copy=True)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        """Thread ``x`` through every layer in order."""
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

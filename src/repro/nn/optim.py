@@ -1,0 +1,208 @@
+"""Optimizers and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "CosineSchedule",
+    "WarmupCosineSchedule",
+]
+
+
+class Optimizer:
+    """Base optimizer operating on a fixed parameter list.
+
+    Parameters whose ``requires_grad`` flag is False at construction
+    time are excluded, matching how the fine-tuning strategies freeze
+    encoder weights before building the optimizer.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = [p for p in params if p.requires_grad]
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear stored gradients before the next backward pass."""
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        """Apply one update from the current gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """SGD update: ``p -= lr * (momentum-smoothed) grad``."""
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Adam update with bias-corrected first/second moments."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params, lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        """Decoupled decay (``p *= 1 - lr*wd``) then the Adam update."""
+        if self.decoupled_weight_decay:
+            for param in self.params:
+                if param.grad is not None:
+                    param.data -= self.lr * self.decoupled_weight_decay * param.data
+        super().step()
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Rescale gradients in place so their global L2 norm <= max_norm.
+
+    Returns the pre-clipping norm (useful for logging).  Overflow-safe:
+    the norm is computed on gradients pre-scaled by their largest
+    magnitude, so even 1e200-sized spikes clip to finite values.
+    """
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    peak = max(float(np.abs(p.grad).max(initial=0.0)) for p in params)
+    if peak == 0.0:
+        return 0.0
+    total = peak * math.sqrt(
+        sum(float(((p.grad / peak) ** 2).sum()) for p in params)
+    )
+    if total > max_norm:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total
+
+
+class CosineSchedule:
+    """Cosine decay from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.min_lr = min_lr
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance one step; sets and returns the optimizer's new lr."""
+        self._step_count = min(self._step_count + 1, self.total_steps)
+        progress = self._step_count / self.total_steps
+        lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))
+        self.optimizer.lr = lr
+        return lr
+
+
+class WarmupCosineSchedule:
+    """Linear warmup followed by cosine decay (transformer convention)."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance one step; sets and returns the optimizer's new lr."""
+        self._step_count = min(self._step_count + 1, self.total_steps)
+        if self.warmup_steps and self._step_count <= self.warmup_steps:
+            lr = self.base_lr * self._step_count / self.warmup_steps
+        else:
+            progress = (self._step_count - self.warmup_steps) / (
+                self.total_steps - self.warmup_steps
+            )
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+                1 + math.cos(math.pi * progress)
+            )
+        self.optimizer.lr = lr
+        return lr

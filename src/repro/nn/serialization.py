@@ -1,0 +1,47 @@
+"""Checkpoint save/load for modules (numpy ``.npz`` format)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Serialise ``module.state_dict()`` plus optional JSON metadata.
+
+    Returns the path written (with ``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY!r}")
+    meta_blob = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(path, **state, **{_META_KEY: meta_blob})
+    return path
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load weights saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+        metadata = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+    module.load_state_dict(state)
+    return metadata

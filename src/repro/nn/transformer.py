@@ -1,0 +1,70 @@
+"""Transformer encoder stack (pre-norm variant, as used by modern TSFMs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .attention import MultiHeadSelfAttention
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """One pre-norm transformer block: MHSA + GELU feed-forward."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ff_in = Linear(d_model, d_ff, rng=rng)
+        self.ff_out = Linear(d_ff, d_model, rng=rng)
+        self.dropout1 = Dropout(dropout, rng=rng)
+        self.dropout2 = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attn_mask: np.ndarray | None = None) -> Tensor:
+        """One pre-norm block: x + MHSA(LN(x)), then x + FF(LN(x))."""
+        x = x + self.dropout1(self.attention(self.norm1(x), attn_mask=attn_mask))
+        x = x + self.dropout2(self.ff_out(F.gelu(self.ff_in(self.norm2(x)))))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of :class:`TransformerEncoderLayer` with a final LayerNorm."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        num_layers: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.d_model = d_model
+        self.num_layers = num_layers
+        self.layers = [
+            TransformerEncoderLayer(d_model, num_heads, d_ff, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor, attn_mask: np.ndarray | None = None) -> Tensor:
+        """Run every block, then the final LayerNorm."""
+        for layer in self.layers:
+            x = layer(x, attn_mask=attn_mask)
+        return self.final_norm(x)

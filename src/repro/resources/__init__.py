@@ -1,0 +1,41 @@
+"""Resource simulation: FLOPs/memory cost model and the V100 simulator."""
+
+from .budget import DEFAULT_BUDGET, RunBudget, RunStatus, SimulatedRun
+from .cost_model import (
+    FAMILY_PARAMS,
+    REGIMES,
+    CostModelParams,
+    FineTuneRegime,
+    TrainingJob,
+    adapter_fit_flops,
+    embedding_pass_flops,
+    forward_flops_per_sample,
+    head_training_flops,
+    inference_memory_bytes,
+    peak_training_memory_bytes,
+    training_step_flops,
+)
+from .gpu import V100_32GB, GpuSpec, regime_for_adapter, simulate_finetuning
+
+__all__ = [
+    "RunStatus",
+    "RunBudget",
+    "SimulatedRun",
+    "DEFAULT_BUDGET",
+    "FineTuneRegime",
+    "CostModelParams",
+    "TrainingJob",
+    "REGIMES",
+    "FAMILY_PARAMS",
+    "forward_flops_per_sample",
+    "training_step_flops",
+    "embedding_pass_flops",
+    "head_training_flops",
+    "adapter_fit_flops",
+    "peak_training_memory_bytes",
+    "inference_memory_bytes",
+    "GpuSpec",
+    "V100_32GB",
+    "simulate_finetuning",
+    "regime_for_adapter",
+]

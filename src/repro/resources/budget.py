@@ -1,0 +1,71 @@
+"""Run budgets and outcome classification (OK / TO / COM).
+
+The paper runs every fine-tuning job on a single NVIDIA V100-32GB with
+a 2-hour wall-clock limit; jobs exceeding the limit are reported as
+``TO`` (time out) and jobs exhausting GPU memory as ``COM`` (CUDA out
+of memory).  These enums/records are shared by the cost model, the
+experiment harness and the table renderers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RunStatus", "RunBudget", "SimulatedRun", "DEFAULT_BUDGET"]
+
+
+class RunStatus(enum.Enum):
+    """Outcome of a (simulated or real) fine-tuning run."""
+
+    OK = "OK"
+    TIMEOUT = "TO"
+    OUT_OF_MEMORY = "COM"
+
+    def __str__(self) -> str:  # table rendering uses the paper's labels
+        return self.value
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Wall-clock and memory limits of one experiment slot."""
+
+    time_limit_s: float = 2 * 3600.0
+    memory_limit_bytes: int = 32 * 1024**3  # V100-32GB
+
+    def classify(self, seconds: float, peak_memory_bytes: float) -> RunStatus:
+        """Apply the paper's rule: memory failures dominate timeouts.
+
+        A job that would OOM never reaches the time limit, so COM is
+        checked first.
+        """
+        if peak_memory_bytes > self.memory_limit_bytes:
+            return RunStatus.OUT_OF_MEMORY
+        if seconds > self.time_limit_s:
+            return RunStatus.TIMEOUT
+        return RunStatus.OK
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Result of simulating one fine-tuning job on the GPU model."""
+
+    status: RunStatus
+    seconds: float
+    peak_memory_bytes: float
+    flops: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.OK
+
+    @property
+    def peak_memory_gib(self) -> float:
+        return self.peak_memory_bytes / 1024**3
+
+    @property
+    def hours(self) -> float:
+        return self.seconds / 3600.0
+
+
+DEFAULT_BUDGET = RunBudget()

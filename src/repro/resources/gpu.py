@@ -1,0 +1,193 @@
+"""V100-32GB simulator: classify fine-tuning jobs as OK / TO / COM.
+
+Combines the analytic cost model with a throughput/overhead model of
+the paper's hardware (single NVIDIA Tesla V100-32GB, 2-hour limit) to
+produce simulated run times and outcomes for paper-scale jobs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..data.metadata import DatasetInfo
+from ..models.config import ModelConfig, get_config
+from .budget import DEFAULT_BUDGET, RunBudget, RunStatus, SimulatedRun
+from .cost_model import (
+    REGIMES,
+    TrainingJob,
+    adapter_fit_flops,
+    embedding_pass_flops,
+    head_training_flops,
+    inference_memory_bytes,
+    peak_training_memory_bytes,
+    training_step_flops,
+)
+
+__all__ = ["GpuSpec", "V100_32GB", "simulate_finetuning", "regime_for_adapter"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Throughput/overhead model of one GPU.
+
+    ``throughput_flops`` is the *effective sustained* rate for the
+    large batched matmuls of transformer training (V100 fp32 peak is
+    15.7 TFLOP/s; we assume ~90% utilisation).  The overhead terms
+    capture kernel-launch / dataloader / logging time that dominates
+    tiny steps — they are what keeps head-only fine-tuning from being
+    infinitely fast and calibrate the Figure-1 speedup ratios.
+    """
+
+    name: str = "NVIDIA Tesla V100-32GB"
+    memory_bytes: int = 32 * 1024**3
+    throughput_flops: float = 15.7e12
+    per_step_overhead_s: float = 2.0e-3
+    per_epoch_overhead_s: float = 0.05
+    setup_overhead_s: float = 5.0
+
+    def seconds_for(self, flops: float) -> float:
+        """Wall-clock seconds to execute ``flops`` at sustained rate."""
+        return flops / self.throughput_flops
+
+
+V100_32GB = GpuSpec()
+
+#: Adapter name -> cost-model regime for the adapter+head setting.
+_TRAINABLE_ADAPTERS = {"lcomb", "lcomb_top_k"}
+_FIT_ONCE_ADAPTERS = {
+    "pca",
+    "scaled_pca",
+    "patch_pca",
+    "svd",
+    "rand_proj",
+    "var",
+    "lda",
+    "cluster_avg",
+}
+
+
+def regime_for_adapter(adapter: str | None, full_finetune: bool = False) -> str:
+    """Map a (possibly absent) adapter to the cost-model regime name."""
+    if adapter is None or adapter == "none":
+        return "full" if full_finetune else "head"
+    if adapter in _TRAINABLE_ADAPTERS:
+        return "adapter_full" if full_finetune else "adapter_head_trainable"
+    if adapter in _FIT_ONCE_ADAPTERS:
+        if full_finetune:
+            raise ValueError(
+                f"fit-once adapter {adapter!r} cannot be combined with full "
+                "fine-tuning in the paper's protocol"
+            )
+        return "adapter_head_cached"
+    raise KeyError(f"unknown adapter {adapter!r}")
+
+
+def simulate_finetuning(
+    model: ModelConfig | str,
+    dataset: DatasetInfo,
+    adapter: str | None = None,
+    reduced_channels: int = 5,
+    full_finetune: bool = False,
+    epochs: int | None = None,
+    gpu: GpuSpec = V100_32GB,
+    budget: RunBudget = DEFAULT_BUDGET,
+) -> SimulatedRun:
+    """Simulate one paper-scale fine-tuning job.
+
+    Parameters
+    ----------
+    model:
+        Paper-scale model config (``moment-large`` / ``vit-base-ts``)
+        or its name.
+    dataset:
+        Table-3 geometry of the target dataset.
+    adapter:
+        ``None``/"none" for the no-adapter setting, otherwise one of
+        the registry names (``pca`` ... ``lcomb_top_k``).
+    reduced_channels:
+        D' produced by the adapter (paper default 5).  Ignored without
+        an adapter.
+    full_finetune:
+        True for the Table-1 / Figure-6 full fine-tuning regimes;
+        False for head or adapter+head fine-tuning.
+    epochs:
+        Optional override of the regime's default epoch count.
+    """
+    config = get_config(model) if isinstance(model, str) else model
+    regime_name = regime_for_adapter(adapter, full_finetune=full_finetune)
+    regime = REGIMES[regime_name]
+    channels = (
+        dataset.num_channels if adapter in (None, "none") else int(reduced_channels)
+    )
+    job = TrainingJob(
+        config=config,
+        train_size=dataset.train_size,
+        test_size=dataset.test_size,
+        sequence_length=dataset.sequence_length,
+        channels=channels,
+        num_classes=dataset.num_classes,
+        regime=regime,
+        epochs=epochs,
+    )
+
+    peak_memory = peak_training_memory_bytes(job)
+    seconds = gpu.setup_overhead_s
+    total_flops = 0.0
+
+    if adapter in _FIT_ONCE_ADAPTERS:
+        fit_flops = adapter_fit_flops(
+            channels_in=dataset.num_channels,
+            channels_out=channels,
+            train_size=dataset.train_size,
+            sequence_length=dataset.sequence_length,
+            kind=adapter,
+        )
+        total_flops += fit_flops
+        seconds += gpu.seconds_for(fit_flops)
+
+    if regime.encoder_in_loop:
+        # Encoder runs every step: epochs x steps_per_epoch.
+        batch = min(job.params.batch_size, dataset.train_size)
+        steps_per_epoch = math.ceil(dataset.train_size / batch)
+        step_flops = training_step_flops(job, batch)
+        train_flops = job.effective_epochs * steps_per_epoch * step_flops
+        total_flops += train_flops
+        seconds += gpu.seconds_for(train_flops)
+        seconds += job.effective_epochs * (
+            steps_per_epoch * gpu.per_step_overhead_s + gpu.per_epoch_overhead_s
+        )
+        # Final evaluation pass over the test split.
+        eval_job = TrainingJob(
+            config=config,
+            train_size=0,
+            test_size=dataset.test_size,
+            sequence_length=dataset.sequence_length,
+            channels=channels,
+            num_classes=dataset.num_classes,
+            regime=regime,
+        )
+        eval_flops = embedding_pass_flops(eval_job)
+        total_flops += eval_flops
+        seconds += gpu.seconds_for(eval_flops)
+    else:
+        # Cached-embedding regimes: one embedding pass, then cheap
+        # head-only training on the cache.
+        embed_flops = embedding_pass_flops(job)
+        head_flops = head_training_flops(job)
+        total_flops += embed_flops + head_flops
+        seconds += gpu.seconds_for(embed_flops + head_flops)
+        head_batch = min(job.params.head_batch_size, max(1, dataset.train_size))
+        steps_per_epoch = math.ceil(dataset.train_size / head_batch)
+        seconds += job.effective_epochs * (
+            steps_per_epoch * gpu.per_step_overhead_s + gpu.per_epoch_overhead_s
+        )
+        peak_memory = max(
+            peak_memory,
+            config.encoder_parameter_count() * 4.0 + inference_memory_bytes(job),
+        )
+
+    status = budget.classify(seconds, peak_memory)
+    return SimulatedRun(
+        status=status, seconds=seconds, peak_memory_bytes=peak_memory, flops=total_flops
+    )

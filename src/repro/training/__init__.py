@@ -1,0 +1,20 @@
+"""Fine-tuning engine: strategies, pipeline, trainer, embedding cache."""
+
+from .embedding_cache import EmbeddingCache, compute_embeddings
+from .persistence import load_pipeline, save_pipeline
+from .pipeline import AdapterPipeline, FitReport
+from .strategies import FineTuneStrategy
+from .trainer import TrainConfig, TrainResult, train_classifier_on_arrays
+
+__all__ = [
+    "FineTuneStrategy",
+    "AdapterPipeline",
+    "FitReport",
+    "save_pipeline",
+    "load_pipeline",
+    "TrainConfig",
+    "TrainResult",
+    "train_classifier_on_arrays",
+    "EmbeddingCache",
+    "compute_embeddings",
+]

@@ -1,0 +1,166 @@
+"""Save / load fine-tuned pipelines.
+
+A fitted :class:`AdapterPipeline` has three stateful pieces: the
+(possibly fine-tuned) foundation model, the classification head, and
+the adapter (a fitted projection matrix, or lcomb's trainable module).
+This module persists all three to one directory so a fine-tuned
+classifier can be shipped and reloaded without retraining —
+deliberately pickle-free (numpy archives + a JSON manifest), so
+checkpoints are portable and auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .. import nn
+from ..adapters import make_adapter
+from ..adapters.base import Adapter, FittedAdapter, IdentityAdapter
+from ..adapters.linear_combiner import LinearCombinerAdapter
+from ..adapters.pca import PatchPCAAdapter, PCAAdapter, ScaledPCAAdapter
+from ..adapters.variance import VarianceSelectorAdapter
+from ..models import build_model
+from .pipeline import AdapterPipeline
+
+__all__ = ["save_pipeline", "load_pipeline"]
+
+_MANIFEST = "pipeline.json"
+
+#: Adapter classes -> registry names (inverse of make_adapter).
+_ADAPTER_REGISTRY_NAMES = {
+    "IdentityAdapter": "none",
+    "PCAAdapter": "pca",
+    "ScaledPCAAdapter": "scaled_pca",
+    "PatchPCAAdapter": "patch_pca",
+    "TruncatedSVDAdapter": "svd",
+    "RandomProjectionAdapter": "rand_proj",
+    "VarianceSelectorAdapter": "var",
+    "LDAAdapter": "lda",
+    "ClusterAverageAdapter": "cluster_avg",
+    "LinearCombinerAdapter": "lcomb",
+}
+
+
+def _adapter_state(adapter: Adapter) -> dict[str, np.ndarray]:
+    """Collect the numpy arrays an adapter needs to be reconstructed."""
+    state: dict[str, np.ndarray] = {}
+    if isinstance(adapter, LinearCombinerAdapter):
+        if adapter.module is None:
+            raise ValueError("cannot save an unfitted lcomb adapter")
+        state["lcomb_weight"] = adapter.module.weight.data.copy()
+        return state
+    if isinstance(adapter, FittedAdapter):
+        if adapter.projection_ is None:
+            raise ValueError(f"cannot save unfitted adapter {adapter.name}")
+        state["projection"] = adapter.projection_.copy()
+        for attr in ("mean_", "scale_", "selected_channels_", "channel_variances_"):
+            value = getattr(adapter, attr, None)
+            if value is not None:
+                state[attr] = np.asarray(value)
+    return state
+
+
+def _restore_adapter_state(adapter: Adapter, state: dict[str, np.ndarray]) -> None:
+    if isinstance(adapter, LinearCombinerAdapter):
+        adapter.module.weight.data = state["lcomb_weight"].copy()
+        return
+    if isinstance(adapter, FittedAdapter):
+        adapter.projection_ = state["projection"].copy()
+        for attr in ("mean_", "scale_", "selected_channels_", "channel_variances_"):
+            if attr in state:
+                setattr(adapter, attr, state[attr].copy())
+
+
+def save_pipeline(pipeline: AdapterPipeline, directory: str | Path) -> Path:
+    """Persist a fitted pipeline to ``directory``; returns the path."""
+    if not pipeline.fitted_:
+        raise ValueError("pipeline must be fitted before saving")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    nn.save_checkpoint(pipeline.model, directory / "model.npz")
+    nn.save_checkpoint(pipeline.head, directory / "head.npz")
+
+    adapter = pipeline.adapter
+    type_name = type(adapter).__name__
+    if type_name not in _ADAPTER_REGISTRY_NAMES:
+        raise ValueError(
+            f"adapter type {type_name} is not registered for persistence"
+        )
+    adapter_state = _adapter_state(adapter)
+    np.savez(directory / "adapter.npz", **adapter_state)
+
+    registry_name = _ADAPTER_REGISTRY_NAMES[type_name]
+    if isinstance(adapter, LinearCombinerAdapter) and adapter.top_k is not None:
+        registry_name = "lcomb_top_k"
+    manifest = {
+        "model_config": pipeline.model.config.name,
+        "num_classes": pipeline.num_classes,
+        "seed": pipeline.seed,
+        "normalize_reduced": pipeline.normalize_reduced,
+        "adapter": {
+            "registry_name": registry_name,
+            "output_channels": adapter.output_channels,
+            "input_channels": adapter.input_channels,
+            "kwargs": _adapter_kwargs(adapter),
+        },
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def _adapter_kwargs(adapter: Adapter) -> dict:
+    if isinstance(adapter, PatchPCAAdapter):
+        return {"patch_window_size": adapter.patch_window_size}
+    if isinstance(adapter, LinearCombinerAdapter) and adapter.top_k is not None:
+        return {"top_k": adapter.top_k}
+    return {}
+
+
+def load_pipeline(directory: str | Path) -> AdapterPipeline:
+    """Reconstruct a pipeline saved by :func:`save_pipeline`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+
+    model = build_model(manifest["model_config"], seed=manifest["seed"])
+    nn.load_checkpoint(model, directory / "model.npz")
+    model.eval()
+
+    spec = manifest["adapter"]
+    adapter = make_adapter(
+        spec["registry_name"],
+        spec["output_channels"] if spec["registry_name"] != "none" else 1,
+        seed=manifest["seed"],
+        **spec["kwargs"],
+    )
+    adapter.input_channels = spec["input_channels"]
+    adapter.output_channels = spec["output_channels"]
+    if isinstance(adapter, LinearCombinerAdapter):
+        # Instantiate the module with the recorded geometry before
+        # loading its trained weight.
+        from ..adapters.linear_combiner import LinearCombinerModule
+
+        adapter.module = LinearCombinerModule(
+            in_channels=spec["input_channels"],
+            out_channels=spec["output_channels"],
+            top_k=spec["kwargs"].get("top_k"),
+            rng=np.random.default_rng(manifest["seed"]),
+        )
+    with np.load(directory / "adapter.npz") as archive:
+        state = {key: archive[key] for key in archive.files}
+    _restore_adapter_state(adapter, state)
+
+    pipeline = AdapterPipeline(
+        model,
+        adapter,
+        manifest["num_classes"],
+        seed=manifest["seed"],
+        normalize_reduced=manifest.get("normalize_reduced", True),
+    )
+    nn.load_checkpoint(pipeline.head, directory / "head.npz")
+    pipeline.head.eval()
+    pipeline.fitted_ = True
+    return pipeline

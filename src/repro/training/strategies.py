@@ -1,0 +1,33 @@
+"""Fine-tuning strategies (the paper's three regimes)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FineTuneStrategy"]
+
+
+class FineTuneStrategy(enum.Enum):
+    """Which parts of (adapter, encoder, head) are optimised.
+
+    * ``HEAD`` — only the linear classification head is trained; the
+      encoder is frozen (and with a fit-once adapter, its embeddings
+      are cached so the encoder runs exactly once).
+    * ``ADAPTER_HEAD`` — the adapter (if trainable) and the head are
+      trained; the encoder stays frozen.  For fit-once adapters this
+      coincides with ``HEAD`` after the adapter fit.
+    * ``FULL`` — adapter, encoder and head are all trained (Table 1 /
+      Figure 6).
+    """
+
+    HEAD = "head"
+    ADAPTER_HEAD = "adapter_head"
+    FULL = "full"
+
+    @property
+    def encoder_trainable(self) -> bool:
+        return self is FineTuneStrategy.FULL
+
+    @property
+    def adapter_trainable(self) -> bool:
+        return self in (FineTuneStrategy.ADAPTER_HEAD, FineTuneStrategy.FULL)

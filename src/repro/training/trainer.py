@@ -1,0 +1,129 @@
+"""Training loops and configuration."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["TrainConfig", "TrainResult", "train_classifier_on_arrays"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters shared by all fine-tuning loops.
+
+    ``max_time_s`` is a real wall-clock cap mirroring the paper's
+    2-hour rule at experiment scale; loops stop cleanly when exceeded.
+    """
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 1.0
+    seed: int = 0
+    patience: int | None = None  # early stop on train-loss plateau
+    max_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training loop."""
+
+    losses: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("training produced no loss values")
+        return self.losses[-1]
+
+    def sparkline(self, width: int = 60) -> str:
+        """Unicode sparkline of the per-epoch loss curve."""
+        from ..evaluation.reporting import render_sparkline
+
+        return render_sparkline(self.losses, width=width)
+
+
+def train_classifier_on_arrays(
+    forward,
+    parameters: list[nn.Parameter],
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig,
+) -> TrainResult:
+    """Generic mini-batch cross-entropy training loop.
+
+    Parameters
+    ----------
+    forward:
+        Callable mapping a raw input batch (numpy) to logits
+        (:class:`nn.Tensor`).  The caller decides what is inside —
+        head-only on embeddings, adapter+encoder+head, etc.
+    parameters:
+        Trainable parameters to optimise (must already have
+        ``requires_grad=True``; frozen modules simply contribute none).
+    x, y:
+        Training inputs and integer labels.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if not parameters:
+        raise ValueError("no trainable parameters supplied")
+    rng = np.random.default_rng(config.seed)
+    optimizer = nn.AdamW(
+        parameters, lr=config.learning_rate, weight_decay=config.weight_decay
+    )
+    result = TrainResult()
+    start = time.perf_counter()
+    best_loss = np.inf
+    stale_epochs = 0
+
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(x))
+        epoch_losses = []
+        for batch_start in range(0, len(x), config.batch_size):
+            index = order[batch_start : batch_start + config.batch_size]
+            logits = forward(x[index])
+            loss = F.cross_entropy(logits, y[index])
+            optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip:
+                nn.clip_grad_norm(parameters, config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(float(loss.data))
+            if (
+                config.max_time_s is not None
+                and time.perf_counter() - start > config.max_time_s
+            ):
+                result.timed_out = True
+                break
+        result.losses.append(float(np.mean(epoch_losses)))
+        result.epochs_run = epoch + 1
+        if result.timed_out:
+            break
+        if config.patience is not None:
+            if result.losses[-1] < best_loss - 1e-4:
+                best_loss = result.losses[-1]
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+                if stale_epochs >= config.patience:
+                    break
+
+    result.seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,64 @@
+"""Tests for the Adapter base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters.base import Adapter, FittedAdapter
+
+
+class ConstantProjection(FittedAdapter):
+    """Minimal FittedAdapter: keeps the first D' channels."""
+
+    def _fit_projection(self, flat: np.ndarray, y) -> np.ndarray:
+        projection = np.zeros((self.output_channels, flat.shape[1]))
+        projection[np.arange(self.output_channels), np.arange(self.output_channels)] = 1.0
+        return projection
+
+
+class BrokenProjection(FittedAdapter):
+    """Returns the wrong shape to exercise the internal check."""
+
+    def _fit_projection(self, flat: np.ndarray, y) -> np.ndarray:
+        return np.zeros((1, 1))
+
+
+class TestAdapterValidation:
+    def test_rejects_nonpositive_channels(self):
+        with pytest.raises(ValueError):
+            ConstantProjection(0)
+
+    def test_rejects_more_outputs_than_inputs(self, small_series):
+        adapter = ConstantProjection(small_series.shape[-1] + 1)
+        with pytest.raises(ValueError):
+            adapter.fit(small_series)
+
+    def test_transform_before_fit(self, small_series):
+        with pytest.raises(RuntimeError):
+            ConstantProjection(2).transform(small_series)
+
+    def test_transform_channel_mismatch(self, small_series):
+        adapter = ConstantProjection(2).fit(small_series)
+        with pytest.raises(ValueError):
+            adapter.transform(small_series[:, :, :4])
+
+    def test_projection_shape_assertion(self, small_series):
+        with pytest.raises(AssertionError):
+            BrokenProjection(2).fit(small_series)
+
+    def test_fit_transform_equivalent(self, small_series):
+        a = ConstantProjection(3).fit(small_series).transform(small_series)
+        b = ConstantProjection(3).fit_transform(small_series)
+        np.testing.assert_array_equal(a, b)
+
+    def test_name_defaults_to_class(self):
+        assert ConstantProjection(2).name == "ConstantProjection"
+
+    def test_subclass_transform_semantics(self, small_series):
+        out = ConstantProjection(3).fit(small_series).transform(small_series)
+        np.testing.assert_array_equal(out, small_series[:, :, :3])
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            Adapter(3)

@@ -1,0 +1,114 @@
+"""Tests for the lcomb / lcomb_top_k trainable adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapters import LinearCombinerAdapter, LinearCombinerModule
+from repro.nn import functional as F
+
+from .test_pca import low_rank_series
+
+
+class TestModule:
+    def test_forward_shape(self, rng):
+        module = LinearCombinerModule(10, 4, rng=rng)
+        out = module(nn.Tensor(rng.normal(size=(3, 7, 10))))
+        assert out.shape == (3, 7, 4)
+
+    def test_rejects_expansion(self):
+        with pytest.raises(ValueError):
+            LinearCombinerModule(4, 10)
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            LinearCombinerModule(10, 4, top_k=0)
+        with pytest.raises(ValueError):
+            LinearCombinerModule(10, 4, top_k=11)
+
+    def test_channel_mismatch(self, rng):
+        module = LinearCombinerModule(10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            module(nn.Tensor(rng.normal(size=(3, 7, 8))))
+
+    def test_plain_mixing_is_weight(self, rng):
+        module = LinearCombinerModule(6, 3, rng=rng)
+        np.testing.assert_array_equal(module.mixing_matrix().data, module.weight.data)
+
+    def test_top_k_rows_sparse_and_normalised(self, rng):
+        module = LinearCombinerModule(10, 4, top_k=3, rng=rng)
+        mix = module.mixing_matrix().data
+        nonzero_per_row = (mix > 0).sum(axis=1)
+        assert (nonzero_per_row <= 3).all()
+        np.testing.assert_allclose(mix.sum(axis=1), np.ones(4), atol=1e-9)
+
+    def test_top_k_weights_nonnegative(self, rng):
+        module = LinearCombinerModule(8, 2, top_k=4, rng=rng)
+        assert (module.mixing_matrix().data >= 0).all()
+
+    def test_gradients_flow_plain(self, rng):
+        module = LinearCombinerModule(6, 2, rng=rng)
+        x = nn.Tensor(rng.normal(size=(4, 5, 6)))
+        (module(x) ** 2).sum().backward()
+        assert module.weight.grad is not None
+        assert np.abs(module.weight.grad).sum() > 0
+
+    def test_gradients_flow_top_k(self, rng):
+        module = LinearCombinerModule(6, 2, top_k=3, rng=rng)
+        x = nn.Tensor(rng.normal(size=(4, 5, 6)))
+        (module(x) ** 2).sum().backward()
+        assert module.weight.grad is not None
+        assert np.abs(module.weight.grad).sum() > 0
+
+
+class TestAdapter:
+    def test_fit_instantiates_module(self, rng):
+        adapter = LinearCombinerAdapter(3, seed=0)
+        assert adapter.module is None
+        adapter.fit(low_rank_series(rng))
+        assert adapter.module is not None
+        assert adapter.module.in_channels == 10
+
+    def test_trainable_flag(self):
+        assert LinearCombinerAdapter(3).trainable
+
+    def test_names(self):
+        assert LinearCombinerAdapter(3).name == "lcomb"
+        assert LinearCombinerAdapter(3, top_k=7).name == "lcomb_top_k"
+
+    def test_transform_matches_module(self, rng):
+        x = low_rank_series(rng)
+        adapter = LinearCombinerAdapter(3, seed=0).fit(x)
+        expected = adapter.module(nn.Tensor(x)).data
+        np.testing.assert_allclose(adapter.transform(x), expected)
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LinearCombinerAdapter(3).transform(low_rank_series(rng))
+
+    def test_deterministic_by_seed(self, rng):
+        x = low_rank_series(rng)
+        a = LinearCombinerAdapter(3, seed=9).fit(x).transform(x)
+        b = LinearCombinerAdapter(3, seed=9).fit(x).transform(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_supervised_training_reduces_loss(self, rng):
+        """The point of lcomb: its weights are learnable by gradient descent."""
+        x = low_rank_series(rng, n=30, t=10, d=8, k=2, noise=0.01)
+        y = (x.mean(axis=(1, 2)) > np.median(x.mean(axis=(1, 2)))).astype(np.int64)
+        adapter = LinearCombinerAdapter(2, seed=0).fit(x)
+        head = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        params = adapter.module.trainable_parameters() + head.trainable_parameters()
+        opt = nn.Adam(params, lr=5e-2)
+        losses = []
+        for _ in range(30):
+            reduced = adapter.transform_tensor(nn.Tensor(x))
+            logits = head(reduced.mean(axis=1))
+            loss = F.cross_entropy(logits, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]

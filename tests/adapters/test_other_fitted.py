@@ -1,0 +1,117 @@
+"""Tests for SVD, random projection and variance-selection adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import (
+    RandomProjectionAdapter,
+    TruncatedSVDAdapter,
+    VarianceSelectorAdapter,
+)
+
+from .test_pca import low_rank_series
+
+
+class TestTruncatedSVD:
+    def test_shape(self, rng):
+        x = low_rank_series(rng)
+        out = TruncatedSVDAdapter(4).fit(x).transform(x)
+        assert out.shape == (20, 30, 4)
+
+    def test_no_centering(self, rng):
+        """SVD on mean-shifted data puts the mean direction first —
+        unlike PCA, which removes it."""
+        x = low_rank_series(rng, noise=0.01) + 50.0
+        adapter = TruncatedSVDAdapter(1).fit(x)
+        # top right-singular vector of an offset-dominated matrix is
+        # nearly the constant direction
+        direction = adapter.projection_[0]
+        uniform = np.ones_like(direction) / np.sqrt(len(direction))
+        assert abs(direction @ uniform) > 0.99
+
+    def test_singular_values_descending_nonnegative(self, rng):
+        adapter = TruncatedSVDAdapter(4).fit(low_rank_series(rng))
+        sv = adapter.singular_values_
+        assert (sv >= 0).all()
+        assert all(a >= b - 1e-9 for a, b in zip(sv, sv[1:]))
+
+    def test_matches_numpy_svd(self, rng):
+        x = low_rank_series(rng)
+        flat = x.reshape(-1, x.shape[-1])
+        _, s, vt = np.linalg.svd(flat, full_matrices=False)
+        adapter = TruncatedSVDAdapter(3).fit(x)
+        np.testing.assert_allclose(adapter.singular_values_, s[:3], rtol=1e-6)
+        for row, expected in zip(adapter.projection_, vt[:3]):
+            assert abs(row @ expected) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestRandomProjection:
+    def test_shape(self, rng):
+        x = low_rank_series(rng)
+        out = RandomProjectionAdapter(4, seed=0).fit(x).transform(x)
+        assert out.shape == (20, 30, 4)
+
+    def test_deterministic_by_seed(self, rng):
+        x = low_rank_series(rng)
+        a = RandomProjectionAdapter(4, seed=7).fit(x).transform(x)
+        b = RandomProjectionAdapter(4, seed=7).fit(x).transform(x)
+        np.testing.assert_array_equal(a, b)
+        c = RandomProjectionAdapter(4, seed=8).fit(x).transform(x)
+        assert not np.array_equal(a, c)
+
+    def test_data_independent(self, rng):
+        """The projection must not depend on the data (only its width)."""
+        a = RandomProjectionAdapter(4, seed=1).fit(low_rank_series(rng, n=5))
+        b = RandomProjectionAdapter(4, seed=1).fit(low_rank_series(rng, n=50))
+        np.testing.assert_array_equal(a.projection_, b.projection_)
+
+    def test_norm_preservation_in_expectation(self):
+        """JL property: squared norms preserved on average."""
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(50, 10, 200))
+        adapter = RandomProjectionAdapter(64, seed=0).fit(x)
+        out = adapter.transform(x)
+        in_norms = (x.reshape(-1, 200) ** 2).sum(axis=1)
+        out_norms = (out.reshape(-1, 64) ** 2).sum(axis=1)
+        ratio = out_norms.mean() / in_norms.mean()
+        assert ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_sparse_variant_density(self, rng):
+        adapter = RandomProjectionAdapter(50, seed=0, sparse=True).fit(
+            low_rank_series(rng, d=200)
+        )
+        density = (adapter.projection_ != 0).mean()
+        assert density == pytest.approx(1 / 3, abs=0.05)
+
+
+class TestVarianceSelector:
+    def test_selects_known_high_variance_channels(self, rng):
+        x = rng.normal(size=(10, 20, 6))
+        x[:, :, 2] *= 10.0
+        x[:, :, 5] *= 5.0
+        adapter = VarianceSelectorAdapter(2).fit(x)
+        np.testing.assert_array_equal(adapter.selected_channels_, [2, 5])
+
+    def test_transform_is_channel_subset(self, rng):
+        x = rng.normal(size=(4, 8, 6))
+        x[:, :, 1] *= 3.0
+        adapter = VarianceSelectorAdapter(1).fit(x)
+        out = adapter.transform(x)
+        np.testing.assert_array_equal(out[:, :, 0], x[:, :, 1])
+
+    def test_projection_is_selection_matrix(self, rng):
+        adapter = VarianceSelectorAdapter(3).fit(low_rank_series(rng))
+        proj = adapter.projection_
+        assert ((proj == 0) | (proj == 1)).all()
+        np.testing.assert_array_equal(proj.sum(axis=1), np.ones(3))
+
+    def test_deterministic_tie_break(self):
+        x = np.ones((3, 5, 4))  # all zero variance: ties
+        adapter = VarianceSelectorAdapter(2).fit(x)
+        np.testing.assert_array_equal(adapter.selected_channels_, [0, 1])
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            VarianceSelectorAdapter(2).transform(low_rank_series(rng))

@@ -1,0 +1,165 @@
+"""Tests for PCA, Scaled PCA and Patch-PCA adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import (
+    PatchPCAAdapter,
+    PCAAdapter,
+    ScaledPCAAdapter,
+    pca_reconstruction_error,
+)
+
+
+def low_rank_series(rng, n=20, t=30, d=10, k=3, noise=0.05):
+    """(N, T, D) data whose channels live near a rank-k subspace."""
+    latent = rng.normal(size=(n, t, k))
+    mixing = rng.normal(size=(d, k))
+    return latent @ mixing.T + noise * rng.normal(size=(n, t, d))
+
+
+class TestPCA:
+    def test_output_shape(self, rng):
+        x = low_rank_series(rng)
+        out = PCAAdapter(4).fit(x).transform(x)
+        assert out.shape == (20, 30, 4)
+
+    def test_components_orthonormal(self, rng):
+        adapter = PCAAdapter(4).fit(low_rank_series(rng))
+        gram = adapter.projection_ @ adapter.projection_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_variance_sorted_descending(self, rng):
+        adapter = PCAAdapter(5).fit(low_rank_series(rng))
+        ev = adapter.explained_variance_
+        assert all(a >= b - 1e-12 for a, b in zip(ev, ev[1:]))
+
+    def test_captures_low_rank_structure(self, rng):
+        """With k=3 latent dims, 3 components explain almost everything."""
+        x = low_rank_series(rng, k=3, noise=0.01)
+        adapter = PCAAdapter(3).fit(x)
+        assert adapter.explained_variance_ratio().sum() > 0.95
+
+    def test_reconstruction_error_decreases_with_k(self, rng):
+        x = low_rank_series(rng, k=5, noise=0.1)
+        errors = [
+            pca_reconstruction_error(PCAAdapter(k).fit(x), x) for k in (1, 3, 5)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_transform_centers_with_train_mean(self, rng):
+        x = low_rank_series(rng) + 100.0  # large offset
+        adapter = PCAAdapter(3).fit(x)
+        out = adapter.transform(x)
+        # centered projection: output mean near zero despite offset
+        assert abs(out.mean()) < 1.0
+
+    def test_components_match_covariance_eigvecs(self, rng):
+        x = low_rank_series(rng)
+        flat = x.reshape(-1, x.shape[-1])
+        flat = flat - flat.mean(axis=0)
+        cov = flat.T @ flat / (len(flat) - 1)
+        eigvals = np.linalg.eigvalsh(cov)[::-1]
+        adapter = PCAAdapter(4).fit(x)
+        np.testing.assert_allclose(adapter.explained_variance_, eigvals[:4], rtol=1e-8)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            PCAAdapter(3).transform(low_rank_series(rng))
+
+    def test_too_many_components_raises(self, rng):
+        with pytest.raises(ValueError):
+            PCAAdapter(11).fit(low_rank_series(rng, d=10))
+
+    def test_channel_mismatch_at_transform(self, rng):
+        adapter = PCAAdapter(3).fit(low_rank_series(rng, d=10))
+        with pytest.raises(ValueError):
+            adapter.transform(low_rank_series(rng, d=8))
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            PCAAdapter(2).fit(np.zeros((4, 5)))
+
+    def test_rejects_nan(self, rng):
+        x = low_rank_series(rng)
+        x[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            PCAAdapter(2).fit(x)
+
+    def test_deterministic(self, rng):
+        x = low_rank_series(rng)
+        a = PCAAdapter(3).fit(x).transform(x)
+        b = PCAAdapter(3).fit(x).transform(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScaledPCA:
+    def test_scale_invariance(self, rng):
+        """Scaling a channel must not change scaled-PCA projections (up to sign)."""
+        x = low_rank_series(rng)
+        scaled = x.copy()
+        scaled[:, :, 0] *= 1000.0
+        out_a = ScaledPCAAdapter(3).fit(x).transform(x)
+        out_b = ScaledPCAAdapter(3).fit(scaled).transform(scaled)
+        np.testing.assert_allclose(np.abs(out_a), np.abs(out_b), atol=1e-6)
+
+    def test_plain_pca_not_scale_invariant(self, rng):
+        x = low_rank_series(rng)
+        scaled = x.copy()
+        scaled[:, :, 0] *= 1000.0
+        out_a = PCAAdapter(3).fit(x).transform(x)
+        out_b = PCAAdapter(3).fit(scaled).transform(scaled)
+        assert not np.allclose(np.abs(out_a), np.abs(out_b), atol=1e-3)
+
+    def test_name(self):
+        assert ScaledPCAAdapter(3).name == "Scaled_PCA"
+
+
+class TestPatchPCA:
+    def test_pws_one_equals_pca(self, rng):
+        x = low_rank_series(rng)
+        pca_out = PCAAdapter(3).fit(x).transform(x)
+        patch_out = PatchPCAAdapter(3, patch_window_size=1).fit(x).transform(x)
+        np.testing.assert_allclose(np.abs(pca_out), np.abs(patch_out), atol=1e-8)
+
+    def test_output_shape_with_ragged_tail(self, rng):
+        x = low_rank_series(rng, t=30)
+        out = PatchPCAAdapter(2, patch_window_size=8).fit(x).transform(x)
+        # 30 // 8 = 3 patches -> 24 steps retained
+        assert out.shape == (20, 24, 2)
+
+    def test_rejects_window_longer_than_series(self, rng):
+        x = low_rank_series(rng, t=6)
+        with pytest.raises(ValueError):
+            PatchPCAAdapter(2, patch_window_size=8).fit(x)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            PatchPCAAdapter(2, patch_window_size=0)
+
+    def test_rejects_too_many_components(self, rng):
+        # pws*D' = 4*4 = 16 > pws*D = 4*3 = 12
+        x = low_rank_series(rng, d=3)
+        with pytest.raises(ValueError):
+            PatchPCAAdapter(4, patch_window_size=4).fit(x)
+
+    def test_name_includes_window(self):
+        assert "8" in PatchPCAAdapter(2, patch_window_size=8).name
+
+
+class TestPatchPCARankLimit:
+    def test_pads_zero_components_when_rank_deficient(self, rng):
+        """Fewer patch rows than pws*D': rank-limited components are
+        kept and the projection is padded, so output geometry holds."""
+        x = low_rank_series(rng, n=4, t=16, d=10)  # 4 rows of 16//8=2 patches = 8 rows
+        adapter = PatchPCAAdapter(5, patch_window_size=8).fit(x)
+        assert adapter.projection_.shape == (40, 80)
+        # the padded rows are exactly zero
+        row_norms = np.linalg.norm(adapter.projection_, axis=1)
+        assert (row_norms[:8] > 0).all()
+        assert np.allclose(row_norms[8:], 0.0)
+        out = adapter.transform(x)
+        assert out.shape == (4, 16, 5)
+        assert np.isfinite(out).all()

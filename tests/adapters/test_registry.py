@@ -1,0 +1,72 @@
+"""Tests for the adapter registry and the Identity adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import (
+    ADAPTER_NAMES,
+    IdentityAdapter,
+    LinearCombinerAdapter,
+    PatchPCAAdapter,
+    PCAAdapter,
+    make_adapter,
+)
+
+from .test_pca import low_rank_series
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["none", "pca", "scaled_pca", "patch_pca", "svd", "rand_proj", "var", "lcomb", "lcomb_top_k"]
+    )
+    def test_all_names_constructible(self, name, rng):
+        adapter = make_adapter(name, 3, seed=0)
+        x = low_rank_series(rng)
+        out = adapter.fit(x).transform(x)
+        assert out.ndim == 3
+
+    def test_table2_names_cover_paper_columns(self):
+        assert ADAPTER_NAMES == ("pca", "svd", "rand_proj", "var", "lcomb", "lcomb_top_k")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_adapter("umap")
+
+    def test_case_insensitive(self):
+        assert isinstance(make_adapter("PCA", 3), PCAAdapter)
+
+    def test_default_output_channels_is_paper_value(self):
+        assert make_adapter("pca").output_channels == 5
+
+    def test_kwargs_forwarded(self):
+        adapter = make_adapter("patch_pca", 3, patch_window_size=16)
+        assert isinstance(adapter, PatchPCAAdapter)
+        assert adapter.patch_window_size == 16
+
+    def test_top_k_default_is_seven(self):
+        adapter = make_adapter("lcomb_top_k", 3)
+        assert isinstance(adapter, LinearCombinerAdapter)
+        assert adapter.top_k == 7
+
+    def test_invalid_output_channels(self):
+        with pytest.raises(ValueError):
+            make_adapter("pca", 0)
+
+
+class TestIdentityAdapter:
+    def test_passthrough(self, rng):
+        x = low_rank_series(rng)
+        adapter = IdentityAdapter().fit(x)
+        np.testing.assert_array_equal(adapter.transform(x), x)
+
+    def test_output_channels_resolved_at_fit(self, rng):
+        adapter = IdentityAdapter().fit(low_rank_series(rng, d=7))
+        assert adapter.output_channels == 7
+
+    def test_name(self):
+        assert IdentityAdapter().name == "no_adapter"
+
+    def test_not_trainable(self):
+        assert not IdentityAdapter().trainable

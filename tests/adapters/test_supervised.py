@@ -1,0 +1,111 @@
+"""Tests for the extension adapters (LDA, cluster averaging)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import ClusterAverageAdapter, LDAAdapter, make_adapter
+
+
+@pytest.fixture
+def labelled_series(rng):
+    """Series whose class signal lives along a known channel direction."""
+    n, t, d = 60, 15, 10
+    y = (np.arange(n) % 3).astype(np.int64)
+    direction = np.zeros(d)
+    direction[:3] = [1.0, -1.0, 0.5]
+    x = rng.normal(size=(n, t, d)) * 0.3
+    x += y[:, None, None] * direction[None, None, :]
+    return x, y
+
+
+class TestLDA:
+    def test_requires_labels(self, labelled_series):
+        x, _ = labelled_series
+        with pytest.raises(ValueError):
+            LDAAdapter(3).fit(x)
+
+    def test_output_shape(self, labelled_series):
+        x, y = labelled_series
+        out = LDAAdapter(3).fit(x, y).transform(x)
+        assert out.shape == (60, 15, 3)
+
+    def test_discriminant_count_capped_by_classes(self, labelled_series):
+        x, y = labelled_series  # 3 classes -> at most 2 discriminants
+        adapter = LDAAdapter(5).fit(x, y)
+        assert adapter.discriminant_dims_ == 2
+        assert adapter.projection_.shape == (5, 10)
+
+    def test_first_direction_separates_classes(self, labelled_series):
+        """Projecting onto the top discriminant must order class means."""
+        x, y = labelled_series
+        adapter = LDAAdapter(2).fit(x, y)
+        projected = adapter.transform(x)[:, :, 0].mean(axis=1)
+        means = [projected[y == c].mean() for c in range(3)]
+        spread = np.ptp(means)
+        within = np.mean([projected[y == c].std() for c in range(3)])
+        assert spread > 2 * within
+
+    def test_labels_shape_validated(self, labelled_series):
+        x, y = labelled_series
+        with pytest.raises(ValueError):
+            LDAAdapter(2).fit(x, y[:-1])
+
+    def test_single_class_rejected(self, labelled_series):
+        x, _ = labelled_series
+        with pytest.raises(ValueError):
+            LDAAdapter(2).fit(x, np.zeros(len(x), dtype=int))
+
+    def test_shrinkage_validated(self):
+        with pytest.raises(ValueError):
+            LDAAdapter(2, shrinkage=0.0)
+
+    def test_rows_unit_norm_for_discriminants(self, labelled_series):
+        x, y = labelled_series
+        adapter = LDAAdapter(2).fit(x, y)
+        norms = np.linalg.norm(adapter.projection_, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-8)
+
+    def test_registry(self):
+        assert isinstance(make_adapter("lda", 3), LDAAdapter)
+
+
+class TestClusterAverage:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(10, 20, 8))
+        out = ClusterAverageAdapter(3).fit(x).transform(x)
+        assert out.shape == (10, 20, 3)
+
+    def test_groups_correlated_channels(self, rng):
+        """Two blocks of perfectly correlated channels -> 2 clusters."""
+        base = rng.normal(size=(20, 30, 2))
+        x = np.concatenate(
+            [base[:, :, :1]] * 3 + [base[:, :, 1:]] * 3, axis=2
+        ) + 0.01 * rng.normal(size=(20, 30, 6))
+        adapter = ClusterAverageAdapter(2).fit(x)
+        groups = [set(g.tolist()) for g in adapter.cluster_members_]
+        assert sorted(groups, key=min) == [{0, 1, 2}, {3, 4, 5}]
+
+    def test_projection_rows_average(self, rng):
+        x = rng.normal(size=(10, 20, 6))
+        adapter = ClusterAverageAdapter(3).fit(x)
+        for row, members in zip(adapter.projection_, adapter.cluster_members_):
+            np.testing.assert_allclose(row[members], 1.0 / len(members))
+            assert row.sum() == pytest.approx(1.0)
+
+    def test_full_width_is_identity(self, rng):
+        x = rng.normal(size=(5, 10, 4))
+        adapter = ClusterAverageAdapter(4).fit(x)
+        np.testing.assert_array_equal(adapter.projection_, np.eye(4))
+
+    def test_anticorrelated_channels_cluster_together(self, rng):
+        """Distance uses |corr|, so c and -c belong to one cluster."""
+        base = rng.normal(size=(20, 50, 1))
+        x = np.concatenate([base, -base, rng.normal(size=(20, 50, 1))], axis=2)
+        adapter = ClusterAverageAdapter(2).fit(x)
+        groups = [set(g.tolist()) for g in adapter.cluster_members_]
+        assert {0, 1} in groups
+
+    def test_registry(self):
+        assert isinstance(make_adapter("cluster_avg", 3), ClusterAverageAdapter)

@@ -1,0 +1,84 @@
+"""Tests for DTW distance and the 1-NN DTW classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DTW1NNClassifier, dtw_distance
+
+
+class TestDistance:
+    def test_identity_is_zero(self, rng):
+        a = rng.normal(size=(15, 3))
+        assert dtw_distance(a, a) == 0.0
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=(12, 2))
+        b = rng.normal(size=(17, 2))
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_nonnegative(self, rng):
+        a, b = rng.normal(size=(10, 1)), rng.normal(size=(10, 1))
+        assert dtw_distance(a, b) >= 0.0
+
+    def test_handles_univariate_1d_input(self, rng):
+        a, b = rng.normal(size=10), rng.normal(size=12)
+        assert dtw_distance(a, b) >= 0.0
+
+    def test_warping_beats_euclidean_on_shifted_series(self):
+        """DTW must align a time-shifted copy almost perfectly."""
+        t = np.linspace(0, 1, 50)
+        a = np.sin(2 * np.pi * 3 * t)[:, None]
+        b = np.sin(2 * np.pi * 3 * (t - 0.08))[:, None]
+        euclidean = float(np.sqrt(((a - b) ** 2).sum()))
+        assert dtw_distance(a, b) < 0.5 * euclidean
+
+    def test_band_constrains_path(self):
+        """A very narrow band approaches the Euclidean distance."""
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(20, 1)), rng.normal(size=(20, 1))
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, band=0)
+        euclidean = float(np.sqrt(((a - b) ** 2).sum()))
+        assert banded == pytest.approx(euclidean)
+        assert unconstrained <= banded + 1e-12
+
+    def test_different_lengths(self, rng):
+        a, b = rng.normal(size=(10, 2)), rng.normal(size=(25, 2))
+        assert np.isfinite(dtw_distance(a, b, band=3))
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            dtw_distance(rng.normal(size=(5, 2)), rng.normal(size=(5, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((0, 1)), np.zeros((5, 1)))
+
+
+class TestClassifier:
+    def test_classifies_distinct_shapes(self, rng):
+        t = np.linspace(0, 1, 30)
+        n = 40
+        y = (np.arange(n) % 2).astype(np.int64)
+        x = np.empty((n, 30, 1))
+        for i in range(n):
+            freq = 2.0 if y[i] == 0 else 6.0
+            x[i, :, 0] = np.sin(2 * np.pi * freq * t + rng.uniform(0, 1)) + 0.1 * rng.normal(size=30)
+        clf = DTW1NNClassifier(band=4).fit(x[:24], y[:24])
+        assert clf.score(x[24:], y[24:]) > 0.8
+
+    def test_memorises_training_set(self, rng):
+        x = rng.normal(size=(10, 12, 2))
+        y = np.arange(10) % 3
+        clf = DTW1NNClassifier().fit(x, y)
+        np.testing.assert_array_equal(clf.predict(x), y)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            DTW1NNClassifier().predict(rng.normal(size=(2, 5, 1)))
+
+    def test_misaligned_fit_raises(self, rng):
+        with pytest.raises(ValueError):
+            DTW1NNClassifier().fit(rng.normal(size=(4, 5, 1)), np.zeros(3))

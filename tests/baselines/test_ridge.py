@@ -1,0 +1,68 @@
+"""Tests for the closed-form ridge classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import RidgeClassifier
+
+
+@pytest.fixture
+def separable(rng):
+    x = rng.normal(size=(100, 8))
+    w = rng.normal(size=(8, 3))
+    y = (x @ w).argmax(axis=1)
+    return x, y
+
+
+class TestFit:
+    def test_learns_separable_problem(self, separable):
+        x, y = separable
+        clf = RidgeClassifier(alpha=1.0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_alpha_selection(self, separable):
+        x, y = separable
+        clf = RidgeClassifier(alpha=[0.01, 1.0, 100.0]).fit(x, y)
+        assert clf.alpha_ in (0.01, 1.0, 100.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            RidgeClassifier(alpha=0.0)
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(rng.normal(size=(10, 3)), np.zeros(9))
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            RidgeClassifier().predict(rng.normal(size=(3, 4)))
+
+
+class TestDualPrimalEquivalence:
+    def test_wide_and_tall_solutions_agree(self, rng):
+        """Dual (features > samples) and primal solutions must match."""
+        x = rng.normal(size=(30, 10))
+        y = (np.arange(30) % 2)
+        clf_primal = RidgeClassifier(alpha=1.0).fit(x, y)
+        # Pad features to force the dual path; the extra features are
+        # constant (zero after standardisation), so predictions on the
+        # informative block persist.
+        x_wide = np.concatenate([x, np.zeros((30, 50))], axis=1)
+        clf_dual = RidgeClassifier(alpha=1.0).fit(x_wide, y)
+        agreement = (clf_primal.predict(x) == clf_dual.predict(x_wide)).mean()
+        assert agreement > 0.9
+
+    def test_decision_function_shape(self, separable):
+        x, y = separable
+        clf = RidgeClassifier().fit(x, y)
+        assert clf.decision_function(x).shape == (100, 3)
+
+
+class TestRegularisation:
+    def test_large_alpha_shrinks_coefficients(self, separable):
+        x, y = separable
+        small = RidgeClassifier(alpha=0.001).fit(x, y)
+        large = RidgeClassifier(alpha=1000.0).fit(x, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()

@@ -1,0 +1,76 @@
+"""Tests for the ROCKET baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import RocketClassifier, RocketTransform
+
+
+def frequency_task(rng, n=60, t=50, d=2):
+    """Two classes distinguished by oscillation frequency."""
+    grid = np.linspace(0, 1, t)
+    y = (np.arange(n) % 2).astype(np.int64)
+    freqs = np.where(y == 0, 3.0, 10.0)
+    x = np.sin(2 * np.pi * freqs[:, None] * grid[None, :] + rng.uniform(0, 6.28, (n, 1)))
+    x = np.stack([x] * d, axis=2) + 0.1 * rng.normal(size=(n, t, d))
+    return x, y
+
+
+class TestTransform:
+    def test_feature_shape(self, rng):
+        x, _ = frequency_task(rng)
+        features = RocketTransform(num_kernels=50, seed=0).fit_transform(x)
+        assert features.shape == (60, 100)  # 2 features per kernel
+
+    def test_ppv_in_unit_interval(self, rng):
+        x, _ = frequency_task(rng)
+        features = RocketTransform(num_kernels=50, seed=0).fit_transform(x)
+        ppv = features[:, 0::2]
+        assert ((ppv >= 0) & (ppv <= 1)).all()
+
+    def test_deterministic_by_seed(self, rng):
+        x, _ = frequency_task(rng)
+        a = RocketTransform(num_kernels=20, seed=5).fit_transform(x)
+        b = RocketTransform(num_kernels=20, seed=5).fit_transform(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_channel_count_validated(self, rng):
+        x, _ = frequency_task(rng, d=3)
+        transform = RocketTransform(num_kernels=10, seed=0).fit(x)
+        with pytest.raises(ValueError):
+            transform.transform(x[:, :, :2])
+
+    def test_unfitted_raises(self, rng):
+        x, _ = frequency_task(rng)
+        with pytest.raises(RuntimeError):
+            RocketTransform(num_kernels=10).transform(x)
+
+    def test_rejects_zero_kernels(self):
+        with pytest.raises(ValueError):
+            RocketTransform(num_kernels=0)
+
+    def test_short_series_handled(self, rng):
+        """Series shorter than a dilated kernel fall back gracefully."""
+        x = rng.normal(size=(4, 5, 1))
+        features = RocketTransform(num_kernels=30, seed=0).fit_transform(x)
+        assert np.isfinite(features).all()
+
+
+class TestClassifier:
+    def test_solves_frequency_task(self, rng):
+        x, y = frequency_task(rng)
+        clf = RocketClassifier(num_kernels=200, seed=0).fit(x[:40], y[:40])
+        assert clf.score(x[40:], y[40:]) > 0.8
+
+    def test_multivariate_channels_used(self, rng):
+        """Signal placed in channel 1 only must still be found."""
+        n, t = 60, 40
+        y = (np.arange(n) % 2).astype(np.int64)
+        grid = np.linspace(0, 1, t)
+        freqs = np.where(y == 0, 3.0, 9.0)
+        signal = np.sin(2 * np.pi * freqs[:, None] * grid[None, :])
+        x = np.stack([rng.normal(size=(n, t)), signal], axis=2)
+        clf = RocketClassifier(num_kernels=300, seed=0).fit(x[:40], y[:40])
+        assert clf.score(x[40:], y[40:]) > 0.75

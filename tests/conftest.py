@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_series(rng) -> np.ndarray:
+    """A small (N, T, D) multivariate batch."""
+    return rng.normal(size=(6, 20, 8))
+
+
+def finite_difference(fn, array: np.ndarray, index: tuple, eps: float = 1e-6) -> float:
+    """Central finite difference of scalar ``fn`` wrt ``array[index]``."""
+    original = array[index]
+    array[index] = original + eps
+    plus = fn()
+    array[index] = original - eps
+    minus = fn()
+    array[index] = original
+    return (plus - minus) / (2 * eps)

@@ -1,0 +1,128 @@
+"""Tests for the latent-factor surrogate generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_info
+from repro.data.generators import GeneratorConfig, LatentFactorGenerator, generate_split
+
+
+@pytest.fixture
+def info():
+    return dataset_info("NATOPS")  # D=24, T=51, 6 classes
+
+
+class TestSampling:
+    def test_shapes_and_dtypes(self, info):
+        gen = LatentFactorGenerator(info, seed=0)
+        x, y = gen.sample(30, np.random.default_rng(0))
+        assert x.shape == (30, 51, 24)
+        assert y.shape == (30,)
+        assert x.dtype == np.float64
+        assert y.dtype == np.int64
+
+    def test_labels_balanced(self, info):
+        gen = LatentFactorGenerator(info, seed=0)
+        _, y = gen.sample(60, np.random.default_rng(0))
+        counts = np.bincount(y, minlength=6)
+        assert counts.min() >= 9  # 60/6 = 10, round robin
+
+    def test_custom_length(self, info):
+        gen = LatentFactorGenerator(info, seed=0)
+        x, _ = gen.sample(4, np.random.default_rng(0), length=20)
+        assert x.shape[1] == 20
+
+    def test_rejects_nonpositive(self, info):
+        gen = LatentFactorGenerator(info, seed=0)
+        with pytest.raises(ValueError):
+            gen.sample(0, np.random.default_rng(0))
+
+    def test_finite(self, info):
+        gen = LatentFactorGenerator(info, seed=0)
+        x, _ = gen.sample(10, np.random.default_rng(0))
+        assert np.isfinite(x).all()
+
+
+class TestStructure:
+    def test_decoy_channels_have_high_variance(self, info):
+        """Decoys must sit in the top variance quartile (they are there
+        to trap variance-based channel selection)."""
+        gen = LatentFactorGenerator(info, seed=0)
+        x, _ = gen.sample(100, np.random.default_rng(0))
+        variances = x.reshape(-1, 24).var(axis=0)
+        threshold = np.quantile(variances, 0.75)
+        assert (variances[gen._decoy_channels] >= threshold).all()
+
+    def test_decoys_carry_no_signal(self, info):
+        gen = LatentFactorGenerator(info, seed=0)
+        assert np.abs(gen._mixing[gen._decoy_channels]).sum() == 0.0
+
+    def test_classes_are_separable(self, info):
+        """A nearest-centroid classifier on channel-mean features must
+        beat chance by a wide margin — otherwise downstream accuracy
+        comparisons are meaningless."""
+        gen = LatentFactorGenerator(info, seed=0)
+        x_train, y_train = gen.sample(120, np.random.default_rng(1))
+        x_test, y_test = gen.sample(120, np.random.default_rng(2))
+
+        def features(x):
+            return x.reshape(len(x), -1)
+
+        centroids = np.stack(
+            [features(x_train)[y_train == c].mean(axis=0) for c in range(6)]
+        )
+        distances = ((features(x_test)[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        accuracy = (distances.argmin(axis=1) == y_test).mean()
+        assert accuracy > 0.5  # chance = 1/6
+
+    def test_same_seed_same_class_structure(self, info):
+        a = LatentFactorGenerator(info, seed=3)
+        b = LatentFactorGenerator(info, seed=3)
+        np.testing.assert_array_equal(a._mixing, b._mixing)
+        np.testing.assert_array_equal(a._frequencies, b._frequencies)
+
+    def test_different_seeds_differ(self, info):
+        a = LatentFactorGenerator(info, seed=3)
+        b = LatentFactorGenerator(info, seed=4)
+        assert not np.array_equal(a._mixing, b._mixing)
+
+
+class TestGenerateSplit:
+    def test_deterministic(self, info):
+        a = generate_split(info, seed=0, scale=0.5)
+        b = generate_split(info, seed=0, scale=0.5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_scale_reduces_sizes(self, info):
+        x_train, _, x_test, _ = generate_split(info, seed=0, scale=0.5)
+        assert len(x_train) == 90  # 180 * 0.5
+        assert len(x_test) == 90
+
+    def test_floor_keeps_classes_covered(self):
+        info = dataset_info("PhonemeSpectra")  # 39 classes
+        _, y_train, _, _ = generate_split(info, seed=0, scale=0.01)
+        assert len(np.unique(y_train)) == 39
+
+    def test_never_exceeds_paper_sizes(self):
+        info = dataset_info("DuckDuckGeese")  # train 60, 5 classes
+        x_train, _, x_test, _ = generate_split(info, seed=0, scale=1.0)
+        assert len(x_train) == 60
+        assert len(x_test) == 40
+
+    def test_max_length_caps(self, info):
+        x_train, _, _, _ = generate_split(info, seed=0, scale=0.5, max_length=16)
+        assert x_train.shape[1] == 16
+
+    def test_invalid_scale(self, info):
+        with pytest.raises(ValueError):
+            generate_split(info, seed=0, scale=0.0)
+        with pytest.raises(ValueError):
+            generate_split(info, seed=0, scale=1.5)
+
+    def test_custom_config(self, info):
+        config = GeneratorConfig(latent_dim=2, num_decoy_channels=0)
+        x_train, _, _, _ = generate_split(info, seed=0, scale=0.2, config=config)
+        assert x_train.shape[-1] == 24

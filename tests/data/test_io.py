@@ -1,0 +1,60 @@
+"""Tests for dataset import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, load_dataset_file, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("NATOPS", seed=3, scale=0.1, max_length=24)
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, tmp_path, dataset):
+        path = save_dataset(dataset, tmp_path / "natops")
+        back = load_dataset_file(path)
+        np.testing.assert_array_equal(dataset.x_train, back.x_train)
+        np.testing.assert_array_equal(dataset.y_train, back.y_train)
+        np.testing.assert_array_equal(dataset.x_test, back.x_test)
+        np.testing.assert_array_equal(dataset.y_test, back.y_test)
+
+    def test_metadata_restored(self, tmp_path, dataset):
+        path = save_dataset(dataset, tmp_path / "d")
+        back = load_dataset_file(path)
+        assert back.info.name == "NATOPS"
+        assert back.seed == 3
+        assert back.scale == 0.1
+
+    def test_suffix_enforced(self, tmp_path, dataset):
+        path = save_dataset(dataset, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_load_without_suffix(self, tmp_path, dataset):
+        save_dataset(dataset, tmp_path / "d")
+        back = load_dataset_file(tmp_path / "d")
+        assert back.info.name == "NATOPS"
+
+    def test_creates_parent_dirs(self, tmp_path, dataset):
+        path = save_dataset(dataset, tmp_path / "a" / "b" / "d.npz")
+        assert path.exists()
+
+
+class TestValidation:
+    def test_rejects_non_dataset_archive(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, stuff=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_dataset_file(bogus)
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_file(tmp_path / "missing.npz")
+
+    def test_labels_coerced_to_int(self, tmp_path, dataset):
+        path = save_dataset(dataset, tmp_path / "d")
+        back = load_dataset_file(path)
+        assert back.y_train.dtype == np.int64

@@ -1,0 +1,79 @@
+"""Tests for the Table-3 dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DATASETS, dataset_info, dataset_names
+
+#: Verbatim Table 3 of the paper.
+PAPER_TABLE3 = {
+    "DuckDuckGeese": (60, 40, 1345, 270, 5),
+    "FaceDetection": (5890, 3524, 144, 62, 2),
+    "FingerMovements": (316, 100, 28, 50, 2),
+    "HandMovementDirection": (320, 147, 10, 400, 4),
+    "Heartbeat": (204, 205, 61, 405, 2),
+    "InsectWingbeat": (1000, 1000, 200, 78, 10),
+    "JapaneseVowels": (270, 370, 12, 29, 9),
+    "MotorImagery": (278, 100, 64, 3000, 2),
+    "NATOPS": (180, 180, 24, 51, 6),
+    "PEMS-SF": (267, 173, 963, 144, 7),
+    "PhonemeSpectra": (3315, 3353, 11, 217, 39),
+    "SpokenArabicDigits": (6599, 2199, 13, 93, 10),
+}
+
+
+class TestRegistry:
+    def test_contains_exactly_twelve(self):
+        assert len(DATASETS) == 12
+
+    @pytest.mark.parametrize("name,expected", PAPER_TABLE3.items())
+    def test_matches_paper_table3(self, name, expected):
+        info = dataset_info(name)
+        assert (
+            info.train_size,
+            info.test_size,
+            info.num_channels,
+            info.sequence_length,
+            info.num_classes,
+        ) == expected
+
+    def test_all_have_at_least_ten_channels(self):
+        """Paper selection criterion: >= 10 channels."""
+        assert all(info.num_channels >= 10 for info in DATASETS.values())
+
+    def test_names_in_table_order(self):
+        assert dataset_names()[0] == "DuckDuckGeese"
+        assert dataset_names()[-1] == "SpokenArabicDigits"
+
+
+class TestLookup:
+    def test_by_short_name(self):
+        assert dataset_info("Duck").name == "DuckDuckGeese"
+        assert dataset_info("SpokeA").name == "SpokenArabicDigits"
+
+    def test_case_insensitive(self):
+        assert dataset_info("heartbeat").name == "Heartbeat"
+        assert dataset_info("pems").name == "PEMS-SF"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            dataset_info("MNIST")
+
+    def test_total_size(self):
+        assert dataset_info("NATOPS").total_size == 360
+
+
+class TestTokensPerSample:
+    def test_channel_linear_scaling(self):
+        info = dataset_info("Heartbeat")  # D=61, T=405
+        # patch 8, stride 8: (405-8)//8+1 = 50 patches per channel
+        assert info.tokens_per_sample(8) == 61 * 50
+
+    def test_overlapping_stride(self):
+        info = dataset_info("JapaneseVowels")  # D=12, T=29
+        assert info.tokens_per_sample(16, patch_stride=4) == 12 * ((29 - 16) // 4 + 1)
+
+    def test_short_series_floor(self):
+        info = dataset_info("JapaneseVowels")  # T=29 < patch 32
+        assert info.tokens_per_sample(32) == 12 * 1

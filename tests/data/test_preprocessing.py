@@ -1,0 +1,156 @@
+"""Tests for preprocessing utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Standardizer,
+    pad_or_truncate,
+    subsample,
+    validate_series,
+    zscore_per_channel,
+)
+
+
+class TestValidate:
+    def test_passes_valid(self, small_series):
+        out = validate_series(small_series)
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            validate_series(np.zeros((3, 4)))
+
+    def test_rejects_nan_and_inf(self, small_series):
+        bad = small_series.copy()
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            validate_series(bad)
+        bad[0, 0, 0] = np.inf
+        with pytest.raises(ValueError):
+            validate_series(bad)
+
+
+class TestZScore:
+    def test_per_instance_channel_stats(self, rng):
+        x = rng.normal(5.0, 3.0, size=(4, 50, 3))
+        out = zscore_per_channel(x)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-6)
+
+    def test_constant_channel_safe(self):
+        x = np.ones((2, 10, 2))
+        out = zscore_per_channel(x)
+        assert np.isfinite(out).all()
+
+
+class TestStandardizer:
+    def test_train_stats_applied_to_test(self, rng):
+        train = rng.normal(2.0, 4.0, size=(20, 30, 3))
+        std = Standardizer().fit(train)
+        out = std.transform(train)
+        flat = out.reshape(-1, 3)
+        np.testing.assert_allclose(flat.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(flat.std(axis=0), 1.0, atol=1e-6)
+
+    def test_transform_before_fit_raises(self, small_series):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(small_series)
+
+    def test_fit_transform(self, small_series):
+        out = Standardizer().fit_transform(small_series)
+        assert out.shape == small_series.shape
+
+
+class TestPadOrTruncate:
+    def test_pad(self, rng):
+        x = rng.normal(size=(2, 10, 3))
+        out = pad_or_truncate(x, 15)
+        assert out.shape == (2, 15, 3)
+        np.testing.assert_array_equal(out[:, 10:, :], 0.0)
+        np.testing.assert_array_equal(out[:, :10, :], x)
+
+    def test_truncate(self, rng):
+        x = rng.normal(size=(2, 10, 3))
+        out = pad_or_truncate(x, 6)
+        np.testing.assert_array_equal(out, x[:, :6, :])
+
+    def test_noop(self, rng):
+        x = rng.normal(size=(2, 10, 3))
+        np.testing.assert_array_equal(pad_or_truncate(x, 10), x)
+
+    def test_custom_pad_value(self, rng):
+        out = pad_or_truncate(rng.normal(size=(1, 4, 1)), 6, pad_value=-1.0)
+        np.testing.assert_array_equal(out[0, 4:, 0], [-1.0, -1.0])
+
+    def test_invalid_length(self, small_series):
+        with pytest.raises(ValueError):
+            pad_or_truncate(small_series, 0)
+
+
+class TestSubsample:
+    def test_returns_requested_count(self, rng):
+        x = rng.normal(size=(100, 5, 2))
+        y = np.arange(100) % 4
+        xs, ys = subsample(x, y, 40, rng)
+        assert len(xs) == 40
+        assert len(ys) == 40
+
+    def test_stratified(self, rng):
+        x = rng.normal(size=(100, 5, 2))
+        y = np.arange(100) % 4
+        _, ys = subsample(x, y, 40, rng)
+        counts = np.bincount(ys, minlength=4)
+        assert counts.min() >= 10
+
+    def test_noop_when_enough(self, rng):
+        x = rng.normal(size=(10, 5, 2))
+        y = np.zeros(10, dtype=int)
+        xs, ys = subsample(x, y, 20, rng)
+        assert len(xs) == 10
+
+    def test_alignment_preserved(self, rng):
+        x = np.arange(50, dtype=float).reshape(50, 1, 1)
+        y = (np.arange(50) % 2).astype(int)
+        xs, ys = subsample(x, y, 20, rng)
+        for value, label in zip(xs[:, 0, 0], ys):
+            assert int(value) % 2 == label
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            subsample(np.zeros((5, 2, 2)), np.zeros(4), 2, rng)
+
+    def test_imbalanced_classes_filled(self, rng):
+        """A class with fewer members than its quota is topped up elsewhere."""
+        x = rng.normal(size=(30, 4, 1))
+        y = np.array([0] * 28 + [1] * 2)
+        xs, ys = subsample(x, y, 20, rng)
+        assert len(xs) == 20
+        assert set(np.unique(ys)) == {0, 1}
+
+
+class TestLoadDataset:
+    def test_fields(self):
+        from repro.data import load_dataset
+
+        ds = load_dataset("NATOPS", seed=0, scale=0.3)
+        assert ds.name == "NATOPS"
+        assert ds.num_channels == 24
+        assert ds.num_classes == 6
+        assert "NATOPS" in ds.describe()
+
+    def test_normalize_flag(self):
+        from repro.data import load_dataset
+
+        normed = load_dataset("NATOPS", seed=0, scale=0.3, normalize=True)
+        raw = load_dataset("NATOPS", seed=0, scale=0.3, normalize=False)
+        np.testing.assert_allclose(normed.x_train.mean(axis=1), 0.0, atol=1e-8)
+        assert np.abs(raw.x_train.mean(axis=1)).max() > 1e-4
+
+    def test_load_all(self):
+        from repro.data import load_all_datasets
+
+        data = load_all_datasets(seed=0, scale=0.02, max_length=16)
+        assert len(data) == 12

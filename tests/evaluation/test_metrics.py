@@ -1,0 +1,65 @@
+"""Tests for classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import accuracy, confusion_matrix, macro_f1
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 2, 2]), np.array([0, 1, 0, 0])) == 0.5
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestConfusionMatrix:
+    def test_values(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(y_true, y_pred)
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_explicit_num_classes(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), num_classes=4)
+        assert matrix.shape == (4, 4)
+
+    def test_row_sums_are_class_counts(self):
+        y_true = np.array([0, 0, 1, 2, 2, 2])
+        y_pred = np.array([1, 2, 0, 0, 1, 2])
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix.sum(axis=1), [2, 1, 3])
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y) == pytest.approx(1.0)
+
+    def test_binary_manual(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        # class 0: P=1, R=0.5, F1=2/3; class 1: P=2/3, R=1, F1=0.8
+        assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 0.8) / 2)
+
+    def test_absent_predicted_class_scores_zero(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([0, 0])
+        # class 1 never predicted: F1 = 0; class 0: P=0.5, R=1 -> 2/3
+        assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 0.0) / 2)

@@ -1,0 +1,95 @@
+"""Tests for aggregation and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    MeanStd,
+    aggregate_seeds,
+    format_csv,
+    render_bar_chart,
+    render_table,
+    write_csv,
+)
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        agg = aggregate_seeds([0.5, 0.6, 0.7])
+        assert agg.mean == pytest.approx(0.6)
+        assert agg.std == pytest.approx(np.std([0.5, 0.6, 0.7]))
+        assert agg.count == 3
+
+    def test_paper_format(self):
+        assert aggregate_seeds([0.593, 0.593, 0.593]).paper_format() == "0.593±0.000"
+
+    def test_str_format(self):
+        assert str(MeanStd(0.5, 0.1, 3)) == "0.500 ± 0.100"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_seeds([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            aggregate_seeds([0.5, float("nan")])
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "333" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["1"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(["x"], [[1.5], [None]])
+        assert "1.5" in text
+        assert "None" in text
+
+
+class TestBarChart:
+    def test_renders_bars_proportionally(self):
+        text = render_bar_chart(["long", "short"], [100.0, 50.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_unit_suffix(self):
+        assert "10s" in render_bar_chart(["a"], [10.0], unit="s")
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_bar_chart([], [])
+
+    def test_zero_values_no_bars(self):
+        text = render_bar_chart(["a"], [0.0])
+        assert "█" not in text
+
+
+class TestCsv:
+    def test_write_and_read_back(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "results.csv", ["x", "y"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,2"
+
+    def test_format_csv(self):
+        text = format_csv(["a"], [["v"]])
+        assert text.splitlines()[0] == "a"
+        assert text.splitlines()[1] == "v"

@@ -1,0 +1,110 @@
+"""Tests for the statistical analyses (Welch t-test, ranks, p-value matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.evaluation import average_ranks, pairwise_pvalue_matrix, rank_scores, welch_ttest
+
+
+class TestWelch:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0.0, 1.0, size=10)
+        b = rng.normal(0.5, 2.0, size=14)
+        t_ours, p_ours = welch_ttest(a, b)
+        result = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert t_ours == pytest.approx(result.statistic)
+        assert p_ours == pytest.approx(result.pvalue)
+
+    def test_identical_samples_p_near_one(self, rng):
+        a = rng.normal(size=30)
+        _, p = welch_ttest(a, a + rng.normal(0, 1e-9, size=30))
+        assert p > 0.9
+
+    def test_separated_samples_p_near_zero(self, rng):
+        _, p = welch_ttest(rng.normal(0, 0.1, 20), rng.normal(10, 0.1, 20))
+        assert p < 1e-6
+
+    def test_constant_equal_samples(self):
+        t, p = welch_ttest(np.ones(3), np.ones(3))
+        assert (t, p) == (0.0, 1.0)
+
+    def test_constant_different_samples(self):
+        _, p = welch_ttest(np.ones(3), np.zeros(3))
+        assert p == 0.0
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            welch_ttest(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_symmetric_in_arguments(self, rng):
+        a, b = rng.normal(size=8), rng.normal(1, 1, size=8)
+        _, p_ab = welch_ttest(a, b)
+        _, p_ba = welch_ttest(b, a)
+        assert p_ab == pytest.approx(p_ba)
+
+
+class TestPairwiseMatrix:
+    def test_shape_diagonal_symmetry(self, rng):
+        samples = {name: rng.normal(size=6) for name in "abcd"}
+        names, matrix = pairwise_pvalue_matrix(samples)
+        assert names == list("abcd")
+        assert matrix.shape == (4, 4)
+        np.testing.assert_array_equal(np.diag(matrix), np.ones(4))
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_values_in_unit_interval(self, rng):
+        samples = {name: rng.normal(size=6) for name in "abc"}
+        _, matrix = pairwise_pvalue_matrix(samples)
+        assert ((matrix >= 0) & (matrix <= 1)).all()
+
+    def test_needs_two_methods(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_pvalue_matrix({"only": rng.normal(size=5)})
+
+    def test_paper_scenario_no_significant_difference(self, rng):
+        """Methods drawing from the same distribution: min p stays large,
+        mirroring the paper's Figure-5 conclusion."""
+        base = rng.normal(0.7, 0.05, size=(5, 36))
+        samples = {f"m{i}": base[i] + rng.normal(0, 0.01, 36) for i in range(5)}
+        _, matrix = pairwise_pvalue_matrix(samples)
+        off_diag = matrix[~np.eye(5, dtype=bool)]
+        assert off_diag.min() > 0.01
+
+
+class TestRanks:
+    def test_rank_scores_descending(self):
+        np.testing.assert_array_equal(rank_scores(np.array([0.9, 0.5, 0.7])), [1, 3, 2])
+
+    def test_ties_averaged(self):
+        np.testing.assert_array_equal(rank_scores(np.array([0.5, 0.5, 0.1])), [1.5, 1.5, 3])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rank_scores(np.zeros((2, 2)))
+
+    def test_average_ranks(self):
+        table = np.array([[0.9, 0.5, 0.7], [0.8, 0.6, 0.4]])
+        ranks = average_ranks(table, ["a", "b", "c"])
+        assert ranks["a"] == 1.0
+        assert ranks["b"] == pytest.approx(2.5)
+        assert ranks["c"] == pytest.approx(2.5)
+
+    def test_nan_ranks_last(self):
+        table = np.array([[0.9, np.nan, 0.7]])
+        ranks = average_ranks(table, ["a", "b", "c"])
+        assert ranks["b"] == 3.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            average_ranks(np.zeros((2, 3)), ["a", "b"])
+
+    def test_best_method_has_lowest_rank(self, rng):
+        """Figure-4 semantics: consistently best -> rank 1."""
+        scores = rng.uniform(0.3, 0.6, size=(10, 4))
+        scores[:, 2] = 0.95  # method c always wins
+        ranks = average_ranks(scores, list("abcd"))
+        assert ranks["c"] == 1.0
+        assert all(ranks["c"] < ranks[m] for m in "abd")

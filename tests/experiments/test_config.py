@@ -1,0 +1,52 @@
+"""Tests for experiment configuration and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FAST, PAPER_MODELS, STANDARD, ExperimentConfig, get_preset
+
+
+class TestPresets:
+    def test_fast_and_standard_exist(self):
+        assert get_preset("fast") is FAST
+        assert get_preset("standard") is STANDARD
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_preset("ludicrous")
+
+    def test_default_covers_all_datasets(self):
+        assert len(ExperimentConfig().datasets) == 12
+
+    def test_default_three_seeds(self):
+        """The paper averages over 3 seeds."""
+        assert len(ExperimentConfig().seeds) == 3
+
+    def test_default_reduced_channels_is_five(self):
+        """The paper fixes D' = 5."""
+        assert ExperimentConfig().reduced_channels == 5
+
+    def test_lcomb_top_k_is_seven(self):
+        assert ExperimentConfig().lcomb_top_k == 7
+
+
+class TestWith:
+    def test_with_overrides(self):
+        config = FAST.with_(seeds=(0,), data_scale=0.5)
+        assert config.seeds == (0,)
+        assert config.data_scale == 0.5
+        assert FAST.seeds == (0, 1, 2)  # original untouched
+
+    def test_with_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            FAST.with_(nonexistent=1)
+
+
+class TestPaperModels:
+    def test_both_models_mapped(self):
+        assert set(PAPER_MODELS) == {"MOMENT", "ViT"}
+
+    def test_paper_scale_and_runnable_pairs(self):
+        assert PAPER_MODELS["MOMENT"] == ("moment-large", "moment-tiny")
+        assert PAPER_MODELS["ViT"] == ("vit-base-ts", "vit-tiny")

@@ -1,0 +1,90 @@
+"""Tests for the experiment runner (simulation gating + caching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FAST, ExperimentRunner
+from repro.resources import RunStatus
+from repro.training import FineTuneStrategy
+
+
+@pytest.fixture(scope="module")
+def runner():
+    config = FAST.with_(
+        seeds=(0,),
+        datasets=("JapaneseVowels", "DuckDuckGeese"),
+        data_scale=0.05,
+        max_length=32,
+        pretrain_steps=2,
+        head_epochs=3,
+        joint_epochs=2,
+        full_epochs=2,
+    )
+    return ExperimentRunner(config)
+
+
+class TestGating:
+    def test_com_job_skips_training(self, runner):
+        """DuckDuckGeese full FT is COM at paper scale: no accuracy."""
+        result = runner.run(
+            "DuckDuckGeese", "MOMENT", adapter="none", strategy=FineTuneStrategy.FULL
+        )
+        assert result.status is RunStatus.OUT_OF_MEMORY
+        assert result.accuracy is None
+        assert result.measured_seconds == 0.0
+        assert result.cell == "COM"
+
+    def test_ok_job_trains_and_scores(self, runner):
+        result = runner.run(
+            "JapaneseVowels", "MOMENT", adapter="pca", strategy=FineTuneStrategy.ADAPTER_HEAD
+        )
+        assert result.status is RunStatus.OK
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.measured_seconds > 0
+        assert result.cell == f"{result.accuracy:.3f}"
+
+    def test_simulated_attached(self, runner):
+        result = runner.run("JapaneseVowels", "ViT", adapter="pca")
+        assert result.simulated.seconds > 0
+        assert result.simulated.peak_memory_bytes > 0
+
+
+class TestCaching:
+    def test_identical_jobs_cached(self, runner):
+        a = runner.run("JapaneseVowels", "MOMENT", adapter="svd")
+        b = runner.run("JapaneseVowels", "MOMENT", adapter="svd")
+        assert a is b
+
+    def test_distinct_seeds_not_cached_together(self, runner):
+        a = runner.run("JapaneseVowels", "MOMENT", adapter="svd", seed=0)
+        b = runner.run("JapaneseVowels", "MOMENT", adapter="svd", seed=1)
+        assert a is not b
+
+    def test_adapter_kwargs_key_cache(self, runner):
+        a = runner.run(
+            "JapaneseVowels", "MOMENT", adapter="patch_pca",
+            adapter_kwargs={"patch_window_size": 8}, simulate_adapter_as="pca",
+        )
+        b = runner.run(
+            "JapaneseVowels", "MOMENT", adapter="patch_pca",
+            adapter_kwargs={"patch_window_size": 16}, simulate_adapter_as="pca",
+        )
+        assert a is not b
+
+    def test_run_seeds_returns_per_seed(self, runner):
+        results = runner.run_seeds("JapaneseVowels", "ViT", adapter="var")
+        assert len(results) == 1  # one configured seed
+        assert results[0].seed == 0
+
+
+class TestDeterminism:
+    def test_same_config_same_accuracy(self):
+        def fresh():
+            config = FAST.with_(
+                seeds=(0,), datasets=("JapaneseVowels",), data_scale=0.05,
+                max_length=32, pretrain_steps=2, head_epochs=3,
+            )
+            return ExperimentRunner(config).run("JapaneseVowels", "MOMENT", adapter="pca")
+
+        assert fresh().accuracy == fresh().accuracy

@@ -1,0 +1,54 @@
+"""Tests for the sweep API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments import sweep_adapters, sweep_reduced_channels
+from repro.training import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("NATOPS", seed=0, scale=0.1, max_length=32, normalize=False)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return TrainConfig(epochs=3, batch_size=16, seed=0)
+
+
+class TestChannelSweep:
+    def test_points_structure(self, dataset, quick_config):
+        points = sweep_reduced_channels(
+            dataset, channel_grid=(2, 5), config=quick_config
+        )
+        assert [p.label for p in points] == ["D'=2", "D'=5"]
+        for point in points:
+            assert 0.0 <= point.accuracy <= 1.0
+            assert point.wall_seconds > 0
+            assert point.simulated.seconds > 0
+
+    def test_simulated_cost_monotone(self, dataset, quick_config):
+        points = sweep_reduced_channels(
+            dataset, channel_grid=(2, 8), config=quick_config
+        )
+        assert points[0].simulated.seconds < points[1].simulated.seconds
+
+    def test_rejects_too_many_channels(self, dataset, quick_config):
+        with pytest.raises(ValueError):
+            sweep_reduced_channels(dataset, channel_grid=(999,), config=quick_config)
+
+
+class TestAdapterSweep:
+    def test_covers_requested_adapters(self, dataset, quick_config):
+        points = sweep_adapters(
+            dataset, adapters=("none", "pca", "var"), config=quick_config
+        )
+        assert [p.label for p in points] == ["none", "pca", "var"]
+
+    def test_no_adapter_simulated_slower_than_pca(self, dataset, quick_config):
+        points = sweep_adapters(dataset, adapters=("none", "pca"), config=quick_config)
+        by_label = {p.label: p for p in points}
+        assert by_label["none"].simulated.seconds > by_label["pca"].simulated.seconds

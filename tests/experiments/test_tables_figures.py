@@ -1,0 +1,176 @@
+"""Tests for table/figure regeneration on a micro configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    FAST,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    headline_claims,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.tables import _mark_best
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """Micro config: 2 datasets, 2 seeds, tiny training budgets."""
+    config = FAST.with_(
+        seeds=(0, 1),
+        datasets=("JapaneseVowels", "NATOPS"),
+        data_scale=0.05,
+        max_length=32,
+        pretrain_steps=2,
+        head_epochs=4,
+        joint_epochs=2,
+        full_epochs=2,
+    )
+    return ExperimentRunner(config)
+
+
+class TestTable3:
+    def test_matches_registry(self):
+        result = table3()
+        assert len(result.rows) == 12
+        duck = result.rows[0]
+        assert duck[0].startswith("DuckDuckGeese")
+        assert duck[3] == "1345"
+
+    def test_render_contains_headers(self):
+        assert "Sequence Len" in table3().render()
+
+
+class TestTable1:
+    def test_structure(self, runner):
+        result = table1(runner)
+        assert len(result.rows) == 2
+        assert result.headers == ["Dataset", "MOMENT", "ViT"]
+
+    def test_ok_cells_have_mean_std(self, runner):
+        result = table1(runner)
+        vowels = result.rows[0]
+        assert "±" in vowels[1]  # MOMENT on Vowels fits
+        natops = result.rows[1]
+        assert natops[1] == "TO"  # MOMENT on NATOPS times out
+
+    def test_values_recorded(self, runner):
+        result = table1(runner)
+        assert result.values[("JapaneseVowels", "MOMENT", "none")] is not None
+        assert result.values[("NATOPS", "MOMENT", "none")] is None
+
+
+class TestTable2:
+    def test_structure_and_marking(self, runner):
+        result = table2(runner)
+        assert len(result.rows) == 4  # 2 datasets x 2 models
+        rendered = result.render()
+        assert "**" in rendered  # best marked bold
+        assert "pca" in result.headers
+
+    def test_all_cells_have_values(self, runner):
+        result = table2(runner)
+        for (dataset, model, column), values in result.values.items():
+            assert values is not None, (dataset, model, column)
+            assert len(values) == 2  # two seeds
+
+
+class TestMarkBest:
+    def test_marks_best_and_second(self):
+        cells = ["0.5", "0.9", "0.7"]
+        values = [[0.5], [0.9], [0.7]]
+        marked = _mark_best(cells, values)
+        assert marked == ["0.5", "**0.9**", "*0.7*"]
+
+    def test_handles_failed_cells(self):
+        marked = _mark_best(["TO", "0.9"], [None, [0.9]])
+        assert marked[0] == "TO"
+        assert marked[1] == "**0.9**"
+
+
+class TestFigures:
+    def test_figure1_series_complete(self, runner):
+        result = figure1(runner)
+        for model in ("MOMENT", "ViT"):
+            sims = result.series[f"{model}/simulated_s"]
+            assert set(sims) == {"no_adapter", "pca", "svd", "rand_proj", "var", "lcomb"}
+            assert all(v > 0 for v in sims.values())
+
+    def test_figure1_adapters_faster_than_none_for_moment(self, runner):
+        sims = figure1(runner).series["MOMENT/simulated_s"]
+        assert sims["pca"] < sims["no_adapter"]
+        assert sims["lcomb"] > sims["pca"]
+
+    def test_figure3_pairs(self, runner):
+        result = figure3(runner)
+        assert "MOMENT/lcomb" in result.series
+        assert "ViT/lcomb_top_k" in result.series
+        assert set(result.series["MOMENT/lcomb"]) == {"JapaneseVowels", "NATOPS"}
+
+    def test_figure4_rank_properties(self, runner):
+        result = figure4(runner)
+        for model in ("MOMENT", "ViT"):
+            ranks = result.series[model]
+            assert len(ranks) == 5
+            # ranks of M methods average to (M+1)/2
+            assert np.mean(list(ranks.values())) == pytest.approx(3.0)
+
+    def test_figure5_pvalues_valid(self, runner):
+        result = figure5(runner)
+        for model in ("MOMENT", "ViT"):
+            for method, row in result.series.items():
+                if not method.startswith(f"{model}/") or method.endswith("min_p"):
+                    continue
+                for p in row.values():
+                    assert 0.0 <= p <= 1.0
+
+    def test_figure6_compares_strategies(self, runner):
+        result = figure6(runner)
+        assert "MOMENT/adapter+head" in result.series
+        assert "MOMENT/full" in result.series
+
+    def test_headline_claims_structure(self, runner):
+        result = headline_claims(runner)
+        for model in ("MOMENT", "ViT"):
+            claims = result.series[model]
+            assert {"speedup", "full_ft_ok", "lcomb_full_ft_ok", "fit_ratio"} <= set(claims)
+            assert claims["speedup"] > 1.0
+
+    def test_renders_are_text(self, runner):
+        for builder in (figure1, figure3, figure4, figure5, figure6, headline_claims):
+            text = builder(runner).render()
+            assert isinstance(text, str)
+            assert len(text) > 20
+
+
+class TestLatexExport:
+    def test_table3_to_latex(self):
+        text = table3().to_latex(label="tab:datasets")
+        assert "\\begin{tabular}" in text
+        assert "\\label{tab:datasets}" in text
+        assert "DuckDuckGeese" in text
+
+    def test_emphasis_markers_translated(self, runner):
+        text = table2(runner).to_latex()
+        assert "**" not in text
+        assert "\\textbf{" in text
+
+
+class TestFigure2:
+    def test_series_and_band(self, runner):
+        from repro.experiments import figure2
+
+        result = figure2(runner)
+        for model in ("MOMENT", "ViT"):
+            for label in ("pws=1 (PCA)", "pws=8", "pws=16"):
+                series = result.series[f"{model}/{label}"]
+                assert set(series) == {"JapaneseVowels", "NATOPS"}
+        assert "pws=8" in result.text

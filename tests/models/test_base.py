@@ -1,0 +1,85 @@
+"""Tests for the FoundationModel base (channel-independent encoding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import MomentModel, ViTModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = MomentModel("moment-tiny", seed=0)
+    m.eval()
+    return m
+
+
+class TestEncodePaths:
+    def test_array_and_tensor_paths_agree(self, model, rng):
+        """The numpy fast path and the differentiable tensor path must
+        produce identical embeddings."""
+        x = rng.normal(size=(3, 32, 4))
+        with nn.no_grad():
+            from_array = model.encode(x).data
+            from_tensor = model.encode(nn.Tensor(x)).data
+        np.testing.assert_allclose(from_array, from_tensor, atol=1e-12)
+
+    def test_single_channel(self, model, rng):
+        out = model.encode(rng.normal(size=(2, 32, 1)))
+        assert out.shape == (2, 64)
+
+    def test_single_sample(self, model, rng):
+        out = model.encode(rng.normal(size=(1, 32, 3)))
+        assert out.shape == (1, 64)
+
+    def test_channel_permutation_invariance(self, model, rng):
+        """Mean-pooling over channels makes the embedding invariant to
+        channel order — a structural property of the architecture."""
+        x = rng.normal(size=(2, 32, 6))
+        perm = np.random.default_rng(1).permutation(6)
+        a = model.encode(x).data
+        b = model.encode(x[:, :, perm]).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_repr_mentions_config_and_params(self, model):
+        text = repr(model)
+        assert "moment-tiny" in text
+        assert "params=" in text
+
+
+class TestVitEncodePaths:
+    def test_array_and_tensor_paths_agree(self, rng):
+        model = ViTModel("vit-tiny", seed=0)
+        model.eval()
+        x = rng.normal(size=(2, 48, 3))
+        with nn.no_grad():
+            np.testing.assert_allclose(
+                model.encode(x).data, model.encode(nn.Tensor(x)).data, atol=1e-12
+            )
+
+    def test_embedding_finite_on_extreme_inputs(self, rng):
+        model = ViTModel("vit-tiny", seed=0)
+        model.eval()
+        x = 1e6 * rng.normal(size=(2, 48, 2))
+        assert np.isfinite(model.encode(x).data).all()
+
+
+class TestGradientFlowThroughEncode:
+    def test_lcomb_style_input_gradients(self, model, rng):
+        """Gradients must reach an upstream (adapter) parameter through
+        the full encode path even with the encoder frozen."""
+        model.freeze()
+        try:
+            weight = nn.Parameter(rng.normal(size=(3, 6)) * 0.1)
+            x = nn.Tensor(rng.normal(size=(2, 32, 6)))
+            reduced = x @ weight.transpose()
+            out = model.encode(reduced)
+            (out**2).mean().backward()
+            assert weight.grad is not None
+            assert np.abs(weight.grad).sum() > 0
+            # frozen encoder accumulated nothing
+            assert all(p.grad is None for p in model.parameters())
+        finally:
+            model.unfreeze()

@@ -1,0 +1,73 @@
+"""Tests for model configs, incl. the analytic parameter counts the
+resource simulator relies on."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.models import MODEL_CONFIGS, build_model, get_config
+from repro.models.config import RUNNABLE_COUNTERPART, ModelConfig
+
+
+class TestRegistry:
+    def test_known_configs_present(self):
+        assert {"moment-large", "vit-base-ts", "moment-tiny", "vit-tiny"} <= set(MODEL_CONFIGS)
+
+    def test_get_config_unknown(self):
+        with pytest.raises(KeyError):
+            get_config("gpt-5")
+
+    def test_get_config_override(self):
+        cfg = get_config("moment-tiny", num_layers=5)
+        assert cfg.num_layers == 5
+        assert get_config("moment-tiny").num_layers == 2  # original untouched
+
+    def test_runnable_counterparts(self):
+        assert RUNNABLE_COUNTERPART["moment-large"] == "moment-tiny"
+        assert RUNNABLE_COUNTERPART["vit-base-ts"] == "vit-tiny"
+
+
+class TestValidation:
+    def test_rejects_bad_family(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", "bert", 64, 2, 4, 128, 8, 8, 512)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", "moment", 65, 2, 4, 128, 8, 8, 512)
+
+    def test_rejects_gappy_stride(self):
+        with pytest.raises(ValueError):
+            ModelConfig("x", "moment", 64, 2, 4, 128, 8, 16, 512)
+
+
+class TestGeometry:
+    def test_tokens_per_channel(self):
+        moment = get_config("moment-large")
+        assert moment.tokens_per_channel(512) == 64
+        assert moment.tokens_per_channel(1000) == 64  # capped at context
+        assert moment.tokens_per_channel(4) == 1  # padded to one patch
+
+    def test_vit_overlapping_tokens(self):
+        vit = get_config("vit-base-ts")
+        assert vit.tokens_per_channel(512) == (512 - 16) // 4 + 1
+
+    @pytest.mark.parametrize("name", ["moment-tiny", "vit-tiny"])
+    def test_analytic_count_matches_built_model(self, name):
+        """The resource model's analytic formula must equal reality."""
+        config = get_config(name)
+        model = build_model(name, seed=0)
+        assert config.encoder_parameter_count() == model.num_parameters()
+
+    def test_paper_scale_parameter_counts(self):
+        """moment-large ~ 300M (paper: 341M incl. extras); vit ~ 8M."""
+        moment = get_config("moment-large").encoder_parameter_count()
+        vit = get_config("vit-base-ts").encoder_parameter_count()
+        assert 2.5e8 < moment < 3.6e8
+        assert 5e6 < vit < 1.0e7
+
+    def test_config_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            get_config("moment-tiny").d_model = 1

@@ -1,0 +1,43 @@
+"""Tests for the classification head."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import ClassificationHead
+
+
+class TestClassificationHead:
+    def test_output_shape(self, rng):
+        head = ClassificationHead(16, 4, rng=rng)
+        out = head(nn.Tensor(rng.normal(size=(8, 16))))
+        assert out.shape == (8, 4)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            ClassificationHead(16, 1)
+
+    def test_dropout_only_in_training(self, rng):
+        head = ClassificationHead(16, 3, dropout=0.5, rng=rng)
+        x = nn.Tensor(rng.normal(size=(4, 16)))
+        head.eval()
+        np.testing.assert_array_equal(head(x).data, head(x).data)
+        head.train()
+        assert not np.array_equal(head(x).data, head(x).data)
+
+    def test_parameter_count(self, rng):
+        head = ClassificationHead(16, 4, rng=rng)
+        assert head.num_parameters() == 16 * 4 + 4
+
+    def test_gradients_flow(self, rng):
+        head = ClassificationHead(8, 2, rng=rng)
+        x = nn.Tensor(rng.normal(size=(3, 8)))
+        (head(x) ** 2).sum().backward()
+        assert head.linear.weight.grad is not None
+
+    def test_deterministic_init(self):
+        a = ClassificationHead(8, 3, rng=np.random.default_rng(4))
+        b = ClassificationHead(8, 3, rng=np.random.default_rng(4))
+        np.testing.assert_array_equal(a.linear.weight.data, b.linear.weight.data)

@@ -1,0 +1,82 @@
+"""Tests for patch tokenisation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.patching import (
+    extract_patches,
+    flatten_channels,
+    num_patches,
+    patch_statistics,
+)
+
+
+class TestNumPatches:
+    def test_non_overlapping(self):
+        assert num_patches(64, 8, 8) == 8
+
+    def test_overlapping(self):
+        assert num_patches(512, 16, 8) == 63
+
+    def test_short_series_single_patch(self):
+        assert num_patches(5, 8, 8) == 1
+
+    def test_ragged_tail_dropped(self):
+        assert num_patches(20, 8, 8) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            num_patches(10, 0, 1)
+        with pytest.raises(ValueError):
+            num_patches(10, 4, 0)
+
+
+class TestExtractPatches:
+    def test_values_non_overlapping(self):
+        x = np.arange(16, dtype=float)[None, :]
+        patches = extract_patches(x, 8, 8)
+        assert patches.shape == (1, 2, 8)
+        np.testing.assert_array_equal(patches[0, 0], np.arange(8))
+        np.testing.assert_array_equal(patches[0, 1], np.arange(8, 16))
+
+    def test_values_overlapping(self):
+        x = np.arange(12, dtype=float)[None, :]
+        patches = extract_patches(x, 4, 2)
+        assert patches.shape == (1, 5, 4)
+        np.testing.assert_array_equal(patches[0, 1], [2, 3, 4, 5])
+
+    def test_short_input_zero_padded(self):
+        x = np.ones((2, 3))
+        patches = extract_patches(x, 8, 8)
+        assert patches.shape == (2, 1, 8)
+        np.testing.assert_array_equal(patches[0, 0], [1, 1, 1, 0, 0, 0, 0, 0])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            extract_patches(np.zeros((2, 3, 4)), 2, 2)
+
+
+class TestPatchStatistics:
+    def test_mean_std(self):
+        patches = np.array([[[1.0, 3.0], [2.0, 2.0]]])
+        stats = patch_statistics(patches)
+        assert stats.shape == (1, 2, 2)
+        assert stats[0, 0, 0] == pytest.approx(2.0)  # mean
+        assert stats[0, 0, 1] == pytest.approx(1.0, abs=1e-6)  # std
+        assert stats[0, 1, 1] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestFlattenChannels:
+    def test_round_trip(self):
+        x = np.random.default_rng(0).normal(size=(3, 5, 4))
+        flat, n, d = flatten_channels(x)
+        assert (n, d) == (3, 4)
+        assert flat.shape == (12, 5)
+        # channel c of sample i is row i*d + c
+        np.testing.assert_array_equal(flat[1 * 4 + 2], x[1, :, 2])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            flatten_channels(np.zeros((3, 4)))

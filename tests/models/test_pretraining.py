@@ -1,0 +1,113 @@
+"""Tests for pretraining objectives and the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MomentModel,
+    ViTModel,
+    augment_series,
+    build_model,
+    load_pretrained,
+    pretrain_moment,
+    pretrain_vit,
+    synthetic_pretraining_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthetic_pretraining_corpus(48, 64, np.random.default_rng(0))
+
+
+class TestCorpus:
+    def test_shape_and_normalisation(self, corpus):
+        assert corpus.shape == (48, 64)
+        np.testing.assert_allclose(corpus.mean(axis=1), 0.0, atol=1e-8)
+        stds = corpus.std(axis=1)
+        np.testing.assert_allclose(stds[stds > 0.5], 1.0, atol=1e-6)
+
+    def test_heterogeneous(self, corpus):
+        """Different rows are genuinely different series."""
+        assert np.std([np.ptp(row) for row in corpus]) > 0
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            synthetic_pretraining_corpus(0, 10, np.random.default_rng(0))
+
+
+class TestAugmentation:
+    def test_shape_preserved(self, corpus):
+        out = augment_series(corpus[:8], np.random.default_rng(1))
+        assert out.shape == (8, 64)
+
+    def test_stochastic(self, corpus):
+        rng = np.random.default_rng(2)
+        a = augment_series(corpus[:4], rng)
+        b = augment_series(corpus[:4], rng)
+        assert not np.array_equal(a, b)
+
+    def test_correlated_with_source(self, corpus):
+        out = augment_series(corpus[:1], np.random.default_rng(3))
+        corr = np.corrcoef(out[0], corpus[0])[0, 1]
+        assert abs(corr) > 0.3
+
+
+class TestMomentPretraining:
+    def test_loss_decreases(self, corpus):
+        model = MomentModel("moment-tiny", seed=0)
+        losses = pretrain_moment(model, corpus, steps=25, batch_size=16, seed=0)
+        assert len(losses) == 25
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_invalid_mask_ratio(self, corpus):
+        model = MomentModel("moment-tiny", seed=0)
+        with pytest.raises(ValueError):
+            pretrain_moment(model, corpus, steps=1, mask_ratio=1.5)
+
+    def test_model_left_in_eval_mode(self, corpus):
+        model = MomentModel("moment-tiny", seed=0)
+        pretrain_moment(model, corpus, steps=2)
+        assert not model.training
+
+
+class TestViTPretraining:
+    def test_runs_and_records_losses(self, corpus):
+        model = ViTModel("vit-tiny", seed=0)
+        losses = pretrain_vit(model, corpus, steps=8, batch_size=16, seed=0)
+        assert len(losses) == 8
+        assert all(np.isfinite(losses))
+
+    def test_weights_change(self, corpus):
+        model = ViTModel("vit-tiny", seed=0)
+        before = model.patch_embed.weight.data.copy()
+        pretrain_vit(model, corpus, steps=3, batch_size=8, seed=0)
+        assert not np.array_equal(before, model.patch_embed.weight.data)
+
+
+class TestLoadPretrained:
+    def test_substitutes_paper_scale(self):
+        model = load_pretrained("moment-large", pretrain_steps=0)
+        assert model.config.name == "moment-tiny"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            load_pretrained("nonexistent")
+
+    def test_zero_steps_is_random_init(self):
+        a = load_pretrained("moment-tiny", seed=0, pretrain_steps=0)
+        b = build_model("moment-tiny", seed=0)
+        np.testing.assert_array_equal(
+            a.patch_embed.weight.data, b.patch_embed.weight.data
+        )
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        a = load_pretrained("vit-tiny", seed=0, pretrain_steps=3, cache_dir=tmp_path)
+        cached = list(tmp_path.glob("*.npz"))
+        assert len(cached) == 1
+        b = load_pretrained("vit-tiny", seed=0, pretrain_steps=3, cache_dir=tmp_path)
+        np.testing.assert_array_equal(
+            a.patch_embed.weight.data, b.patch_embed.weight.data
+        )

@@ -1,0 +1,76 @@
+"""Tests for multi-head self-attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def attention(rng):
+    return nn.MultiHeadSelfAttention(d_model=16, num_heads=4, rng=rng)
+
+
+class TestShapes:
+    def test_output_shape(self, attention, rng):
+        out = attention(Tensor(rng.normal(size=(2, 7, 16))))
+        assert out.shape == (2, 7, 16)
+
+    def test_rejects_wrong_d_model(self, attention, rng):
+        with pytest.raises(ValueError):
+            attention(Tensor(rng.normal(size=(2, 7, 8))))
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(d_model=10, num_heads=3)
+
+
+class TestSemantics:
+    def test_permutation_equivariance(self, attention, rng):
+        """Self-attention without positions commutes with token permutation."""
+        x = rng.normal(size=(1, 5, 16))
+        perm = np.array([3, 1, 4, 0, 2])
+        out = attention(Tensor(x)).data
+        out_perm = attention(Tensor(x[:, perm, :])).data
+        np.testing.assert_allclose(out[:, perm, :], out_perm, atol=1e-10)
+
+    def test_mask_blocks_attention(self, rng):
+        """A token masked from everyone must not influence other outputs."""
+        attn = nn.MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.ones((4, 4), dtype=bool)
+        mask[:, 2] = False  # nobody may attend to token 2
+        mask[2, 2] = True   # except itself (avoid all-masked row)
+        out_masked = attn(Tensor(x), attn_mask=mask).data
+        x_changed = x.copy()
+        x_changed[0, 2] += 10.0
+        out_changed = attn(Tensor(x_changed), attn_mask=mask).data
+        keep = [0, 1, 3]
+        np.testing.assert_allclose(out_masked[:, keep], out_changed[:, keep], atol=1e-8)
+
+    def test_batched_mask_shape(self, attention, rng):
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        mask = np.ones((2, 5, 5), dtype=bool)
+        assert attention(x, attn_mask=mask).shape == (2, 5, 16)
+
+    def test_invalid_mask_ndim(self, attention, rng):
+        with pytest.raises(ValueError):
+            attention(Tensor(rng.normal(size=(2, 5, 16))), attn_mask=np.ones((5,), dtype=bool))
+
+    def test_gradients_reach_all_projections(self, attention, rng):
+        x = Tensor(rng.normal(size=(2, 4, 16)), requires_grad=True)
+        (attention(x) ** 2).mean().backward()
+        for proj in (attention.query_proj, attention.key_proj, attention.value_proj, attention.out_proj):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).sum() > 0
+        assert x.grad is not None
+
+    def test_deterministic_given_rng(self):
+        def build():
+            return nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(9))
+
+        x = np.random.default_rng(1).normal(size=(1, 3, 8))
+        np.testing.assert_array_equal(build()(Tensor(x)).data, build()(Tensor(x)).data)

@@ -1,0 +1,74 @@
+"""Tests for ArrayDataset and DataLoader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import ArrayDataset, DataLoader
+
+
+class TestArrayDataset:
+    def test_len_and_indexing(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        x, y = ds[np.array([1, 3])]
+        np.testing.assert_array_equal(x, [1, 3])
+        np.testing.assert_array_equal(y, [2, 6])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(5), np.arange(6))
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        ds = ArrayDataset(np.arange(10))
+        assert len(DataLoader(ds, batch_size=3)) == 4
+        assert len(DataLoader(ds, batch_size=3, drop_last=True)) == 3
+
+    def test_iterates_all_samples(self):
+        ds = ArrayDataset(np.arange(10))
+        seen = np.concatenate([batch[0] for batch in DataLoader(ds, batch_size=4)])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_drop_last_removes_partial(self):
+        ds = ArrayDataset(np.arange(10))
+        batches = list(DataLoader(ds, batch_size=4, drop_last=True))
+        assert len(batches) == 2
+        assert all(len(b[0]) == 4 for b in batches)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = ArrayDataset(np.arange(100))
+        loader = DataLoader(ds, batch_size=100, shuffle=True, rng=np.random.default_rng(0))
+        (first,) = next(iter(loader))
+        assert not np.array_equal(first, np.arange(100))
+        np.testing.assert_array_equal(np.sort(first), np.arange(100))
+
+    def test_shuffle_reproducible_by_rng(self):
+        ds = ArrayDataset(np.arange(50))
+        a = next(iter(DataLoader(ds, 50, shuffle=True, rng=np.random.default_rng(7))))[0]
+        b = next(iter(DataLoader(ds, 50, shuffle=True, rng=np.random.default_rng(7))))[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_epochs_differ_with_shared_rng(self):
+        ds = ArrayDataset(np.arange(50))
+        loader = DataLoader(ds, 50, shuffle=True, rng=np.random.default_rng(7))
+        first = next(iter(loader))[0].copy()
+        second = next(iter(loader))[0].copy()
+        assert not np.array_equal(first, second)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.arange(5)), batch_size=0)
+
+    def test_multiple_arrays_stay_aligned(self):
+        x = np.arange(20)
+        y = x * 10
+        loader = DataLoader(ArrayDataset(x, y), 7, shuffle=True, rng=np.random.default_rng(1))
+        for bx, by in loader:
+            np.testing.assert_array_equal(by, bx * 10)

@@ -1,0 +1,51 @@
+"""Tests for weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_bound(self, rng):
+        weights = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(weights).max() <= bound
+        assert weights.shape == (100, 50)
+
+    def test_normal_std(self, rng):
+        weights = init.xavier_normal((200, 100), rng)
+        expected = np.sqrt(2.0 / 300)
+        assert weights.std() == pytest.approx(expected, rel=0.1)
+
+    def test_gain_scales(self, rng):
+        base = init.xavier_uniform((50, 50), np.random.default_rng(0))
+        gained = init.xavier_uniform((50, 50), np.random.default_rng(0), gain=2.0)
+        np.testing.assert_allclose(gained, 2.0 * base)
+
+    def test_conv_shape_fan(self, rng):
+        """3D shapes use receptive-field-aware fan computation."""
+        weights = init.kaiming_uniform((8, 4, 3), rng)  # fan_in = 4*3
+        bound = np.sqrt(6.0 / 12)
+        assert np.abs(weights).max() <= bound
+
+    def test_rejects_1d_shape(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((5,), rng)
+
+
+class TestOthers:
+    def test_normal_default_std(self, rng):
+        weights = init.normal((500, 20), rng)
+        assert weights.std() == pytest.approx(0.02, rel=0.1)
+
+    def test_zeros_ones(self):
+        np.testing.assert_array_equal(init.zeros((2, 3)), np.zeros((2, 3)))
+        np.testing.assert_array_equal(init.ones((4,)), np.ones(4))
+
+    def test_deterministic_by_rng(self):
+        a = init.kaiming_uniform((4, 4), np.random.default_rng(7))
+        b = init.kaiming_uniform((4, 4), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

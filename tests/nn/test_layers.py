@@ -1,0 +1,148 @@
+"""Tests for the neural-network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_values_match_manual(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(
+            out.data, x @ layer.weight.data.T + layer.bias.data, atol=1e-12
+        )
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_trailing_dim_broadcast(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 7, 4))))
+        assert out.shape == (2, 7, 3)
+
+    def test_deterministic_init_by_rng(self):
+        a = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        b = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_xavier_scale(self):
+        layer = nn.Linear(100, 100, rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-12
+
+    def test_repr(self, rng):
+        assert "Linear(4, 3" in repr(nn.Linear(4, 3, rng=rng))
+
+
+class TestLayerNorm:
+    def test_output_normalized(self, rng):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(rng.normal(3.0, 2.0, size=(4, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+
+    def test_parameters(self):
+        layer = nn.LayerNorm(8)
+        assert {name for name, _ in layer.named_parameters()} == {"weight", "bias"}
+
+
+class TestDropout:
+    def test_eval_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_train_zeroes_fraction(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        zero_fraction = (out.data == 0).mean()
+        assert zero_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([1, 3, 1]))
+        np.testing.assert_array_equal(out.data[0], emb.weight.data[1])
+        np.testing.assert_array_equal(out.data[1], emb.weight.data[3])
+        np.testing.assert_array_equal(out.data[0], out.data[2])
+
+    def test_out_of_range_raises(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = nn.Embedding(5, 3, rng=rng)
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2.0 * np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[4], np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+
+class TestConv1d:
+    def test_matches_manual_correlation(self, rng):
+        conv = nn.Conv1d(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 2, 8))
+        out = conv(Tensor(x)).data
+        assert out.shape == (1, 3, 6)
+        # Manual cross-correlation for one output position/channel.
+        expected = (
+            (x[0, :, 2:5] * conv.weight.data[1]).sum() + conv.bias.data[1]
+        )
+        assert out[0, 1, 2] == pytest.approx(expected)
+
+    def test_stride(self, rng):
+        conv = nn.Conv1d(1, 1, kernel_size=2, stride=2, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 1, 10))))
+        assert out.shape == (2, 1, 5)
+
+    def test_padding(self, rng):
+        conv = nn.Conv1d(1, 1, kernel_size=3, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 1, 10))))
+        assert out.shape == (2, 1, 10)
+
+    def test_channel_mismatch_raises(self, rng):
+        conv = nn.Conv1d(2, 3, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 4, 8))))
+
+    def test_too_short_input_raises(self, rng):
+        conv = nn.Conv1d(1, 1, kernel_size=5, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 1, 3))))
+
+    def test_gradients_flow(self, rng):
+        conv = nn.Conv1d(2, 2, kernel_size=3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 2, 9)), requires_grad=True)
+        (conv(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestActivationModules:
+    def test_gelu_module(self, rng):
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(
+            nn.GELU()(Tensor(x)).data, nn.functional.gelu(Tensor(x)).data
+        )
+
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor([-1.0, 2.0]))
+        np.testing.assert_array_equal(out.data, [0.0, 2.0])

@@ -1,0 +1,136 @@
+"""Tests for Module: parameter discovery, freezing, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter, Sequential
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 3)))
+        self.bias = Parameter(np.zeros(2))
+
+    def forward(self, x):
+        return x
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Leaf()
+        self.blocks = [Leaf(), Leaf()]
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return x
+
+
+class TestDiscovery:
+    def test_named_parameters_dotted_paths(self):
+        names = {name for name, _ in Nested().named_parameters()}
+        assert names == {
+            "inner.weight",
+            "inner.bias",
+            "blocks.0.weight",
+            "blocks.0.bias",
+            "blocks.1.weight",
+            "blocks.1.bias",
+            "scale",
+        }
+
+    def test_parameters_count(self):
+        module = Nested()
+        assert len(module.parameters()) == 7
+        assert module.num_parameters() == 3 * (6 + 2) + 1
+
+    def test_modules_iterates_descendants(self):
+        module = Nested()
+        kinds = [type(m).__name__ for m in module.modules()]
+        assert kinds.count("Leaf") == 3
+        assert kinds[0] == "Nested"
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.ones(3))
+        assert isinstance(p, nn.Tensor)
+        assert p.requires_grad
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        module = Nested()
+        module.eval()
+        assert all(not m.training for m in module.modules())
+        module.train()
+        assert all(m.training for m in module.modules())
+
+    def test_freeze_unfreeze(self):
+        module = Nested()
+        module.freeze()
+        assert module.trainable_parameters() == []
+        assert module.num_parameters(trainable_only=True) == 0
+        module.unfreeze()
+        assert len(module.trainable_parameters()) == 7
+
+    def test_zero_grad_clears(self):
+        module = Leaf()
+        module.weight.grad = np.ones((2, 3))
+        module.zero_grad()
+        assert module.weight.grad is None
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        src, dst = Nested(), Nested()
+        for param in src.parameters():
+            param.data += np.random.default_rng(0).normal(size=param.data.shape)
+        dst.load_state_dict(src.state_dict())
+        for (name_a, a), (name_b, b) in zip(src.named_parameters(), dst.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_copies(self):
+        module = Leaf()
+        state = module.state_dict()
+        state["weight"][:] = 99.0
+        assert not (module.weight.data == 99.0).any()
+
+    def test_missing_key_raises(self):
+        module = Leaf()
+        state = module.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        module = Leaf()
+        state = module.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        out = seq(nn.Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_len_and_indexing(self):
+        seq = Sequential(nn.ReLU(), nn.GELU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.GELU)
+
+    def test_collects_layer_parameters(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(nn.Linear(4, 8, rng=rng), nn.Linear(8, 2, rng=rng))
+        assert len(seq.parameters()) == 4
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,107 @@
+"""Numerical-stability tests: extreme inputs must not produce NaN/inf.
+
+Foundation-model fine-tuning feeds the framework un-normalised
+projections (PCA components carry sqrt(eigenvalue) amplitudes), so the
+numerics must survive large and tiny magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmaxFamily:
+    @pytest.mark.parametrize("scale", [1e3, 1e6])
+    def test_softmax_extreme_logits(self, scale, rng):
+        x = Tensor(scale * rng.normal(size=(4, 6)))
+        out = F.softmax(x).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+    @pytest.mark.parametrize("scale", [1e3, 1e6])
+    def test_log_softmax_extreme_logits(self, scale, rng):
+        out = F.log_softmax(Tensor(scale * rng.normal(size=(4, 6)))).data
+        assert np.isfinite(out).all()
+        assert (out <= 1e-9).all()
+
+    def test_cross_entropy_confident_wrong_prediction(self):
+        logits = Tensor(np.array([[1e4, -1e4]]), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([1]))
+        assert np.isfinite(loss.data)
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+
+class TestNormalisation:
+    def test_layer_norm_tiny_variance(self):
+        x = Tensor(np.full((2, 8), 3.0) + 1e-12 * np.arange(16).reshape(2, 8))
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        assert np.isfinite(out.data).all()
+
+    def test_layer_norm_large_values(self, rng):
+        x = Tensor(1e8 * rng.normal(size=(3, 8)), requires_grad=True)
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        out.sum().backward()
+        assert np.isfinite(out.data).all()
+        assert np.isfinite(x.grad).all()
+
+
+class TestOptimizers:
+    def test_adam_with_zero_gradients(self):
+        p = nn.Parameter(np.ones(3))
+        opt = nn.Adam([p], lr=1e-2)
+        p.grad = np.zeros(3)
+        for _ in range(5):
+            opt.step()
+        assert np.isfinite(p.data).all()
+        np.testing.assert_allclose(p.data, np.ones(3))
+
+    def test_adam_with_huge_gradients(self):
+        p = nn.Parameter(np.zeros(3))
+        opt = nn.Adam([p], lr=1e-2)
+        p.grad = np.full(3, 1e12)
+        opt.step()
+        assert np.isfinite(p.data).all()
+        # Adam's normalisation bounds the step near lr
+        assert np.abs(p.data).max() < 0.011
+
+    def test_clip_grad_norm_handles_huge_norms(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 1e200)
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.isfinite(norm)
+        assert np.isfinite(p.grad).all()
+
+
+class TestModelInputs:
+    def test_moment_encode_extreme_amplitudes(self, rng):
+        from repro.models import MomentModel
+
+        model = MomentModel("moment-tiny", seed=0)
+        model.eval()
+        with nn.no_grad():
+            tiny = model.encode(1e-9 * rng.normal(size=(2, 32, 2))).data
+            huge = model.encode(1e9 * rng.normal(size=(2, 32, 2))).data
+        assert np.isfinite(tiny).all()
+        assert np.isfinite(huge).all()
+
+    def test_pipeline_normalisation_tames_pca_amplitudes(self, rng):
+        """The RevIN-style normalisation keeps encoder inputs O(1)
+        regardless of the adapter's output scale."""
+        from repro.adapters import make_adapter
+        from repro.models import build_model
+        from repro.training import AdapterPipeline, TrainConfig
+
+        x = 1e4 * rng.normal(size=(20, 32, 8))
+        y = (np.arange(20) % 2).astype(np.int64)
+        model = build_model("moment-tiny", seed=0)
+        model.eval()
+        pipe = AdapterPipeline(model, make_adapter("pca", 3), 2, seed=0)
+        pipe.fit(x, y, config=TrainConfig(epochs=2, batch_size=8, seed=0))
+        logits = pipe.predict_logits(x)
+        assert np.isfinite(logits).all()

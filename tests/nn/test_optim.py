@@ -1,0 +1,168 @@
+"""Tests for optimizers and schedules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def make_param(values) -> Parameter:
+    return Parameter(np.asarray(values, dtype=float))
+
+
+class TestOptimizerBase:
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([make_param([1.0])], lr=0.0)
+
+    def test_skips_frozen_params(self):
+        p = make_param([1.0])
+        p.requires_grad = False
+        opt = nn.SGD([p], lr=0.1)
+        assert opt.params == []
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0])
+        nn.SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = nn.SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([make_param([1.0])], lr=0.1, momentum=1.0)
+
+    def test_none_grad_skipped(self):
+        p = make_param([1.0])
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        """After one step, Adam moves by ~lr regardless of grad scale."""
+        p = make_param([0.0])
+        opt = nn.Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_matches_manual_two_steps(self):
+        p = make_param([1.0])
+        lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+        opt = nn.Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+        m = v = 0.0
+        x = 1.0
+        for t in (1, 2):
+            g = 2 * x  # grad of x^2
+            p.grad = np.array([g])
+            opt.step()
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g**2
+            m_hat = m / (1 - b1**t)
+            v_hat = v / (1 - b2**t)
+            x = x - lr * m_hat / (math.sqrt(v_hat) + eps)
+            np.testing.assert_allclose(p.data, [x], atol=1e-12)
+
+    def test_l2_weight_decay_in_grad(self):
+        p = make_param([1.0])
+        opt = nn.Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        # With zero grad, decay still moves toward zero via the gradient term.
+        assert p.data[0] < 1.0
+
+
+class TestAdamW:
+    def test_decoupled_decay_applied(self):
+        p = make_param([1.0])
+        opt = nn.AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        # decay: 1 - 0.1*0.5 = 0.95, then Adam update with zero grad ~= 0.
+        np.testing.assert_allclose(p.data, [0.95], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = nn.AdamW([p], lr=0.5, weight_decay=0.0)
+        for _ in range(200):
+            p.grad = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+
+class TestClipGradNorm:
+    def test_clips_when_exceeding(self):
+        p = make_param([0.0, 0.0])
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = make_param([0.0])
+        p.grad = np.array([0.5])
+        nn.clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_ignores_none_grads(self):
+        p = make_param([0.0])
+        assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_cosine_decays_to_min(self):
+        p = make_param([0.0])
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineSchedule(opt, total_steps=10, min_lr=0.1)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_validates_steps(self):
+        opt = nn.SGD([make_param([0.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.CosineSchedule(opt, total_steps=0)
+
+    def test_warmup_rises_then_decays(self):
+        opt = nn.SGD([make_param([0.0])], lr=1.0)
+        sched = nn.WarmupCosineSchedule(opt, warmup_steps=5, total_steps=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert lrs[0] == pytest.approx(0.2)
+        assert lrs[4] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+        assert max(lrs) == pytest.approx(1.0)
+
+    def test_warmup_validates(self):
+        opt = nn.SGD([make_param([0.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.WarmupCosineSchedule(opt, warmup_steps=10, total_steps=10)
+
+    def test_schedule_clamps_past_end(self):
+        opt = nn.SGD([make_param([0.0])], lr=1.0)
+        sched = nn.CosineSchedule(opt, total_steps=3, min_lr=0.0)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0, abs=1e-12)

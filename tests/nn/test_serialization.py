@@ -1,0 +1,52 @@
+"""Tests for checkpoint save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def build_model(seed: int = 0) -> nn.Sequential:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.GELU(), nn.Linear(8, 2, rng=rng))
+
+
+class TestCheckpoint:
+    def test_round_trip(self, tmp_path):
+        src = build_model(0)
+        dst = build_model(1)
+        path = nn.save_checkpoint(src, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        nn.load_checkpoint(dst, path)
+        x = nn.Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        np.testing.assert_array_equal(src(x).data, dst(x).data)
+
+    def test_metadata_round_trip(self, tmp_path):
+        model = build_model()
+        meta = {"name": "test", "steps": 7}
+        nn.save_checkpoint(model, tmp_path / "m.npz", metadata=meta)
+        loaded = nn.load_checkpoint(build_model(3), tmp_path / "m.npz")
+        assert loaded == meta
+
+    def test_load_without_suffix(self, tmp_path):
+        model = build_model()
+        nn.save_checkpoint(model, tmp_path / "weights")
+        assert nn.load_checkpoint(build_model(1), tmp_path / "weights") == {}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = nn.save_checkpoint(build_model(), tmp_path / "a" / "b" / "c.npz")
+        assert path.exists()
+
+    def test_incompatible_architecture_raises(self, tmp_path):
+        rng = np.random.default_rng(0)
+        small = nn.Linear(4, 2, rng=rng)
+        nn.save_checkpoint(small, tmp_path / "small.npz")
+        big = nn.Linear(8, 2, rng=rng)
+        with pytest.raises(ValueError):
+            nn.load_checkpoint(big, tmp_path / "small.npz")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            nn.load_checkpoint(build_model(), tmp_path / "nope.npz")

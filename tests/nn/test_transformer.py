@@ -1,0 +1,67 @@
+"""Tests for the transformer encoder stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def encoder(rng):
+    return nn.TransformerEncoder(d_model=16, num_heads=4, d_ff=32, num_layers=3, rng=rng)
+
+
+class TestEncoder:
+    def test_output_shape(self, encoder, rng):
+        out = encoder(Tensor(rng.normal(size=(2, 9, 16))))
+        assert out.shape == (2, 9, 16)
+
+    def test_layer_count(self, encoder):
+        assert len(encoder.layers) == 3
+        assert encoder.num_layers == 3
+
+    def test_final_norm_applied(self, encoder, rng):
+        out = encoder(Tensor(rng.normal(size=(4, 6, 16)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+
+    def test_deterministic_by_seed(self):
+        def build():
+            return nn.TransformerEncoder(8, 2, 16, 2, rng=np.random.default_rng(3))
+
+        x = np.random.default_rng(0).normal(size=(1, 4, 8))
+        np.testing.assert_array_equal(build()(Tensor(x)).data, build()(Tensor(x)).data)
+
+    def test_layers_have_distinct_weights(self, encoder):
+        w0 = encoder.layers[0].ff_in.weight.data
+        w1 = encoder.layers[1].ff_in.weight.data
+        assert not np.array_equal(w0, w1)
+
+    def test_gradients_reach_every_layer(self, encoder, rng):
+        x = Tensor(rng.normal(size=(2, 5, 16)), requires_grad=True)
+        (encoder(x) ** 2).mean().backward()
+        for layer in encoder.layers:
+            assert layer.ff_in.weight.grad is not None
+            assert np.abs(layer.ff_in.weight.grad).sum() > 0
+
+    def test_dropout_only_in_training(self, rng):
+        enc = nn.TransformerEncoder(8, 2, 16, 1, dropout=0.5, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        enc.eval()
+        a = enc(Tensor(x)).data
+        b = enc(Tensor(x)).data
+        np.testing.assert_array_equal(a, b)
+        enc.train()
+        c = enc(Tensor(x)).data
+        d = enc(Tensor(x)).data
+        assert not np.array_equal(c, d)
+
+    def test_residual_path_preserves_information(self, rng):
+        """Pre-norm blocks keep a residual path: output correlates with input."""
+        enc = nn.TransformerEncoder(8, 2, 16, 1, rng=rng)
+        x = rng.normal(size=(1, 6, 8))
+        out = enc(Tensor(x)).data
+        corr = np.corrcoef(x.reshape(-1), out.reshape(-1))[0, 1]
+        assert abs(corr) > 0.1

@@ -1,0 +1,49 @@
+"""Tests for run budgets and outcome classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resources import DEFAULT_BUDGET, RunBudget, RunStatus, SimulatedRun
+
+
+class TestRunStatus:
+    def test_paper_labels(self):
+        assert str(RunStatus.OK) == "OK"
+        assert str(RunStatus.TIMEOUT) == "TO"
+        assert str(RunStatus.OUT_OF_MEMORY) == "COM"
+
+
+class TestRunBudget:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_BUDGET.time_limit_s == 7200.0
+        assert DEFAULT_BUDGET.memory_limit_bytes == 32 * 1024**3
+
+    def test_ok_within_budget(self):
+        assert DEFAULT_BUDGET.classify(100.0, 1e9) is RunStatus.OK
+
+    def test_timeout(self):
+        assert DEFAULT_BUDGET.classify(8000.0, 1e9) is RunStatus.TIMEOUT
+
+    def test_oom(self):
+        assert DEFAULT_BUDGET.classify(100.0, 40 * 1024**3) is RunStatus.OUT_OF_MEMORY
+
+    def test_oom_takes_precedence_over_timeout(self):
+        """A job that would OOM never reaches the time limit."""
+        assert DEFAULT_BUDGET.classify(9000.0, 40 * 1024**3) is RunStatus.OUT_OF_MEMORY
+
+    def test_boundary_is_inclusive(self):
+        budget = RunBudget(time_limit_s=100.0, memory_limit_bytes=1000)
+        assert budget.classify(100.0, 1000) is RunStatus.OK
+
+
+class TestSimulatedRun:
+    def test_convenience_properties(self):
+        run = SimulatedRun(RunStatus.OK, seconds=3600.0, peak_memory_bytes=2 * 1024**3, flops=1e15)
+        assert run.ok
+        assert run.hours == pytest.approx(1.0)
+        assert run.peak_memory_gib == pytest.approx(2.0)
+
+    def test_not_ok(self):
+        run = SimulatedRun(RunStatus.TIMEOUT, 9000.0, 0.0, 0.0)
+        assert not run.ok

@@ -1,0 +1,133 @@
+"""Tests for the analytic FLOPs / memory cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import get_config
+from repro.resources import (
+    REGIMES,
+    TrainingJob,
+    adapter_fit_flops,
+    embedding_pass_flops,
+    forward_flops_per_sample,
+    head_training_flops,
+    inference_memory_bytes,
+    peak_training_memory_bytes,
+    training_step_flops,
+)
+
+
+def job(channels=10, regime="full", model="moment-large", train=100, test=50, classes=4):
+    return TrainingJob(
+        config=get_config(model),
+        train_size=train,
+        test_size=test,
+        sequence_length=400,
+        channels=channels,
+        num_classes=classes,
+        regime=REGIMES[regime],
+    )
+
+
+class TestFlops:
+    def test_forward_linear_in_channels(self):
+        """The paper's core complaint: cost scales linearly with D."""
+        base = forward_flops_per_sample(job(channels=10))
+        double = forward_flops_per_sample(job(channels=20))
+        assert double == pytest.approx(2 * base)
+
+    def test_adapter_reduces_flops_by_channel_ratio(self):
+        full = forward_flops_per_sample(job(channels=1345))
+        reduced = forward_flops_per_sample(job(channels=5))
+        assert full / reduced == pytest.approx(1345 / 5)
+
+    def test_step_flops_use_backward_multiplier(self):
+        full = training_step_flops(job(regime="full"), 16)
+        frozen = training_step_flops(job(regime="adapter_head_trainable"), 16)
+        assert full / frozen == pytest.approx(3.0 / 2.5)
+
+    def test_embedding_pass_counts_train_and_test(self):
+        assert embedding_pass_flops(job(train=100, test=50)) == pytest.approx(
+            150 * forward_flops_per_sample(job())
+        )
+
+    def test_head_training_is_negligible_vs_encoder(self):
+        head = head_training_flops(job(regime="head"))
+        encoder = embedding_pass_flops(job(regime="head"))
+        assert head < encoder / 100
+
+    def test_moment_more_expensive_than_vit(self):
+        assert forward_flops_per_sample(job(model="moment-large")) > forward_flops_per_sample(
+            job(model="vit-base-ts")
+        )
+
+
+class TestAdapterFitFlops:
+    def test_pca_quadratic_in_channels(self):
+        small = adapter_fit_flops(10, 5, 100, 50, "pca")
+        big = adapter_fit_flops(100, 5, 100, 50, "pca")
+        assert big > 50 * small
+
+    def test_rand_proj_free(self):
+        assert adapter_fit_flops(1000, 5, 100, 50, "rand_proj") == 0.0
+
+    def test_var_linear(self):
+        assert adapter_fit_flops(10, 5, 100, 50, "var") == 100 * 50 * 10
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            adapter_fit_flops(10, 5, 100, 50, "umap")
+
+
+class TestMemory:
+    def test_full_ft_memory_linear_in_channels(self):
+        """Activation memory grows by equal increments per channel."""
+        m10 = peak_training_memory_bytes(job(channels=10))
+        m20 = peak_training_memory_bytes(job(channels=20))
+        m30 = peak_training_memory_bytes(job(channels=30))
+        assert m20 - m10 == pytest.approx(m30 - m20)
+        assert m20 > m10
+
+    def test_regime_memory_ordering(self):
+        """full (optimizer for everything) > lcomb (frozen encoder) >
+        cached-embedding head training."""
+        full = peak_training_memory_bytes(job(channels=5, regime="full"))
+        lcomb = peak_training_memory_bytes(job(channels=5, regime="adapter_head_trainable"))
+        cached = peak_training_memory_bytes(job(channels=5, regime="adapter_head_cached"))
+        assert full > lcomb > cached
+
+    def test_optimizer_state_charged_only_when_trainable(self):
+        trainable = peak_training_memory_bytes(job(channels=5, regime="full"))
+        frozen = peak_training_memory_bytes(job(channels=5, regime="adapter_head_trainable"))
+        params = get_config("moment-large").encoder_parameter_count()
+        # difference ~ optimizer bytes (12/param) + backward-multiplier-free terms
+        assert trainable - frozen >= 12 * params * 0.9
+
+    def test_inference_memory_bounded_for_wide_inputs(self):
+        """Chunked inference keeps memory flat beyond the chunk width."""
+        narrow = inference_memory_bytes(job(channels=64, regime="head"))
+        wide = inference_memory_bytes(job(channels=1345, regime="head"))
+        assert wide == narrow
+
+    def test_effective_epochs_override(self):
+        j = TrainingJob(
+            config=get_config("moment-large"),
+            train_size=10,
+            test_size=10,
+            sequence_length=100,
+            channels=5,
+            num_classes=2,
+            regime=REGIMES["full"],
+            epochs=7,
+        )
+        assert j.effective_epochs == 7
+        assert job().effective_epochs == REGIMES["full"].epochs
+
+
+class TestTokens:
+    def test_tokens_use_padded_context(self):
+        j = job(channels=3)
+        # moment-large pads to 512, patch 8 -> 64 tokens per channel
+        assert j.tokens_per_channel == 64
+        assert j.tokens_per_sample == 192

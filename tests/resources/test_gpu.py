@@ -1,0 +1,172 @@
+"""Golden tests: the simulator must reproduce the paper's resource results.
+
+These are the calibration regression tests — if the cost model or its
+constants drift, the Table-1 OK/TO/COM pattern, the lcomb 9/12 count
+and the Figure-1 speedup ratios break here first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_info, dataset_names
+from repro.resources import RunStatus, V100_32GB, regime_for_adapter, simulate_finetuning
+
+#: Paper Table 1: outcome of full fine-tuning without adapter.
+PAPER_TABLE1 = {
+    "DuckDuckGeese": ("COM", "COM"),
+    "FaceDetection": ("COM", "COM"),
+    "FingerMovements": ("COM", "COM"),
+    "HandMovementDirection": ("OK", "OK"),
+    "Heartbeat": ("COM", "COM"),
+    "InsectWingbeat": ("COM", "COM"),
+    "JapaneseVowels": ("OK", "OK"),
+    "MotorImagery": ("COM", "COM"),
+    "NATOPS": ("OK", "TO"),
+    "PEMS-SF": ("COM", "COM"),
+    "PhonemeSpectra": ("OK", "TO"),
+    "SpokenArabicDigits": ("OK", "TO"),
+}
+
+
+class TestTable1Pattern:
+    @pytest.mark.parametrize("dataset", dataset_names())
+    def test_vit_full_ft_outcome(self, dataset):
+        run = simulate_finetuning(
+            "vit-base-ts", dataset_info(dataset), adapter=None, full_finetune=True
+        )
+        assert str(run.status) == PAPER_TABLE1[dataset][0]
+
+    @pytest.mark.parametrize("dataset", dataset_names())
+    def test_moment_full_ft_outcome(self, dataset):
+        run = simulate_finetuning(
+            "moment-large", dataset_info(dataset), adapter=None, full_finetune=True
+        )
+        assert str(run.status) == PAPER_TABLE1[dataset][1]
+
+    def test_paper_full_ft_counts(self):
+        """ViT fits 5/12, MOMENT 2/12 under full fine-tuning (paper §4)."""
+        vit_ok = sum(
+            simulate_finetuning("vit-base-ts", dataset_info(d), full_finetune=True).ok
+            for d in dataset_names()
+        )
+        moment_ok = sum(
+            simulate_finetuning("moment-large", dataset_info(d), full_finetune=True).ok
+            for d in dataset_names()
+        )
+        assert vit_ok == 5
+        assert moment_ok == 2
+
+
+class TestAdapterOutcomes:
+    def test_moment_lcomb_nine_of_twelve(self):
+        """Paper: lcomb lets 9/12 datasets fit for MOMENT (4.5x more)."""
+        statuses = {
+            d: simulate_finetuning("moment-large", dataset_info(d), adapter="lcomb").status
+            for d in dataset_names()
+        }
+        ok = [d for d, s in statuses.items() if s is RunStatus.OK]
+        assert len(ok) == 9
+        failed = {d for d, s in statuses.items() if s is not RunStatus.OK}
+        assert failed == {"FaceDetection", "PhonemeSpectra", "SpokenArabicDigits"}
+
+    def test_vit_lcomb_all_twelve(self):
+        """Paper: lcomb lets 12/12 datasets fit for ViT."""
+        assert all(
+            simulate_finetuning("vit-base-ts", dataset_info(d), adapter="lcomb").ok
+            for d in dataset_names()
+        )
+
+    @pytest.mark.parametrize("adapter", ["pca", "svd", "rand_proj", "var"])
+    @pytest.mark.parametrize("model", ["moment-large", "vit-base-ts"])
+    def test_fit_once_adapters_always_fit(self, adapter, model):
+        """Table 2: no COM/TO entries in the fit-once adapter columns."""
+        assert all(
+            simulate_finetuning(model, dataset_info(d), adapter=adapter).ok
+            for d in dataset_names()
+        )
+
+    @pytest.mark.parametrize("model", ["moment-large", "vit-base-ts"])
+    def test_head_only_always_fits(self, model):
+        """Table 2 'head' column has values for all 12 datasets."""
+        assert all(
+            simulate_finetuning(model, dataset_info(d), adapter=None).ok
+            for d in dataset_names()
+        )
+
+
+class TestSpeedups:
+    def _mean_seconds(self, model, adapter):
+        seconds = [
+            min(simulate_finetuning(model, dataset_info(d), adapter=adapter).seconds, 7200.0)
+            for d in dataset_names()
+        ]
+        return float(np.mean(seconds))
+
+    def test_moment_speedup_around_10x(self):
+        """Paper abstract: 'up to a 10x speedup' (MOMENT, Figure 1)."""
+        speedup = self._mean_seconds("moment-large", None) / self._mean_seconds(
+            "moment-large", "pca"
+        )
+        assert 8.0 < speedup < 13.0
+
+    def test_vit_speedup_around_2x(self):
+        """Paper §4: 'for ViT, a two-fold speed increase'."""
+        speedup = self._mean_seconds("vit-base-ts", None) / self._mean_seconds(
+            "vit-base-ts", "pca"
+        )
+        assert 1.5 < speedup < 2.6
+
+    def test_lcomb_slowest_adapter(self):
+        """Figure 1: lcomb is the slowest configuration for both models."""
+        for model in ("moment-large", "vit-base-ts"):
+            lcomb = self._mean_seconds(model, "lcomb")
+            for adapter in ("pca", "svd", "rand_proj", "var"):
+                assert lcomb > self._mean_seconds(model, adapter)
+
+    def test_fit_ratio_claims(self):
+        """Paper §4: 4.5x more datasets for MOMENT, 2.4x for ViT."""
+        def count(model, adapter, full):
+            return sum(
+                simulate_finetuning(
+                    model, dataset_info(d), adapter=adapter, full_finetune=full
+                ).ok
+                for d in dataset_names()
+            )
+
+        assert count("moment-large", "lcomb", True) / count("moment-large", None, True) == pytest.approx(4.5)
+        assert count("vit-base-ts", "lcomb", True) / count("vit-base-ts", None, True) == pytest.approx(2.4)
+
+
+class TestRegimeMapping:
+    def test_no_adapter(self):
+        assert regime_for_adapter(None) == "head"
+        assert regime_for_adapter(None, full_finetune=True) == "full"
+
+    def test_trainable(self):
+        assert regime_for_adapter("lcomb") == "adapter_head_trainable"
+        assert regime_for_adapter("lcomb_top_k", full_finetune=True) == "adapter_full"
+
+    def test_fit_once(self):
+        assert regime_for_adapter("pca") == "adapter_head_cached"
+
+    def test_fit_once_full_ft_rejected(self):
+        with pytest.raises(ValueError):
+            regime_for_adapter("pca", full_finetune=True)
+
+    def test_unknown_adapter(self):
+        with pytest.raises(KeyError):
+            regime_for_adapter("umap")
+
+
+class TestGpuSpec:
+    def test_seconds_for(self):
+        assert V100_32GB.seconds_for(V100_32GB.throughput_flops) == pytest.approx(1.0)
+
+    def test_epochs_override_changes_time(self):
+        info = dataset_info("NATOPS")
+        short = simulate_finetuning("moment-large", info, full_finetune=True, epochs=10)
+        long = simulate_finetuning("moment-large", info, full_finetune=True, epochs=250)
+        assert short.seconds < long.seconds
+        assert short.ok  # 10 epochs fit the budget

@@ -1,0 +1,111 @@
+"""What-if tests for the GPU simulator: other hardware, other budgets.
+
+The cost model is parametric in the GPU spec and budget — these tests
+verify the counterfactuals behave sensibly (a bigger GPU fits more, a
+shorter budget fits less), which is what makes the simulator useful
+beyond reproducing the paper's exact setup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.data import dataset_info, dataset_names
+from repro.resources import (
+    DEFAULT_BUDGET,
+    GpuSpec,
+    RunBudget,
+    RunStatus,
+    V100_32GB,
+    simulate_finetuning,
+)
+
+
+class TestBiggerGpu:
+    def test_a100_80gb_fits_more_datasets(self):
+        """Doubling memory+throughput must fit at least as many jobs."""
+        a100 = GpuSpec(
+            name="A100-80GB",
+            memory_bytes=80 * 1024**3,
+            throughput_flops=2 * V100_32GB.throughput_flops,
+        )
+        budget = RunBudget(memory_limit_bytes=80 * 1024**3)
+        v100_ok, a100_ok = 0, 0
+        for name in dataset_names():
+            info = dataset_info(name)
+            v100_ok += simulate_finetuning("moment-large", info, full_finetune=True).ok
+            a100_ok += simulate_finetuning(
+                "moment-large", info, full_finetune=True, gpu=a100, budget=budget
+            ).ok
+        assert a100_ok > v100_ok
+
+    def test_finger_fits_on_80gb(self):
+        """FingerMovements COMs at ~35 GiB on the V100 — an 80 GiB card
+        takes it (then the 2 h clock decides)."""
+        info = dataset_info("FingerMovements")
+        run = simulate_finetuning(
+            "moment-large",
+            info,
+            full_finetune=True,
+            budget=RunBudget(memory_limit_bytes=80 * 1024**3),
+        )
+        assert run.status is not RunStatus.OUT_OF_MEMORY
+
+
+class TestTighterBudget:
+    def test_shorter_time_limit_times_out_hand(self):
+        """Hand fits in 2 h by a thin margin; 1 h must TO it."""
+        info = dataset_info("HandMovementDirection")
+        normal = simulate_finetuning("moment-large", info, full_finetune=True)
+        assert normal.ok
+        tight = simulate_finetuning(
+            "moment-large",
+            info,
+            full_finetune=True,
+            budget=RunBudget(time_limit_s=3600.0),
+        )
+        assert tight.status is RunStatus.TIMEOUT
+
+    def test_zero_memory_always_com(self):
+        info = dataset_info("JapaneseVowels")
+        run = simulate_finetuning(
+            "moment-large", info, adapter="pca",
+            budget=RunBudget(memory_limit_bytes=1),
+        )
+        assert run.status is RunStatus.OUT_OF_MEMORY
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("channels", [2, 5, 10, 20])
+    def test_simulated_time_monotone_in_reduced_channels(self, channels):
+        info = dataset_info("Heartbeat")
+        runs = [
+            simulate_finetuning("moment-large", info, adapter="lcomb", reduced_channels=c)
+            for c in (channels, channels + 1)
+        ]
+        assert runs[0].seconds < runs[1].seconds
+        assert runs[0].peak_memory_bytes <= runs[1].peak_memory_bytes
+
+    def test_more_epochs_cost_more_time_not_memory(self):
+        info = dataset_info("NATOPS")
+        short = simulate_finetuning("moment-large", info, adapter="lcomb", epochs=10)
+        long = simulate_finetuning("moment-large", info, adapter="lcomb", epochs=200)
+        assert long.seconds > short.seconds
+        assert long.peak_memory_bytes == short.peak_memory_bytes
+
+    def test_extension_adapters_priced_like_fit_once(self):
+        info = dataset_info("Heartbeat")
+        for adapter in ("lda", "cluster_avg", "scaled_pca", "patch_pca"):
+            run = simulate_finetuning("moment-large", info, adapter=adapter)
+            assert run.ok, adapter
+
+
+class TestSpecImmutability:
+    def test_gpu_spec_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            V100_32GB.throughput_flops = 1.0
+
+    def test_default_budget_matches_paper(self):
+        assert DEFAULT_BUDGET.time_limit_s == 2 * 3600

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--dataset", "PEMS", "--adapter", "pca", "--full-finetune"]
+        )
+        assert args.dataset == "PEMS"
+        assert args.full_finetune
+
+
+class TestDatasets:
+    def test_lists_all_twelve(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "DuckDuckGeese" in out
+        assert "SpokenArabicDigits" in out
+        assert out.count("\n") >= 14  # header + separator + 12 rows
+
+
+class TestAdapters:
+    def test_lists_known_adapters(self, capsys):
+        assert main(["adapters"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pca", "svd", "rand_proj", "var", "lcomb", "lda"):
+            assert name in out
+
+
+class TestSimulate:
+    def test_ok_job_exit_zero(self, capsys):
+        code = main(["simulate", "--dataset", "Vowels", "--adapter", "pca"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outcome : OK" in out
+
+    def test_com_job_exit_nonzero(self, capsys):
+        code = main(
+            ["simulate", "--dataset", "PEMS", "--adapter", "none", "--full-finetune"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "COM" in out
+
+    def test_short_names_accepted(self, capsys):
+        assert main(["simulate", "--dataset", "Duck", "--adapter", "var"]) == 0
+
+
+class TestRun:
+    def test_trains_and_reports_accuracy(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "Vowels",
+                "--adapter", "pca",
+                "--epochs", "3",
+                "--scale", "0.05",
+                "--max-length", "32",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy:" in out
+
+    def test_save_pipeline(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "Vowels",
+                "--adapter", "var",
+                "--epochs", "2",
+                "--scale", "0.05",
+                "--max-length", "32",
+                "--save", str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "ckpt" / "pipeline.json").exists()
+
+
+class TestTableFigure:
+    def test_table3_prints(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "1345" in capsys.readouterr().out
+
+    def test_table1_micro_grid(self, capsys):
+        code = main(
+            ["table", "1", "--datasets", "Vowels", "--seeds", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_figure_claims_micro_grid(self, capsys):
+        code = main(["figure", "claims", "--datasets", "Vowels", "NATOPS", "--seeds", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+
+    def test_invalid_table_id(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+
+class TestLatexFlag:
+    def test_table3_latex_output(self, capsys):
+        assert main(["table", "3", "--latex"]) == 0
+        out = capsys.readouterr().out
+        assert "\\begin{tabular}" in out
+        assert "\\toprule" in out

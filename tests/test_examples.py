@@ -1,0 +1,52 @@
+"""Sanity checks on the example scripts.
+
+Full example runs take minutes; these tests verify each script parses,
+follows the repository conventions (module docstring, ``main()``
+entry, ``__main__`` guard), and imports only the public API.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_has_main_and_guard(self, path):
+        source = path.read_text()
+        tree = ast.parse(source)
+        functions = [n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+        assert "main" in functions
+        assert '__name__ == "__main__"' in source
+
+    def test_imports_only_public_api(self, path):
+        """Examples must not reach into private modules."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module == "__future__":
+                    continue
+                assert not any(part.startswith("_") for part in node.module.split(".")), (
+                    f"{path.name} imports private module {node.module}"
+                )
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+def test_quickstart_present():
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

@@ -1,0 +1,136 @@
+"""End-to-end integration tests spanning every subsystem.
+
+Each test exercises a realistic chain: generate data -> pretrain a
+model -> fit an adapter -> fine-tune -> predict / persist / report —
+the paths a downstream user actually runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import make_adapter
+from repro.data import load_dataset, load_dataset_file, save_dataset
+from repro.models import (
+    MomentModel,
+    ViTModel,
+    pretrain_moment,
+    pretrain_vit,
+    synthetic_pretraining_corpus,
+)
+from repro.resources import RunStatus, simulate_finetuning
+from repro.training import (
+    AdapterPipeline,
+    FineTuneStrategy,
+    TrainConfig,
+    load_pipeline,
+    save_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def heartbeat():
+    return load_dataset("Heartbeat", seed=0, scale=0.15, max_length=48, normalize=False)
+
+
+class TestPretrainThenFineTune:
+    def test_moment_full_chain(self, heartbeat):
+        """Pretrain -> PCA adapter -> head fine-tune -> beats chance."""
+        corpus = synthetic_pretraining_corpus(64, 48, np.random.default_rng(0))
+        model = MomentModel("moment-tiny", seed=0)
+        losses = pretrain_moment(model, corpus, steps=25, batch_size=16, seed=0)
+        assert losses[-1] < losses[0]
+
+        pipeline = AdapterPipeline(model, make_adapter("pca", 5), heartbeat.num_classes, seed=0)
+        report = pipeline.fit(
+            heartbeat.x_train,
+            heartbeat.y_train,
+            strategy=FineTuneStrategy.ADAPTER_HEAD,
+            config=TrainConfig(epochs=40, batch_size=32, learning_rate=3e-3, seed=0),
+        )
+        assert report.used_embedding_cache
+        accuracy = pipeline.score(heartbeat.x_test, heartbeat.y_test)
+        assert accuracy > 1.0 / heartbeat.num_classes
+
+    def test_vit_full_chain(self, heartbeat):
+        corpus = synthetic_pretraining_corpus(64, 48, np.random.default_rng(1))
+        model = ViTModel("vit-tiny", seed=0)
+        pretrain_vit(model, corpus, steps=10, batch_size=16, seed=0)
+
+        pipeline = AdapterPipeline(model, make_adapter("var", 5), heartbeat.num_classes, seed=0)
+        pipeline.fit(
+            heartbeat.x_train,
+            heartbeat.y_train,
+            config=TrainConfig(epochs=40, batch_size=32, learning_rate=3e-3, seed=0),
+        )
+        assert pipeline.score(heartbeat.x_test, heartbeat.y_test) > 1.0 / heartbeat.num_classes
+
+
+class TestSimulateBeforeRun:
+    def test_simulator_gates_what_we_run(self, heartbeat):
+        """The user workflow: check the budget, then choose the regime."""
+        full = simulate_finetuning("moment-large", heartbeat.info, full_finetune=True)
+        assert full.status is RunStatus.OUT_OF_MEMORY  # 61 channels: no
+
+        with_adapter = simulate_finetuning("moment-large", heartbeat.info, adapter="pca")
+        assert with_adapter.ok  # 5 channels, cached embeddings: yes
+        assert with_adapter.seconds < full.seconds
+
+
+class TestTrainPersistReload:
+    def test_lcomb_train_save_reload_predict(self, tmp_path, heartbeat):
+        model = MomentModel("moment-tiny", seed=0)
+        model.eval()
+        pipeline = AdapterPipeline(
+            model, make_adapter("lcomb_top_k", 5, seed=0), heartbeat.num_classes, seed=0
+        )
+        pipeline.fit(
+            heartbeat.x_train,
+            heartbeat.y_train,
+            strategy=FineTuneStrategy.ADAPTER_HEAD,
+            config=TrainConfig(epochs=3, batch_size=32, learning_rate=5e-3, seed=0),
+        )
+        save_pipeline(pipeline, tmp_path / "deployed")
+        restored = load_pipeline(tmp_path / "deployed")
+        np.testing.assert_allclose(
+            pipeline.predict_logits(heartbeat.x_test),
+            restored.predict_logits(heartbeat.x_test),
+            atol=1e-12,
+        )
+
+
+class TestDatasetExportImportTrain:
+    def test_training_on_reloaded_dataset_matches(self, tmp_path, heartbeat):
+        path = save_dataset(heartbeat, tmp_path / "hb")
+        reloaded = load_dataset_file(path)
+
+        def accuracy(ds):
+            model = MomentModel("moment-tiny", seed=0)
+            model.eval()
+            pipeline = AdapterPipeline(model, make_adapter("pca", 4), ds.num_classes, seed=0)
+            pipeline.fit(
+                ds.x_train, ds.y_train,
+                config=TrainConfig(epochs=5, batch_size=32, seed=0),
+            )
+            return pipeline.score(ds.x_test, ds.y_test)
+
+        assert accuracy(heartbeat) == accuracy(reloaded)
+
+
+class TestCrossModelConsistency:
+    @pytest.mark.parametrize("adapter_name", ["pca", "svd", "rand_proj", "var", "lda", "cluster_avg"])
+    def test_every_fit_once_adapter_feeds_both_models(self, heartbeat, adapter_name):
+        for model in (MomentModel("moment-tiny", seed=0), ViTModel("vit-tiny", seed=0)):
+            model.eval()
+            pipeline = AdapterPipeline(
+                model, make_adapter(adapter_name, 5, seed=0), heartbeat.num_classes, seed=0
+            )
+            report = pipeline.fit(
+                heartbeat.x_train,
+                heartbeat.y_train,
+                config=TrainConfig(epochs=2, batch_size=32, seed=0),
+            )
+            assert report.used_embedding_cache
+            predictions = pipeline.predict(heartbeat.x_test)
+            assert predictions.shape == (len(heartbeat.x_test),)

@@ -1,0 +1,72 @@
+"""Tests for the frozen-encoder embedding cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.training import EmbeddingCache, compute_embeddings
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = build_model("moment-tiny", seed=0)
+    m.eval()
+    return m
+
+
+class TestComputeEmbeddings:
+    def test_shape(self, model, rng):
+        emb = compute_embeddings(model, rng.normal(size=(10, 32, 3)))
+        assert emb.shape == (10, 64)
+
+    def test_matches_direct_encode(self, model, rng):
+        x = rng.normal(size=(7, 32, 3))
+        with nn.no_grad():
+            direct = model.encode(x).data
+        np.testing.assert_allclose(compute_embeddings(model, x), direct, atol=1e-10)
+
+    def test_batch_size_independent(self, model, rng):
+        x = rng.normal(size=(9, 32, 3))
+        a = compute_embeddings(model, x, batch_size=2)
+        b = compute_embeddings(model, x, batch_size=64)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_rejects_wrong_ndim(self, model):
+        with pytest.raises(ValueError):
+            compute_embeddings(model, np.zeros((4, 5)))
+
+    def test_restores_training_mode(self, model, rng):
+        model.train()
+        compute_embeddings(model, rng.normal(size=(2, 32, 2)))
+        assert model.training
+        model.eval()
+
+    def test_no_graph_built(self, model, rng):
+        """Embeddings come back as plain arrays (inference only)."""
+        emb = compute_embeddings(model, rng.normal(size=(3, 32, 2)))
+        assert isinstance(emb, np.ndarray)
+
+
+class TestEmbeddingCache:
+    def test_caches_by_identity(self, model, rng):
+        cache = EmbeddingCache(model)
+        x = rng.normal(size=(5, 32, 2))
+        a = cache.get(x)
+        b = cache.get(x)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_distinct_arrays_distinct_entries(self, model, rng):
+        cache = EmbeddingCache(model)
+        cache.get(rng.normal(size=(3, 32, 2)))
+        cache.get(rng.normal(size=(3, 32, 2)))
+        assert len(cache) == 2
+
+    def test_clear(self, model, rng):
+        cache = EmbeddingCache(model)
+        cache.get(rng.normal(size=(3, 32, 2)))
+        cache.clear()
+        assert len(cache) == 0

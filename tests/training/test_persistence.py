@@ -1,0 +1,93 @@
+"""Tests for pipeline save/load."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adapters import make_adapter
+from repro.data import load_dataset
+from repro.models import build_model
+from repro.training import (
+    AdapterPipeline,
+    FineTuneStrategy,
+    TrainConfig,
+    load_pipeline,
+    save_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("JapaneseVowels", seed=0, scale=0.1, max_length=32, normalize=False)
+
+
+def fitted_pipeline(dataset, adapter_name, epochs=2):
+    model = build_model("moment-tiny", seed=0)
+    model.eval()
+    channels = 1 if adapter_name == "none" else 4
+    pipe = AdapterPipeline(model, make_adapter(adapter_name, channels, seed=0), dataset.num_classes, seed=0)
+    strategy = (
+        FineTuneStrategy.HEAD if adapter_name == "none" else FineTuneStrategy.ADAPTER_HEAD
+    )
+    pipe.fit(dataset.x_train, dataset.y_train, strategy=strategy,
+             config=TrainConfig(epochs=epochs, batch_size=16, seed=0))
+    return pipe
+
+
+@pytest.mark.parametrize(
+    "adapter_name", ["pca", "scaled_pca", "svd", "rand_proj", "var", "lcomb", "lcomb_top_k", "none"]
+)
+def test_round_trip_predictions_identical(tmp_path, dataset, adapter_name):
+    pipe = fitted_pipeline(dataset, adapter_name)
+    save_pipeline(pipe, tmp_path / adapter_name)
+    restored = load_pipeline(tmp_path / adapter_name)
+    np.testing.assert_allclose(
+        pipe.predict_logits(dataset.x_test),
+        restored.predict_logits(dataset.x_test),
+        atol=1e-12,
+    )
+
+
+def test_unfitted_pipeline_rejected(tmp_path, dataset):
+    model = build_model("moment-tiny", seed=0)
+    pipe = AdapterPipeline(model, make_adapter("pca", 4), dataset.num_classes)
+    with pytest.raises(ValueError):
+        save_pipeline(pipe, tmp_path / "nope")
+
+
+def test_manifest_contents(tmp_path, dataset):
+    pipe = fitted_pipeline(dataset, "pca")
+    save_pipeline(pipe, tmp_path / "p")
+    manifest = json.loads((tmp_path / "p" / "pipeline.json").read_text())
+    assert manifest["model_config"] == "moment-tiny"
+    assert manifest["adapter"]["registry_name"] == "pca"
+    assert manifest["adapter"]["output_channels"] == 4
+    assert manifest["num_classes"] == dataset.num_classes
+
+
+def test_patch_pca_kwargs_preserved(tmp_path, dataset):
+    model = build_model("moment-tiny", seed=0)
+    model.eval()
+    adapter = make_adapter("patch_pca", 4, patch_window_size=4)
+    pipe = AdapterPipeline(model, adapter, dataset.num_classes, seed=0)
+    pipe.fit(dataset.x_train, dataset.y_train, config=TrainConfig(epochs=1, batch_size=16, seed=0))
+    save_pipeline(pipe, tmp_path / "ppca")
+    restored = load_pipeline(tmp_path / "ppca")
+    assert restored.adapter.patch_window_size == 4
+    np.testing.assert_allclose(
+        pipe.predict_logits(dataset.x_test),
+        restored.predict_logits(dataset.x_test),
+        atol=1e-12,
+    )
+
+
+def test_loaded_pipeline_is_usable_for_scoring(tmp_path, dataset):
+    pipe = fitted_pipeline(dataset, "var")
+    save_pipeline(pipe, tmp_path / "v")
+    restored = load_pipeline(tmp_path / "v")
+    assert restored.score(dataset.x_test, dataset.y_test) == pipe.score(
+        dataset.x_test, dataset.y_test
+    )

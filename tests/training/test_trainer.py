@@ -1,0 +1,149 @@
+"""Tests for the generic training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.training import TrainConfig, train_classifier_on_arrays
+
+
+@pytest.fixture
+def linear_task(rng):
+    """A linearly separable 3-class problem."""
+    x = rng.normal(size=(120, 6))
+    w = rng.normal(size=(6, 3))
+    y = (x @ w).argmax(axis=1)
+    return x, y
+
+
+def make_head(rng):
+    return nn.Linear(6, 3, rng=rng)
+
+
+class TestConfig:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+
+
+class TestTraining:
+    def test_loss_decreases(self, linear_task, rng):
+        x, y = linear_task
+        head = make_head(rng)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=20, batch_size=32, learning_rate=1e-2),
+        )
+        assert result.losses[-1] < result.losses[0]
+        assert result.epochs_run == 20
+        assert result.seconds > 0
+
+    def test_reaches_high_accuracy(self, linear_task, rng):
+        x, y = linear_task
+        head = make_head(rng)
+        train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=60, batch_size=32, learning_rate=1e-2),
+        )
+        with nn.no_grad():
+            acc = (head(nn.Tensor(x)).data.argmax(axis=1) == y).mean()
+        assert acc > 0.9
+
+    def test_deterministic_given_seed(self, linear_task):
+        x, y = linear_task
+
+        def run():
+            head = make_head(np.random.default_rng(0))
+            result = train_classifier_on_arrays(
+                lambda batch: head(nn.Tensor(batch)),
+                head.trainable_parameters(),
+                x,
+                y,
+                TrainConfig(epochs=5, batch_size=16, seed=3),
+            )
+            return result.losses
+
+        assert run() == run()
+
+    def test_patience_stops_early(self, rng):
+        """On a constant-loss problem, patience terminates the loop."""
+        x = np.zeros((40, 6))  # zero inputs: loss can't improve
+        y = np.zeros(40, dtype=int)
+        head = make_head(rng)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)) * 0.0,
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=100, batch_size=20, patience=3),
+        )
+        assert result.epochs_run < 100
+
+    def test_max_time_flags_timeout(self, linear_task, rng):
+        x, y = linear_task
+        head = make_head(rng)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=10_000, batch_size=4, max_time_s=0.05),
+        )
+        assert result.timed_out
+        assert result.epochs_run < 10_000
+
+    def test_rejects_empty_parameters(self, linear_task):
+        x, y = linear_task
+        with pytest.raises(ValueError):
+            train_classifier_on_arrays(lambda b: nn.Tensor(b), [], x, y, TrainConfig())
+
+    def test_rejects_misaligned_data(self, rng):
+        head = make_head(rng)
+        with pytest.raises(ValueError):
+            train_classifier_on_arrays(
+                lambda b: head(nn.Tensor(b)),
+                head.trainable_parameters(),
+                np.zeros((5, 6)),
+                np.zeros(4, dtype=int),
+                TrainConfig(),
+            )
+
+    def test_final_loss_property(self, linear_task, rng):
+        x, y = linear_task
+        head = make_head(rng)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=2, batch_size=32),
+        )
+        assert result.final_loss == result.losses[-1]
+
+
+class TestSparkline:
+    def test_loss_curve_rendering(self, linear_task, rng):
+        x, y = linear_task
+        head = make_head(rng)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=10, batch_size=32, learning_rate=1e-2),
+        )
+        line = result.sparkline()
+        assert len(line) == 10
+        # loss decreases -> curve starts high, ends low
+        assert line[0] in "▇█"
+        assert line[-1] in "▁▂"
