@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command quality gate: ruff (when available) + the tier-1 suite.
+#
+# Usage: scripts/lint.sh
+#
+# The container this repo is developed in does not always ship ruff;
+# the lint step degrades to a warning instead of failing so the test
+# gate still runs everywhere.  CI images with ruff get the full gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests benchmarks examples scripts
+else
+    echo "!! ruff not installed; skipping lint (pip install ruff)" >&2
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q

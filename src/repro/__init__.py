@@ -6,6 +6,8 @@ from scratch on numpy:
 
 * :mod:`repro.nn` — a minimal deep-learning framework (autodiff,
   transformer encoder, optimizers);
+* :mod:`repro.runtime` — content-addressed artifact store (embedding /
+  weight / result reuse, in-memory + on-disk) and span instrumentation;
 * :mod:`repro.models` — MOMENT-style and ViT-style time-series
   foundation models with their pretraining objectives;
 * :mod:`repro.adapters` — the dimensionality-reduction adapters (PCA,
@@ -34,12 +36,14 @@ Quickstart::
 """
 
 from . import nn  # noqa: F401  (import order: nn first, it has no siblings)
+from . import runtime  # noqa: F401  (second: only depends on nn)
 from . import adapters, baselines, data, evaluation, experiments, models, resources, training
 
 __version__ = "1.0.0"
 
 __all__ = [
     "nn",
+    "runtime",
     "baselines",
     "models",
     "adapters",

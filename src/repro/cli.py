@@ -16,6 +16,10 @@ Subcommands
 ``repro table`` / ``repro figure``
     Regenerate one of the paper's tables (1–5) or figures (1–6,
     ``claims``) and print it.
+``repro cache``
+    Inspect (``stats``) or empty (``clear``) the content-addressed
+    artifact cache that ``table``/``figure``/``report`` reuse across
+    processes when ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) is set.
 
 Invoke as ``python -m repro.cli ...`` or the installed ``repro``
 script.
@@ -49,6 +53,7 @@ from .experiments import (
 )
 from .models import load_pretrained
 from .resources import simulate_finetuning
+from .runtime import NAMESPACES, ArtifactStore, Stopwatch, resolve_cache_dir
 from .training import AdapterPipeline, FineTuneStrategy, TrainConfig, save_pipeline
 
 __all__ = ["main", "build_parser"]
@@ -107,8 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--preset", default="fast", help="experiment preset (fast|standard)")
         cmd.add_argument("--datasets", nargs="*", help="restrict to these datasets")
         cmd.add_argument("--seeds", nargs="*", type=int, help="restrict to these seeds")
+        cmd.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            help="persistent artifact cache (default: $REPRO_CACHE_DIR)",
+        )
         if name == "table":
             cmd.add_argument("--latex", action="store_true", help="emit LaTeX instead of markdown")
+
+    cache = sub.add_parser("cache", help="inspect or clear the persistent artifact cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--namespace",
+        choices=NAMESPACES,
+        help="restrict `clear` to one artifact kind",
+    )
 
     baseline = sub.add_parser("baseline", help="run a classical baseline (ROCKET / 1-NN DTW)")
     baseline.add_argument("--dataset", required=True)
@@ -124,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--datasets", nargs="*", help="restrict to these datasets")
     report.add_argument("--seeds", nargs="*", type=int)
     report.add_argument("--output", metavar="FILE", help="also write the report to FILE")
+    report.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache (default: $REPRO_CACHE_DIR)",
+    )
 
     return parser
 
@@ -230,7 +258,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["seeds"] = tuple(args.seeds)
     if overrides:
         config = config.with_(**overrides)
-    return ExperimentRunner(config)
+    return ExperimentRunner(config, cache_dir=getattr(args, "cache_dir", None))
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -249,8 +277,6 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
-    import time
-
     from .baselines import DTW1NNClassifier, RocketClassifier
     from .data import load_dataset
 
@@ -259,7 +285,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         normalize=False,
     )
     print(f"loaded  : {dataset.describe()}")
-    start = time.perf_counter()
+    watch = Stopwatch()
     if args.method == "rocket":
         classifier = RocketClassifier(num_kernels=args.kernels, seed=args.seed)
     else:
@@ -267,8 +293,35 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     classifier.fit(dataset.x_train, dataset.y_train)
     accuracy = classifier.score(dataset.x_test, dataset.y_test)
     print(f"method  : {args.method}")
-    print(f"fit+eval: {time.perf_counter() - start:.2f} s")
+    print(f"fit+eval: {watch.elapsed():.2f} s")
     print(f"accuracy: {accuracy:.3f}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if cache_dir is None:
+        print("no cache directory configured; pass --cache-dir or set $REPRO_CACHE_DIR")
+        return 1
+    store = ArtifactStore(cache_dir=cache_dir)
+    if args.action == "clear":
+        removed = store.clear(namespace=args.namespace)
+        scope = args.namespace or "all namespaces"
+        print(f"cleared : {removed} entries ({scope}) from {cache_dir}")
+        return 0
+    summary = store.disk_summary()
+    rows = [
+        [namespace, str(counts["entries"]), f"{counts['bytes'] / 1024**2:.2f} MiB"]
+        for namespace, counts in sorted(summary.items())
+    ]
+    total_entries = sum(counts["entries"] for counts in summary.values())
+    total_bytes = sum(counts["bytes"] for counts in summary.values())
+    print(f"cache   : {cache_dir}")
+    if rows:
+        print(render_table(["namespace", "entries", "size"], rows))
+        print(f"total   : {total_entries} entries, {total_bytes / 1024**2:.2f} MiB")
+    else:
+        print("total   : empty")
     return 0
 
 
@@ -312,6 +365,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_figure(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -7,7 +7,7 @@ latent-factor generator and preprocessing into one reproducible call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

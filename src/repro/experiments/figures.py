@@ -27,7 +27,6 @@ from ..evaluation import (
 from ..resources import RunStatus
 from ..training import FineTuneStrategy
 from .runner import ExperimentRunner
-from .tables import TABLE2_ADAPTERS
 
 __all__ = [
     "FigureResult",

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..evaluation import render_table
-from ..resources import RunStatus
 from ..training import FineTuneStrategy
 from . import paper_reference as paper
 from .figures import figure1, figure4, figure5, headline_claims

@@ -9,21 +9,40 @@ Each job combines two layers, mirroring DESIGN.md's substitution:
    tiny model is actually fine-tuned on the surrogate dataset to
    produce an accuracy — the paper, likewise, only reports accuracy
    for jobs that completed.
+
+All reuse goes through one content-addressed
+:class:`repro.runtime.ArtifactStore`: pretrained weights, generated
+datasets, frozen-encoder embeddings (via the pipeline) and finished
+:class:`ExperimentResult`\\ s.  With a disk-backed store (``cache_dir``
+or ``$REPRO_CACHE_DIR``) that reuse survives process restarts — a
+figure regeneration in a fresh process replays the table sweep's jobs
+from cache with zero pretraining steps and zero encoder passes.
 """
 
 from __future__ import annotations
 
-import time
+import json
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..adapters import make_adapter
 from ..data import load_dataset
+from ..data.metadata import dataset_info
+from ..data.uea import MultivariateDataset
 from ..models import build_model
-from ..models.config import RUNNABLE_COUNTERPART
 from ..models.pretraining import pretrain_moment, pretrain_vit, synthetic_pretraining_corpus
 from ..resources import RunStatus, SimulatedRun, simulate_finetuning
+from ..runtime import (
+    ArtifactStore,
+    Instrumentation,
+    RunSummary,
+    dataset_key,
+    fingerprint_config_fields,
+    pretrain_key,
+    resolve_cache_dir,
+    result_key,
+)
 from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
 from .config import PAPER_MODELS, ExperimentConfig
 
@@ -43,6 +62,7 @@ class ExperimentResult:
     accuracy: float | None
     simulated: SimulatedRun
     measured_seconds: float
+    summary: RunSummary | None = None
 
     @property
     def cell(self) -> str:
@@ -51,51 +71,161 @@ class ExperimentResult:
             return str(self.status)
         return f"{self.accuracy:.3f}"
 
+    # ------------------------------------------------------------------
+    # Pickle-free (de)serialisation for the artifact store
+    # ------------------------------------------------------------------
+    def to_meta(self) -> dict:
+        """JSON-able snapshot (round-trips exactly via :meth:`from_meta`)."""
+        return {
+            "dataset": self.dataset,
+            "model": self.model,
+            "adapter": self.adapter,
+            "strategy": self.strategy.value,
+            "seed": self.seed,
+            "status": self.status.name,
+            "accuracy": self.accuracy,
+            "simulated": {
+                "status": self.simulated.status.name,
+                "seconds": self.simulated.seconds,
+                "peak_memory_bytes": self.simulated.peak_memory_bytes,
+                "flops": self.simulated.flops,
+            },
+            "measured_seconds": self.measured_seconds,
+            "summary": self.summary.to_dict() if self.summary is not None else None,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "ExperimentResult":
+        simulated = meta["simulated"]
+        summary = meta.get("summary")
+        return cls(
+            dataset=meta["dataset"],
+            model=meta["model"],
+            adapter=meta["adapter"],
+            strategy=FineTuneStrategy(meta["strategy"]),
+            seed=int(meta["seed"]),
+            status=RunStatus[meta["status"]],
+            accuracy=None if meta["accuracy"] is None else float(meta["accuracy"]),
+            simulated=SimulatedRun(
+                status=RunStatus[simulated["status"]],
+                seconds=float(simulated["seconds"]),
+                peak_memory_bytes=float(simulated["peak_memory_bytes"]),
+                flops=float(simulated["flops"]),
+            ),
+            measured_seconds=float(meta["measured_seconds"]),
+            summary=None if summary is None else RunSummary.from_dict(summary),
+        )
+
 
 class ExperimentRunner:
-    """Runs jobs with process-level caches for pretraining and results.
+    """Runs jobs through a content-addressed artifact store.
 
     Caching matters because the figures reuse the tables' runs: e.g.
     Figure 4's ranks and Figure 5's p-values are computed from the
-    same accuracy sweep as Table 2.
+    same accuracy sweep as Table 2.  With a disk-backed store the
+    reuse also crosses process boundaries.
+
+    Parameters
+    ----------
+    config:
+        The experiment preset/overrides.
+    cache_dir:
+        Directory for the persistent store tier.  ``None`` falls back
+        to ``$REPRO_CACHE_DIR``; if that is unset too, the store is
+        memory-only (per-process caching, the historical behaviour).
+    store:
+        Inject a ready-made store (shared across runners, or a test
+        double).  Overrides ``cache_dir``.
     """
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    #: ExperimentConfig fields that change a single job's outcome.  The
+    #: sweep-coordinate fields (datasets, models, seeds) are part of
+    #: each job key instead, so restricting a sweep never invalidates
+    #: previously cached jobs.
+    _JOB_CONFIG_FIELDS = (
+        "reduced_channels",
+        "data_scale",
+        "max_length",
+        "pretrain_steps",
+        "head_epochs",
+        "joint_epochs",
+        "full_epochs",
+        "batch_size",
+        "learning_rate",
+        "lcomb_learning_rate",
+        "lcomb_top_k",
+    )
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        cache_dir: str | None = None,
+        store: ArtifactStore | None = None,
+    ) -> None:
         self.config = config
-        self._results: dict[tuple, ExperimentResult] = {}
-        self._pretrained_states: dict[tuple, dict[str, np.ndarray]] = {}
-        self._datasets: dict[tuple, object] = {}
+        self.store = store if store is not None else ArtifactStore(resolve_cache_dir(cache_dir))
+        self.instrumentation = Instrumentation()
+        self._config_fingerprint = fingerprint_config_fields(config, self._JOB_CONFIG_FIELDS)
+        #: Per-process identity layer over the store, so repeated
+        #: ``run`` calls return the *same* ExperimentResult object.
+        self._materialized: dict[str, ExperimentResult] = {}
 
     # ------------------------------------------------------------------
-    # Caches
+    # Cached artifacts
     # ------------------------------------------------------------------
-    def _dataset(self, name: str, seed: int):
-        key = (name, seed)
-        if key not in self._datasets:
-            self._datasets[key] = load_dataset(
+    def _dataset(self, name: str, seed: int) -> MultivariateDataset:
+        info = dataset_info(name)
+        key = dataset_key(info.name, seed, self.config.data_scale, self.config.max_length)
+        artifact = self.store.get(key)
+        if artifact is not None:
+            return MultivariateDataset(
+                info=info,
+                x_train=artifact.arrays["x_train"],
+                y_train=artifact.arrays["y_train"],
+                x_test=artifact.arrays["x_test"],
+                y_test=artifact.arrays["y_test"],
+                seed=seed,
+                scale=self.config.data_scale,
+            )
+        with self.instrumentation.span("dataset"):
+            dataset = load_dataset(
                 name,
                 seed=seed,
                 scale=self.config.data_scale,
                 max_length=self.config.max_length,
             )
-        return self._datasets[key]
+        self.store.put(
+            key,
+            arrays={
+                "x_train": dataset.x_train,
+                "y_train": dataset.y_train,
+                "x_test": dataset.x_test,
+                "y_test": dataset.y_test,
+            },
+            meta={"name": info.name, "seed": seed},
+        )
+        return dataset
 
     def _pretrained_model(self, paper_model: str, seed: int):
         """Build the runnable counterpart, pretrained (cached weights)."""
         _, runnable = PAPER_MODELS[paper_model]
-        key = (runnable, seed, self.config.pretrain_steps)
+        key = pretrain_key(runnable, seed, self.config.pretrain_steps)
         model = build_model(runnable, seed=seed)
-        if key not in self._pretrained_states:
-            if self.config.pretrain_steps > 0:
-                rng = np.random.default_rng(seed + 1000)
-                corpus = synthetic_pretraining_corpus(96, 96, rng)
-                if model.config.family == "moment":
-                    pretrain_moment(model, corpus, steps=self.config.pretrain_steps, seed=seed)
-                else:
-                    pretrain_vit(model, corpus, steps=self.config.pretrain_steps, seed=seed)
-            self._pretrained_states[key] = model.state_dict()
+        artifact = self.store.get(key)
+        if artifact is not None:
+            model.load_state_dict(artifact.arrays)
         else:
-            model.load_state_dict(self._pretrained_states[key])
+            if self.config.pretrain_steps > 0:
+                with self.instrumentation.span("pretrain"):
+                    rng = np.random.default_rng(seed + 1000)
+                    corpus = synthetic_pretraining_corpus(96, 96, rng)
+                    if model.config.family == "moment":
+                        pretrain_moment(model, corpus, steps=self.config.pretrain_steps, seed=seed)
+                    else:
+                        pretrain_vit(model, corpus, steps=self.config.pretrain_steps, seed=seed)
+                self.instrumentation.count("pretrain_runs")
+                self.instrumentation.count("pretrain_steps", self.config.pretrain_steps)
+            self.store.put(key, arrays=model.state_dict(), meta={"model": runnable})
         model.eval()
         return model
 
@@ -127,7 +257,7 @@ class ExperimentRunner:
         adapter_kwargs: dict | None = None,
         simulate_adapter_as: str | None = None,
     ) -> ExperimentResult:
-        """Run (or fetch from cache) one experiment job.
+        """Run (or fetch from the store) one experiment job.
 
         Parameters
         ----------
@@ -142,16 +272,23 @@ class ExperimentRunner:
             simulates as ``pca``).
         """
         adapter_kwargs = adapter_kwargs or {}
-        key = (
+        dataset = dataset_info(dataset).name
+        key = result_key(
+            self._config_fingerprint,
             dataset,
             model,
             adapter,
-            tuple(sorted(adapter_kwargs.items())),
-            strategy,
+            adapter_kwargs,
+            strategy.value,
             seed,
         )
-        if key in self._results:
-            return self._results[key]
+        if key in self._materialized:
+            return self._materialized[key]
+        artifact = self.store.get(key)
+        if artifact is not None:
+            result = ExperimentResult.from_meta(artifact.meta)
+            self._materialized[key] = result
+            return result
 
         paper_config, _ = PAPER_MODELS[model]
         ds = self._dataset(dataset, seed)
@@ -166,29 +303,39 @@ class ExperimentRunner:
 
         accuracy = None
         measured = 0.0
+        summary = None
         if simulated.ok:
-            start = time.perf_counter()
-            runnable = self._pretrained_model(model, seed)
-            if adapter == "none":
-                built_adapter = make_adapter("none")
-                effective_strategy = strategy
-            else:
-                built_adapter = make_adapter(
-                    adapter,
-                    self.config.reduced_channels,
-                    seed=seed,
-                    **adapter_kwargs,
+            self.instrumentation.count("fit_runs")
+            job = Instrumentation()
+            with job.span("job"):
+                runnable = self._pretrained_model(model, seed)
+                if adapter == "none":
+                    built_adapter = make_adapter("none")
+                else:
+                    built_adapter = make_adapter(
+                        adapter,
+                        self.config.reduced_channels,
+                        seed=seed,
+                        **adapter_kwargs,
+                    )
+                pipeline = AdapterPipeline(
+                    runnable, built_adapter, ds.num_classes, seed=seed, store=self.store
                 )
-                effective_strategy = strategy
-            pipeline = AdapterPipeline(runnable, built_adapter, ds.num_classes, seed=seed)
-            pipeline.fit(
-                ds.x_train,
-                ds.y_train,
-                strategy=effective_strategy,
-                config=self._train_config(adapter, strategy, seed),
-            )
-            accuracy = pipeline.score(ds.x_test, ds.y_test)
-            measured = time.perf_counter() - start
+                fit_report = pipeline.fit(
+                    ds.x_train,
+                    ds.y_train,
+                    strategy=strategy,
+                    config=self._train_config(adapter, strategy, seed),
+                )
+                with job.span("score"):
+                    accuracy = pipeline.score(ds.x_test, ds.y_test)
+            if fit_report.summary is not None:
+                for phase, seconds in fit_report.summary.phase_seconds.items():
+                    job.add_seconds(f"fit_{phase}", seconds)
+                for counter, value in fit_report.summary.counters.items():
+                    job.count(counter, value)
+            measured = job.seconds("job")
+            summary = job.summary()
 
         result = ExperimentResult(
             dataset=dataset,
@@ -200,8 +347,12 @@ class ExperimentRunner:
             accuracy=accuracy,
             simulated=simulated,
             measured_seconds=measured,
+            summary=summary,
         )
-        self._results[key] = result
+        # Guard against unserialisable drift early: the store meta must
+        # round-trip through JSON for the disk tier to be trustworthy.
+        self.store.put(key, meta=json.loads(json.dumps(result.to_meta())))
+        self._materialized[key] = result
         return result
 
     def run_seeds(self, dataset: str, model: str, **kwargs) -> list[ExperimentResult]:

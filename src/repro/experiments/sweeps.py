@@ -8,13 +8,13 @@ paper-scale cost) ready for tabulation or plotting.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..adapters import make_adapter
 from ..data.uea import MultivariateDataset
 from ..models import build_model
 from ..resources import SimulatedRun, simulate_finetuning
+from ..runtime import Stopwatch
 from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
 
 __all__ = ["SweepPoint", "sweep_reduced_channels", "sweep_adapters"]
@@ -40,7 +40,7 @@ def _fit_and_score(
     adapter_kwargs: dict | None = None,
 ) -> tuple[float, float]:
     """Train one pipeline; returns (accuracy, wall_seconds)."""
-    start = time.perf_counter()
+    watch = Stopwatch()
     model = build_model(model_name, seed=seed)
     model.eval()
     adapter = make_adapter(adapter_name, channels, seed=seed, **(adapter_kwargs or {}))
@@ -50,7 +50,7 @@ def _fit_and_score(
     pipeline = AdapterPipeline(model, adapter, dataset.num_classes, seed=seed)
     pipeline.fit(dataset.x_train, dataset.y_train, strategy=strategy, config=config)
     accuracy = pipeline.score(dataset.x_test, dataset.y_test)
-    return accuracy, time.perf_counter() - start
+    return accuracy, watch.elapsed()
 
 
 def sweep_reduced_channels(

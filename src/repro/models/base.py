@@ -37,6 +37,17 @@ class FoundationModel(nn.Module, abc.ABC):
     def encode_univariate(self, x: nn.Tensor) -> nn.Tensor:
         """Encode (B, T) univariate series to (B, n_patches, d_model)."""
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of this model (config name + weights).
+
+        Used by :mod:`repro.runtime` to key cached frozen-encoder
+        embeddings: any weight update (pretraining, fine-tuning, a
+        different init seed) yields a new fingerprint.
+        """
+        from ..runtime.fingerprint import fingerprint_model
+
+        return fingerprint_model(self)
+
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray | nn.Tensor, channel_batch: int = 0) -> nn.Tensor:
         """Encode (N, T, D) multivariate series to (N, d_model).

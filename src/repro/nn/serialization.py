@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -9,9 +10,41 @@ import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "array_digest", "state_dict_digest"]
 
 _META_KEY = "__checkpoint_meta__"
+
+
+def array_digest(array: np.ndarray, hasher=None) -> str:
+    """Stable content digest of one array (shape + dtype + bytes).
+
+    The shape/dtype prefix distinguishes arrays whose raw bytes
+    coincide (e.g. a (2, 3) and a (3, 2) float matrix, or int8 vs
+    uint8 views of the same buffer).
+    """
+    h = hasher if hasher is not None else hashlib.blake2b(digest_size=16)
+    array = np.ascontiguousarray(array)
+    h.update(repr(array.shape).encode("ascii"))
+    h.update(str(array.dtype).encode("ascii"))
+    h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def state_dict_digest(state: dict[str, np.ndarray]) -> str:
+    """Stable content digest of a ``state_dict``-style mapping.
+
+    Parameter names participate in the digest (sorted, so dict order
+    is irrelevant): renaming or re-wiring a parameter changes the
+    fingerprint even if the raw weight bytes happen to match.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for name in sorted(state):
+        h.update(name.encode("utf-8"))
+        array = np.ascontiguousarray(state[name])
+        h.update(repr(array.shape).encode("ascii"))
+        h.update(str(array.dtype).encode("ascii"))
+        h.update(array.tobytes())
+    return h.hexdigest()
 
 
 def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> Path:

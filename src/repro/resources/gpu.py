@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..data.metadata import DatasetInfo
 from ..models.config import ModelConfig, get_config
-from .budget import DEFAULT_BUDGET, RunBudget, RunStatus, SimulatedRun
+from .budget import DEFAULT_BUDGET, RunBudget, SimulatedRun
 from .cost_model import (
     REGIMES,
     TrainingJob,

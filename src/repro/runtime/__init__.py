@@ -1,0 +1,60 @@
+"""Content-addressed runtime layer: fingerprints, artifact store, spans.
+
+The paper's headline speedups come from *reusing* frozen-encoder work;
+this subsystem makes that reuse first-class.  It has three parts:
+
+* :mod:`repro.runtime.fingerprint` — stable content fingerprints for
+  arrays, model weights, fitted adapters and configs;
+* :mod:`repro.runtime.store` — a two-tier (memory LRU + optional disk)
+  key -> artifact store with hit/miss/eviction counters, pickle-free
+  and corruption-tolerant;
+* :mod:`repro.runtime.instrument` — span timers and counters whose
+  :class:`RunSummary` rides inside ``FitReport`` /
+  ``ExperimentResult``.
+
+Design notes, disk layout and invalidation rules: ``docs/runtime.md``.
+"""
+
+from .fingerprint import (
+    combine_fingerprints,
+    fingerprint_adapter,
+    fingerprint_array,
+    fingerprint_config,
+    fingerprint_config_fields,
+    fingerprint_model,
+    fingerprint_state_dict,
+)
+from .instrument import Instrumentation, RunSummary, Stopwatch
+from .keys import NAMESPACES, dataset_key, embedding_key, pretrain_key, result_key
+from .store import (
+    CACHE_DIR_ENV,
+    STORE_VERSION,
+    Artifact,
+    ArtifactStore,
+    StoreStats,
+    resolve_cache_dir,
+)
+
+__all__ = [
+    "fingerprint_array",
+    "fingerprint_state_dict",
+    "fingerprint_model",
+    "fingerprint_adapter",
+    "fingerprint_config",
+    "fingerprint_config_fields",
+    "combine_fingerprints",
+    "NAMESPACES",
+    "embedding_key",
+    "pretrain_key",
+    "dataset_key",
+    "result_key",
+    "STORE_VERSION",
+    "CACHE_DIR_ENV",
+    "Artifact",
+    "ArtifactStore",
+    "StoreStats",
+    "resolve_cache_dir",
+    "Stopwatch",
+    "Instrumentation",
+    "RunSummary",
+]

@@ -1,0 +1,134 @@
+"""Stable content fingerprints for the artifacts the runtime caches.
+
+Every cache key in :mod:`repro.runtime` is built from *content*
+fingerprints, never from object identity: two arrays with the same
+bytes fingerprint identically no matter where they live in memory, and
+mutating an array in place changes its fingerprint.  This is what
+makes the store safe across processes (disk tier) and immune to the
+``id()``-reuse bug the old embedding cache had.
+
+Fingerprint composition (also documented in ``docs/runtime.md``):
+
+* **arrays** — shape + dtype + raw bytes (``blake2b``);
+* **model weights** — config name + sorted ``state_dict`` digest, so a
+  pretraining step, a different seed, or a different architecture all
+  produce new fingerprints;
+* **adapters** — class name + every fitted attribute (projection
+  matrices, scalers, trainable-module weights), so two adapters fitted
+  on the same data with different seeds or hyperparameters never
+  collide;
+* **configs** — any dataclass, via its sorted field/value JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.serialization import array_digest, state_dict_digest
+
+__all__ = [
+    "fingerprint_array",
+    "fingerprint_state_dict",
+    "fingerprint_model",
+    "fingerprint_adapter",
+    "fingerprint_config",
+    "combine_fingerprints",
+]
+
+
+def _hasher():
+    return hashlib.blake2b(digest_size=16)
+
+
+def fingerprint_array(x: np.ndarray) -> str:
+    """Content fingerprint of one numpy array."""
+    return array_digest(np.asarray(x), _hasher())
+
+
+def fingerprint_state_dict(state: dict[str, np.ndarray]) -> str:
+    """Content fingerprint of a name -> array weight snapshot."""
+    return state_dict_digest(state)
+
+
+def fingerprint_model(model) -> str:
+    """Fingerprint of a model: architecture name + current weights.
+
+    Works for any :class:`repro.nn.Module`; models exposing a
+    ``config.name`` (all :class:`repro.models.FoundationModel`
+    subclasses) mix it in so two architectures with coincidentally
+    equal flattened weights cannot collide.
+    """
+    config = getattr(model, "config", None)
+    name = getattr(config, "name", type(model).__name__)
+    return combine_fingerprints("model", name, fingerprint_state_dict(model.state_dict()))
+
+
+def _fingerprint_value(value: Any) -> str:
+    """Fingerprint one attribute value of an adapter/config object."""
+    if isinstance(value, np.ndarray):
+        return fingerprint_array(value)
+    if isinstance(value, Module):
+        return fingerprint_state_dict(value.state_dict())
+    if isinstance(value, enum.Enum):
+        return repr(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return fingerprint_config(value)
+    return repr(value)
+
+
+def fingerprint_adapter(adapter) -> str:
+    """Fingerprint of a (possibly fitted) adapter instance.
+
+    Covers the class name plus every instance attribute — fitted
+    projection matrices, preprocessing statistics, trainable-module
+    weights, seeds and hyperparameters — so any difference that could
+    change ``transform`` output changes the key.
+    """
+    parts = ["adapter", type(adapter).__name__]
+    for name in sorted(vars(adapter)):
+        parts.append(name)
+        parts.append(_fingerprint_value(vars(adapter)[name]))
+    return combine_fingerprints(*parts)
+
+
+def fingerprint_config(config) -> str:
+    """Fingerprint of a dataclass config (``TrainConfig``, presets...).
+
+    ``fields`` optionally restricts the digest to a subset — used by
+    the experiment runner to key results only on the knobs that affect
+    a single job, so e.g. restricting ``ExperimentConfig.datasets``
+    does not invalidate previously cached jobs.
+    """
+    return fingerprint_config_fields(config, None)
+
+
+def fingerprint_config_fields(config, fields: tuple[str, ...] | None) -> str:
+    """Fingerprint a dataclass over ``fields`` (``None`` = all fields)."""
+    if not dataclasses.is_dataclass(config):
+        raise TypeError(f"expected a dataclass, got {type(config).__name__}")
+    mapping = {f.name: getattr(config, f.name) for f in dataclasses.fields(config)}
+    if fields is not None:
+        mapping = {name: mapping[name] for name in fields}
+    blob = json.dumps(
+        {name: _fingerprint_value(value) for name, value in sorted(mapping.items())},
+        sort_keys=True,
+    )
+    return combine_fingerprints("config", type(config).__name__, blob)
+
+
+def combine_fingerprints(*parts: str) -> str:
+    """Order-sensitively combine string parts into one fingerprint."""
+    h = _hasher()
+    for part in parts:
+        encoded = str(part).encode("utf-8")
+        # Length-prefix every part so ("ab", "c") != ("a", "bc").
+        h.update(len(encoded).to_bytes(8, "little"))
+        h.update(encoded)
+    return h.hexdigest()

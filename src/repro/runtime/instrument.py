@@ -1,0 +1,114 @@
+"""Lightweight span timers and counters for run instrumentation.
+
+Replaces the scattered ``time.perf_counter()`` pairs that used to live
+in ``trainer.py``, ``pipeline.py``, ``runner.py``, ``sweeps.py`` and
+``cli.py`` with two tiny primitives:
+
+* :class:`Stopwatch` — a single interval (``elapsed()``), for loops
+  that need a running total (e.g. the trainer's wall-clock cap);
+* :class:`Instrumentation` — named, accumulating phase spans plus
+  event counters, summarised into a :class:`RunSummary` that reports
+  embed instead of loose floats.
+
+Nothing here is clever on purpose: the overhead of a span is one
+``perf_counter()`` pair and a dict update, so instrumenting a hot path
+costs nothing measurable next to an encoder forward.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "RunSummary", "Instrumentation"]
+
+
+class Stopwatch:
+    """A started-on-creation wall-clock interval."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since creation (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Reset the origin; returns the interval that just ended."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Structured per-run instrumentation summary.
+
+    ``phase_seconds`` maps phase name -> accumulated seconds;
+    ``counters`` maps event name -> count (cache hits/misses, actual
+    pretraining runs, ...).  JSON-able by construction so it can ride
+    along inside store metadata.
+    """
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (inverse of :meth:`from_dict`)."""
+        return {"phase_seconds": dict(self.phase_seconds), "counters": dict(self.counters)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        """Rebuild a summary from :meth:`to_dict` output (tolerant)."""
+        return cls(
+            phase_seconds={k: float(v) for k, v in (data.get("phase_seconds") or {}).items()},
+            counters={k: int(v) for k, v in (data.get("counters") or {}).items()},
+        )
+
+
+class Instrumentation:
+    """Accumulating named spans + counters for one run/runner."""
+
+    def __init__(self) -> None:
+        self._phase_seconds: dict[str, float] = defaultdict(float)
+        self._counters: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a ``with`` block under ``name`` (accumulates on re-entry)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._phase_seconds[name] += time.perf_counter() - start
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Fold an externally measured interval into a phase."""
+        self._phase_seconds[name] += float(seconds)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment an event counter."""
+        self._counters[name] += int(n)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one phase (0.0 if never entered)."""
+        return self._phase_seconds.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def summary(self) -> RunSummary:
+        """Freeze the current state into a :class:`RunSummary`."""
+        return RunSummary(
+            phase_seconds=dict(self._phase_seconds),
+            counters=dict(self._counters),
+        )
+
+    def reset(self) -> None:
+        """Zero every phase and counter."""
+        self._phase_seconds.clear()
+        self._counters.clear()

@@ -1,0 +1,86 @@
+"""Namespaced cache-key builders.
+
+A store key is ``"<namespace>/<fingerprint-hex>"``; the namespace maps
+directly to a subdirectory of the on-disk cache, so ``repro cache
+stats`` can break usage down by artifact kind and ``clear`` can drop
+one kind selectively.  All builders delegate to
+:mod:`repro.runtime.fingerprint`, so keys are pure functions of
+content — never of object identity or process state.
+"""
+
+from __future__ import annotations
+
+from .fingerprint import combine_fingerprints
+
+__all__ = [
+    "NAMESPACES",
+    "embedding_key",
+    "pretrain_key",
+    "dataset_key",
+    "result_key",
+]
+
+#: Known key namespaces (== disk subdirectories).
+NAMESPACES = ("embedding", "pretrain", "dataset", "result")
+
+
+def embedding_key(
+    model_fingerprint: str,
+    adapter_fingerprint: str,
+    data_fingerprint: str,
+    batch_size: int,
+) -> str:
+    """Key for a frozen-encoder embedding matrix.
+
+    Keyed on (model weights, fitted adapter, input content, batch
+    geometry): any pretraining step, adapter refit, data mutation or
+    batching change produces a distinct key.
+    """
+    digest = combine_fingerprints(
+        "embedding",
+        model_fingerprint,
+        adapter_fingerprint,
+        data_fingerprint,
+        str(int(batch_size)),
+    )
+    return f"embedding/{digest}"
+
+
+def pretrain_key(model_name: str, seed: int, pretrain_steps: int) -> str:
+    """Key for a pretrained runnable model's weight snapshot."""
+    digest = combine_fingerprints(
+        "pretrain", model_name, str(int(seed)), str(int(pretrain_steps))
+    )
+    return f"pretrain/{digest}"
+
+
+def dataset_key(name: str, seed: int, scale: float, max_length: int | None) -> str:
+    """Key for one generated surrogate dataset split."""
+    digest = combine_fingerprints(
+        "dataset", name, str(int(seed)), repr(float(scale)), repr(max_length)
+    )
+    return f"dataset/{digest}"
+
+
+def result_key(
+    config_fingerprint: str,
+    dataset: str,
+    model: str,
+    adapter: str,
+    adapter_kwargs: dict | None,
+    strategy: str,
+    seed: int,
+) -> str:
+    """Key for one :class:`ExperimentResult` (a full job outcome)."""
+    kwargs_blob = repr(tuple(sorted((adapter_kwargs or {}).items())))
+    digest = combine_fingerprints(
+        "result",
+        config_fingerprint,
+        dataset,
+        model,
+        adapter,
+        kwargs_blob,
+        strategy,
+        str(int(seed)),
+    )
+    return f"result/{digest}"

@@ -1,0 +1,271 @@
+"""Two-tier content-addressed artifact store.
+
+The store maps namespaced content keys (see :mod:`repro.runtime.keys`)
+to *artifacts*: a dict of numpy arrays plus a JSON-able metadata dict.
+Two tiers:
+
+* **memory** — a bounded LRU; hits return the stored objects directly
+  (zero copy), eviction drops the least recently used entry;
+* **disk** (optional) — one ``.npz`` file per entry under
+  ``<cache_dir>/<namespace>/<digest>.npz``, written atomically,
+  pickle-free (arrays + an embedded JSON blob), versioned.
+
+Robustness contract: a corrupt, truncated, unreadable or
+version-mismatched disk entry is a **miss, never a crash** — the entry
+is recounted in ``stats.corrupt`` and recomputed by the caller.  Disk
+writes are atomic (temp file + ``os.replace``) so a crashed process
+cannot leave a half-written entry that later parses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "STORE_VERSION",
+    "CACHE_DIR_ENV",
+    "Artifact",
+    "StoreStats",
+    "ArtifactStore",
+    "resolve_cache_dir",
+]
+
+#: Environment variable enabling the disk tier by default.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(explicit: str | Path | None = None) -> Path | None:
+    """Resolve the disk-cache directory: explicit arg > env var > None.
+
+    Empty strings (``--cache-dir ""`` or an empty env var) count as
+    unset rather than silently meaning the current directory.
+    """
+    if explicit:
+        return Path(explicit)
+    from_env = os.environ.get(CACHE_DIR_ENV)
+    return Path(from_env) if from_env else None
+
+#: Bump to invalidate every on-disk entry written by older code.
+STORE_VERSION = 1
+
+_META_KEY = "__artifact_meta__"
+_KEY_RE = re.compile(r"^[a-z0-9_]+/[0-9a-f]{8,}$")
+
+
+@dataclass
+class Artifact:
+    """One stored value: named arrays + JSON-able metadata."""
+
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(a.nbytes) for a in self.arrays.values())
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/eviction counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy (for embedding into run summaries)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.puts = self.evictions = self.corrupt = 0
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    if not _KEY_RE.match(key):
+        raise ValueError(
+            f"malformed store key {key!r}; expected '<namespace>/<hex-digest>'"
+        )
+    namespace, digest = key.split("/", 1)
+    return namespace, digest
+
+
+class ArtifactStore:
+    """Bounded in-memory LRU over an optional on-disk ``.npz`` tier.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent tier; ``None`` keeps the store
+        memory-only (the default — exactly the old per-process
+        behaviour, minus the identity-keying bugs).
+    max_memory_entries:
+        LRU capacity.  Disk entries are unbounded; ``clear()`` or
+        ``repro cache clear`` reclaims them.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, max_memory_entries: int = 256) -> None:
+        if max_memory_entries <= 0:
+            raise ValueError("max_memory_entries must be positive")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_memory_entries = max_memory_entries
+        self.stats = StoreStats()
+        self._memory: OrderedDict[str, Artifact] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Artifact | None:
+        """Fetch an artifact; ``None`` on miss (including corruption)."""
+        _split_key(key)
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._memory[key]
+        artifact = self._read_disk(key)
+        if artifact is None:
+            self.stats.misses += 1
+            return None
+        self._remember(key, artifact)
+        self.stats.hits += 1
+        return artifact
+
+    def put(
+        self,
+        key: str,
+        arrays: dict[str, np.ndarray] | None = None,
+        meta: dict | None = None,
+    ) -> Artifact:
+        """Store an artifact in memory and (if configured) on disk."""
+        _split_key(key)
+        arrays = {name: np.asarray(value) for name, value in (arrays or {}).items()}
+        if _META_KEY in arrays:
+            raise ValueError(f"array name collides with reserved key {_META_KEY!r}")
+        artifact = Artifact(arrays=arrays, meta=dict(meta or {}))
+        self._remember(key, artifact)
+        self._write_disk(key, artifact)
+        self.stats.puts += 1
+        return artifact
+
+    def contains(self, key: str) -> bool:
+        """Availability probe that does not touch the hit/miss counters."""
+        path = self._path_for(key)
+        return key in self._memory or (path is not None and path.exists())
+
+    def clear(self, namespace: str | None = None) -> int:
+        """Drop entries (all, or one namespace); returns entries removed."""
+        removed = 0
+        for key in list(self._memory):
+            if namespace is None or key.startswith(f"{namespace}/"):
+                del self._memory[key]
+                removed += 1
+        for path in self._disk_paths(namespace):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries in the memory tier."""
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = str(self.cache_dir) if self.cache_dir else "memory-only"
+        return f"ArtifactStore({where}, entries={len(self)}, stats={self.stats.snapshot()})"
+
+    # ------------------------------------------------------------------
+    # Memory tier
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, artifact: Artifact) -> None:
+        self._memory[key] = artifact
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        namespace, digest = _split_key(key)
+        return self.cache_dir / namespace / f"{digest}.npz"
+
+    def _write_disk(self, key: str, artifact: Artifact) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps({"version": STORE_VERSION, "meta": artifact.meta})
+        meta_array = np.frombuffer(blob.encode("utf-8"), dtype=np.uint8).copy()
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **artifact.arrays, **{_META_KEY: meta_array})
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _read_disk(self, key: str) -> Artifact | None:
+        path = self._path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                if _META_KEY not in archive.files:
+                    raise ValueError("missing artifact metadata")
+                blob = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+                if blob.get("version") != STORE_VERSION:
+                    raise ValueError(f"store version mismatch: {blob.get('version')}")
+                arrays = {
+                    name: archive[name] for name in archive.files if name != _META_KEY
+                }
+                return Artifact(arrays=arrays, meta=blob.get("meta", {}))
+        except Exception:
+            # Corrupt / truncated / foreign file: a miss, never a crash.
+            self.stats.corrupt += 1
+            return None
+
+    def _disk_paths(self, namespace: str | None = None):
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return []
+        pattern = f"{namespace}/*.npz" if namespace else "*/*.npz"
+        return sorted(self.cache_dir.glob(pattern))
+
+    # ------------------------------------------------------------------
+    # Introspection (CLI `repro cache stats`)
+    # ------------------------------------------------------------------
+    def disk_summary(self) -> dict[str, dict[str, int]]:
+        """Per-namespace entry counts and byte totals of the disk tier."""
+        summary: dict[str, dict[str, int]] = {}
+        for path in self._disk_paths():
+            bucket = summary.setdefault(path.parent.name, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            try:
+                bucket["bytes"] += path.stat().st_size
+            except OSError:
+                pass
+        return summary

@@ -1,4 +1,4 @@
-"""Frozen-encoder embedding cache.
+"""Frozen-encoder embedding cache (content-addressed).
 
 When the adapter is fit-once and the encoder is frozen, the encoder's
 pooled embeddings are a pure function of the input — so they can be
@@ -6,6 +6,16 @@ computed in a single inference pass and reused for every head-training
 epoch.  This is where the paper's ~10x fine-tuning speedup comes from:
 the expensive foundation model runs once instead of epochs x steps
 times.
+
+Since the ``repro.runtime`` refactor the cache is a thin facade over
+:class:`repro.runtime.ArtifactStore`, keyed by **content**
+(model-weight fingerprint, adapter fingerprint, data fingerprint,
+batch geometry) rather than ``id(array)``.  That fixes two latent
+bugs of the identity-keyed version: a garbage-collected array's ``id``
+could be recycled by a brand-new array (silently returning stale
+embeddings), and in-place mutation of a cached array was invisible.
+With content keys both cases simply produce a different key.  Sharing
+a disk-backed store makes the reuse survive process restarts.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ import numpy as np
 
 from .. import nn
 from ..models.base import FoundationModel
+from ..runtime import ArtifactStore, embedding_key, fingerprint_array, fingerprint_model
 
 __all__ = ["compute_embeddings", "EmbeddingCache"]
 
@@ -27,11 +38,14 @@ def compute_embeddings(
     """Encode (N, T, D) data to (N, embed_dim) without building a graph.
 
     Batches over samples and chunks the flattened channel dimension so
-    peak memory stays bounded even for very wide inputs.
+    peak memory stays bounded even for very wide inputs.  An empty
+    batch (N == 0) returns a well-shaped ``(0, embed_dim)`` array.
     """
     x = np.asarray(x)
     if x.ndim != 3:
         raise ValueError(f"expected (N, T, D) input, got shape {x.shape}")
+    if len(x) == 0:
+        return np.zeros((0, model.embed_dim), dtype=np.float64)
     was_training = model.training
     model.eval()
     outputs = []
@@ -45,28 +59,60 @@ def compute_embeddings(
 
 
 class EmbeddingCache:
-    """Cache of frozen-encoder embeddings keyed by array identity.
+    """Content-addressed cache of frozen-encoder embeddings.
 
-    A tiny utility for sweeps that revisit the same split with several
-    heads (e.g. multi-seed head training): embeddings are computed on
-    first request and reused afterwards.
+    Parameters
+    ----------
+    model:
+        The (frozen) encoder.  Its weight fingerprint is part of every
+        key, so a model pretrained differently — or mutated between
+        ``get`` calls — never serves another model's embeddings.
+    batch_size:
+        Inference batch size; part of the key (batch geometry).
+    store:
+        Optional shared :class:`ArtifactStore`; a private memory-only
+        store is created when omitted.  Pass a disk-backed store to
+        reuse embeddings across processes.
+    adapter_fingerprint:
+        Fingerprint of the fitted adapter whose output is being
+        encoded ("" when the cache sits after no adapter); keeps two
+        adapters fitted on the same data from colliding.
     """
 
-    def __init__(self, model: FoundationModel, batch_size: int = 64) -> None:
+    def __init__(
+        self,
+        model: FoundationModel,
+        batch_size: int = 64,
+        store: ArtifactStore | None = None,
+        adapter_fingerprint: str = "",
+    ) -> None:
         self.model = model
         self.batch_size = batch_size
-        self._store: dict[int, np.ndarray] = {}
+        self.store = store if store is not None else ArtifactStore()
+        self.adapter_fingerprint = adapter_fingerprint
+
+    def key_for(self, x: np.ndarray) -> str:
+        """The store key this array's embeddings live under."""
+        return embedding_key(
+            fingerprint_model(self.model),
+            self.adapter_fingerprint,
+            fingerprint_array(x),
+            self.batch_size,
+        )
 
     def get(self, x: np.ndarray) -> np.ndarray:
-        """Return (computing once) the embeddings of this exact array."""
-        key = id(x)
-        if key not in self._store:
-            self._store[key] = compute_embeddings(self.model, x, batch_size=self.batch_size)
-        return self._store[key]
+        """Return (computing once) the embeddings of this array content."""
+        key = self.key_for(x)
+        artifact = self.store.get(key)
+        if artifact is not None:
+            return artifact.arrays["embeddings"]
+        embeddings = compute_embeddings(self.model, x, batch_size=self.batch_size)
+        self.store.put(key, arrays={"embeddings": embeddings})
+        return embeddings
 
     def clear(self) -> None:
-        """Drop every cached embedding matrix."""
-        self._store.clear()
+        """Drop every cached embedding matrix in the backing store."""
+        self.store.clear(namespace="embedding")
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self.store)

@@ -5,11 +5,16 @@ This is the library's central object: it wires an
 :class:`repro.models.FoundationModel` and a linear classification
 head, and implements the paper's three fine-tuning regimes with the
 correct fast paths (embedding caching for fit-once adapters).
+
+When constructed with a shared :class:`repro.runtime.ArtifactStore`,
+the frozen-encoder fast path becomes content-addressed: embeddings
+computed for one fit are reused by any later fit or prediction with
+the same (model weights, fitted adapter, data) — in this process or,
+with a disk-backed store, in a fresh one.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,7 +23,8 @@ from .. import nn
 from ..adapters.base import Adapter
 from ..models.base import FoundationModel
 from ..models.heads import ClassificationHead
-from .embedding_cache import compute_embeddings
+from ..runtime import ArtifactStore, Instrumentation, RunSummary, fingerprint_adapter
+from .embedding_cache import EmbeddingCache, compute_embeddings
 from .strategies import FineTuneStrategy
 from .trainer import TrainConfig, TrainResult, train_classifier_on_arrays
 
@@ -32,7 +38,9 @@ class FitReport:
     The phase timings mirror the quantities the paper's Figure 1
     compares: fit-once adapters pay ``adapter_fit_s`` + one
     ``embedding_s`` pass and then train only the head, while trainable
-    adapters pay ``joint_train_s`` with the encoder in the loop.
+    adapters pay the joint ``train_s`` with the encoder in the loop.
+    ``summary`` is the structured runtime view of the same fit: phase
+    seconds plus cache hit/miss counters from the artifact store.
     """
 
     strategy: FineTuneStrategy
@@ -43,6 +51,7 @@ class FitReport:
     total_s: float = 0.0
     used_embedding_cache: bool = False
     train_result: TrainResult | None = None
+    summary: RunSummary | None = None
 
 
 class AdapterPipeline:
@@ -64,6 +73,10 @@ class AdapterPipeline:
         Apply per-instance channel z-normalisation to the adapter
         output before encoding (default True; the TSFM input
         convention).
+    store:
+        Optional shared artifact store for frozen-encoder embeddings.
+        ``None`` (default) computes embeddings per call, exactly the
+        pre-runtime behaviour.
     """
 
     def __init__(
@@ -73,6 +86,7 @@ class AdapterPipeline:
         num_classes: int,
         seed: int = 0,
         normalize_reduced: bool = True,
+        store: ArtifactStore | None = None,
     ) -> None:
         self.model = model
         self.adapter = adapter
@@ -85,10 +99,14 @@ class AdapterPipeline:
         #: (sample, channel) — exactly what TSFM pipelines do to their
         #: raw inputs.
         self.normalize_reduced = normalize_reduced
+        self.store = store
         self.head = ClassificationHead(
             model.embed_dim, num_classes, rng=np.random.default_rng(seed)
         )
         self.fitted_ = False
+        #: Set by ``fit``; when False (the A2 cache ablation) every
+        #: path — including prediction — bypasses the store entirely.
+        self.use_embedding_cache_ = True
 
     # ------------------------------------------------------------------
     def _normalize_array(self, reduced: np.ndarray) -> np.ndarray:
@@ -106,6 +124,22 @@ class AdapterPipeline:
         std = ((centered * centered).mean(axis=1, keepdims=True) + 1e-8).sqrt()
         return centered / std
 
+    def _encode_reduced(self, reduced: np.ndarray, batch_size: int) -> np.ndarray:
+        """Frozen-encoder embeddings of reduced input, via the store.
+
+        Falls back to a direct inference pass when no store is wired
+        or the last fit disabled caching (the A2 ablation).
+        """
+        if self.store is None or not self.use_embedding_cache_:
+            return compute_embeddings(self.model, reduced, batch_size=batch_size)
+        cache = EmbeddingCache(
+            self.model,
+            batch_size=batch_size,
+            store=self.store,
+            adapter_fingerprint=fingerprint_adapter(self.adapter),
+        )
+        return cache.get(reduced)
+
     # ------------------------------------------------------------------
     def fit(
         self,
@@ -121,44 +155,54 @@ class AdapterPipeline:
         training loop even when the adapter is fit-once and the encoder
         frozen — an ablation switch that quantifies how much of the
         paper's speedup comes from caching (all of it) rather than from
-        the channel reduction alone.
+        the channel reduction alone.  It also bypasses the artifact
+        store entirely, so the ablation measures true uncached cost.
         """
         config = config if config is not None else TrainConfig(seed=self.seed)
         report = FitReport(strategy=strategy, adapter_name=self.adapter.name)
-        total_start = time.perf_counter()
+        self.use_embedding_cache_ = use_embedding_cache
+        inst = Instrumentation()
+        stats_before = self.store.stats.snapshot() if self.store is not None else None
 
-        fit_start = time.perf_counter()
-        self.adapter.fit(x_train, y_train)
-        report.adapter_fit_s = time.perf_counter() - fit_start
+        with inst.span("total"):
+            with inst.span("adapter_fit"):
+                self.adapter.fit(x_train, y_train)
 
-        # The encoder must run every step only if something upstream of
-        # it changes during training: a trainable adapter that the
-        # strategy actually trains, or the encoder itself (FULL).  A
-        # frozen lcomb under HEAD is as cacheable as PCA.
-        adapter_updates = self.adapter.trainable and strategy.adapter_trainable
-        encoder_in_loop = (
-            adapter_updates
-            or strategy is FineTuneStrategy.FULL
-            or not use_embedding_cache
-        )
-        if strategy.encoder_trainable:
-            self.model.unfreeze()
-        else:
-            self.model.freeze()
+            # The encoder must run every step only if something upstream
+            # of it changes during training: a trainable adapter that the
+            # strategy actually trains, or the encoder itself (FULL).  A
+            # frozen lcomb under HEAD is as cacheable as PCA.
+            adapter_updates = self.adapter.trainable and strategy.adapter_trainable
+            encoder_in_loop = (
+                adapter_updates
+                or strategy is FineTuneStrategy.FULL
+                or not use_embedding_cache
+            )
+            if strategy.encoder_trainable:
+                self.model.unfreeze()
+            else:
+                self.model.freeze()
 
-        if encoder_in_loop:
-            report.train_result = self._fit_joint(x_train, y_train, strategy, config)
-            report.train_s = report.train_result.seconds
-        else:
-            report.used_embedding_cache = True
-            reduced = self._normalize_array(self.adapter.transform(x_train))
-            embed_start = time.perf_counter()
-            embeddings = compute_embeddings(self.model, reduced, batch_size=config.batch_size)
-            report.embedding_s = time.perf_counter() - embed_start
-            report.train_result = self._fit_head(embeddings, y_train, config)
-            report.train_s = report.train_result.seconds
+            if encoder_in_loop:
+                with inst.span("train"):
+                    report.train_result = self._fit_joint(x_train, y_train, strategy, config)
+            else:
+                report.used_embedding_cache = True
+                reduced = self._normalize_array(self.adapter.transform(x_train))
+                with inst.span("embedding"):
+                    embeddings = self._encode_reduced(reduced, config.batch_size)
+                with inst.span("train"):
+                    report.train_result = self._fit_head(embeddings, y_train, config)
 
-        report.total_s = time.perf_counter() - total_start
+        if stats_before is not None:
+            after = self.store.stats.snapshot()
+            inst.count("cache_hits", after["hits"] - stats_before["hits"])
+            inst.count("cache_misses", after["misses"] - stats_before["misses"])
+        report.summary = inst.summary()
+        report.adapter_fit_s = inst.seconds("adapter_fit")
+        report.embedding_s = inst.seconds("embedding")
+        report.train_s = inst.seconds("train")
+        report.total_s = inst.seconds("total")
         self.fitted_ = True
         return report
 
@@ -218,7 +262,7 @@ class AdapterPipeline:
         if not self.fitted_:
             raise RuntimeError("pipeline used before fit()")
         reduced = self._normalize_array(self.adapter.transform(np.asarray(x)))
-        embeddings = compute_embeddings(self.model, reduced, batch_size=batch_size)
+        embeddings = self._encode_reduced(reduced, batch_size)
         with nn.no_grad():
             return self.head(nn.Tensor(embeddings)).data
 

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..runtime import Stopwatch
 
 __all__ = ["TrainConfig", "TrainResult", "train_classifier_on_arrays"]
 
@@ -89,7 +89,7 @@ def train_classifier_on_arrays(
         parameters, lr=config.learning_rate, weight_decay=config.weight_decay
     )
     result = TrainResult()
-    start = time.perf_counter()
+    watch = Stopwatch()
     best_loss = np.inf
     stale_epochs = 0
 
@@ -106,10 +106,7 @@ def train_classifier_on_arrays(
                 nn.clip_grad_norm(parameters, config.grad_clip)
             optimizer.step()
             epoch_losses.append(float(loss.data))
-            if (
-                config.max_time_s is not None
-                and time.perf_counter() - start > config.max_time_s
-            ):
+            if config.max_time_s is not None and watch.elapsed() > config.max_time_s:
                 result.timed_out = True
                 break
         result.losses.append(float(np.mean(epoch_losses)))
@@ -125,5 +122,5 @@ def train_classifier_on_arrays(
                 if stale_epochs >= config.patience:
                     break
 
-    result.seconds = time.perf_counter() - start
+    result.seconds = watch.elapsed()
     return result

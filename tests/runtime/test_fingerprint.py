@@ -1,0 +1,133 @@
+"""Tests for content fingerprints (repro.runtime.fingerprint)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import make_adapter
+from repro.models import build_model
+from repro.runtime import (
+    combine_fingerprints,
+    fingerprint_adapter,
+    fingerprint_array,
+    fingerprint_config,
+    fingerprint_config_fields,
+    fingerprint_model,
+    fingerprint_state_dict,
+)
+from repro.training import TrainConfig
+
+
+class TestArrayFingerprint:
+    def test_content_not_identity(self, rng):
+        x = rng.normal(size=(4, 5))
+        assert fingerprint_array(x) == fingerprint_array(x.copy())
+
+    def test_mutation_changes_fingerprint(self, rng):
+        x = rng.normal(size=(4, 5))
+        before = fingerprint_array(x)
+        x[0, 0] += 1.0
+        assert fingerprint_array(x) != before
+
+    def test_shape_distinguished(self):
+        x = np.arange(6.0)
+        assert fingerprint_array(x.reshape(2, 3)) != fingerprint_array(x.reshape(3, 2))
+
+    def test_dtype_distinguished(self):
+        assert fingerprint_array(np.zeros(4, dtype=np.int8)) != fingerprint_array(
+            np.zeros(4, dtype=np.uint8)
+        )
+
+    def test_noncontiguous_equals_contiguous(self, rng):
+        x = rng.normal(size=(6, 6))
+        view = x[::2, ::2]
+        assert fingerprint_array(view) == fingerprint_array(np.ascontiguousarray(view))
+
+
+class TestStateDictFingerprint:
+    def test_order_insensitive(self, rng):
+        a, b = rng.normal(size=(2, 2)), rng.normal(size=(3,))
+        assert fingerprint_state_dict({"w": a, "b": b}) == fingerprint_state_dict(
+            {"b": b, "w": a}
+        )
+
+    def test_name_sensitive(self, rng):
+        a = rng.normal(size=(2, 2))
+        assert fingerprint_state_dict({"w": a}) != fingerprint_state_dict({"v": a})
+
+
+class TestModelFingerprint:
+    def test_same_build_same_fingerprint(self):
+        assert (
+            fingerprint_model(build_model("moment-tiny", seed=0))
+            == build_model("moment-tiny", seed=0).fingerprint()
+        )
+
+    def test_seed_changes_fingerprint(self):
+        assert build_model("moment-tiny", seed=0).fingerprint() != build_model(
+            "moment-tiny", seed=1
+        ).fingerprint()
+
+    def test_weight_mutation_changes_fingerprint(self):
+        model = build_model("moment-tiny", seed=0)
+        before = model.fingerprint()
+        next(iter(model.parameters())).data += 1.0
+        assert model.fingerprint() != before
+
+
+class TestAdapterFingerprint:
+    def test_fitted_on_different_data_differs(self, rng):
+        x1 = rng.normal(size=(8, 16, 6))
+        x2 = rng.normal(size=(8, 16, 6))
+        a1 = make_adapter("pca", 3).fit(x1)
+        a2 = make_adapter("pca", 3).fit(x2)
+        assert fingerprint_adapter(a1) != fingerprint_adapter(a2)
+
+    def test_seed_differs(self, rng):
+        x = rng.normal(size=(8, 16, 6))
+        a1 = make_adapter("rand_proj", 3, seed=0).fit(x)
+        a2 = make_adapter("rand_proj", 3, seed=1).fit(x)
+        assert fingerprint_adapter(a1) != fingerprint_adapter(a2)
+
+    def test_adapter_kind_differs(self, rng):
+        x = rng.normal(size=(8, 16, 6))
+        a1 = make_adapter("pca", 3).fit(x)
+        a2 = make_adapter("svd", 3).fit(x)
+        assert fingerprint_adapter(a1) != fingerprint_adapter(a2)
+
+    def test_trainable_adapter_weights_fingerprinted(self, rng):
+        x = rng.normal(size=(8, 16, 6))
+        adapter = make_adapter("lcomb", 3, seed=0).fit(x)
+        before = fingerprint_adapter(adapter)
+        adapter.module.weight.data += 0.5
+        assert fingerprint_adapter(adapter) != before
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_equal(self):
+        assert fingerprint_config(TrainConfig(epochs=5)) == fingerprint_config(
+            TrainConfig(epochs=5)
+        )
+
+    def test_field_change_differs(self):
+        assert fingerprint_config(TrainConfig(epochs=5)) != fingerprint_config(
+            TrainConfig(epochs=6)
+        )
+
+    def test_field_subset_ignores_excluded(self):
+        a = fingerprint_config_fields(TrainConfig(epochs=5, seed=0), ("epochs",))
+        b = fingerprint_config_fields(TrainConfig(epochs=5, seed=9), ("epochs",))
+        assert a == b
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            fingerprint_config({"epochs": 5})
+
+
+class TestCombine:
+    def test_boundary_safe(self):
+        assert combine_fingerprints("ab", "c") != combine_fingerprints("a", "bc")
+
+    def test_order_sensitive(self):
+        assert combine_fingerprints("a", "b") != combine_fingerprints("b", "a")

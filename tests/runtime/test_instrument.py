@@ -1,0 +1,69 @@
+"""Tests for span timers and counters (repro.runtime.instrument)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime import Instrumentation, RunSummary, Stopwatch
+
+
+class TestStopwatch:
+    def test_elapsed_monotone(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        time.sleep(0.01)
+        assert watch.elapsed() > first >= 0.0
+
+    def test_restart_returns_interval(self):
+        watch = Stopwatch()
+        time.sleep(0.01)
+        interval = watch.restart()
+        assert interval >= 0.01
+        assert watch.elapsed() < interval
+
+
+class TestInstrumentation:
+    def test_spans_accumulate(self):
+        inst = Instrumentation()
+        for _ in range(2):
+            with inst.span("phase"):
+                time.sleep(0.005)
+        assert inst.seconds("phase") >= 0.01
+        assert inst.seconds("unknown") == 0.0
+
+    def test_span_records_on_exception(self):
+        inst = Instrumentation()
+        try:
+            with inst.span("phase"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert inst.seconds("phase") > 0.0
+
+    def test_counters(self):
+        inst = Instrumentation()
+        inst.count("hits")
+        inst.count("hits", 2)
+        assert inst.counter("hits") == 3
+        assert inst.counter("misses") == 0
+
+    def test_summary_snapshot_and_reset(self):
+        inst = Instrumentation()
+        inst.add_seconds("phase", 1.5)
+        inst.count("events", 4)
+        summary = inst.summary()
+        inst.reset()
+        assert summary.phase_seconds == {"phase": 1.5}
+        assert summary.counters == {"events": 4}
+        assert inst.summary().phase_seconds == {}
+
+
+class TestRunSummary:
+    def test_dict_round_trip(self):
+        summary = RunSummary(phase_seconds={"a": 0.5}, counters={"hits": 3})
+        assert RunSummary.from_dict(summary.to_dict()) == summary
+
+    def test_from_dict_tolerates_missing_keys(self):
+        summary = RunSummary.from_dict({})
+        assert summary.phase_seconds == {}
+        assert summary.counters == {}

@@ -1,0 +1,122 @@
+"""Tests for the two-tier artifact store (repro.runtime.store)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.runtime.store as store_module
+from repro.runtime import ArtifactStore
+
+
+def key(digest: str = "deadbeef00", namespace: str = "result") -> str:
+    return f"{namespace}/{digest}"
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, rng):
+        store = ArtifactStore()
+        assert store.get(key()) is None
+        store.put(key(), arrays={"x": rng.normal(size=(3,))}, meta={"a": 1})
+        artifact = store.get(key())
+        assert artifact.meta == {"a": 1}
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.puts == 1
+
+    def test_hit_returns_stored_object(self, rng):
+        store = ArtifactStore()
+        x = rng.normal(size=(4,))
+        store.put(key(), arrays={"x": x})
+        assert store.get(key()).arrays["x"] is x
+
+    def test_lru_eviction(self, rng):
+        store = ArtifactStore(max_memory_entries=2)
+        for i in range(3):
+            store.put(key(f"{i:08x}"), arrays={"x": rng.normal(size=(2,))})
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        # the oldest entry (0) was evicted; 1 and 2 remain
+        assert store.get(key("00000000")) is None
+        assert store.get(key("00000001")) is not None
+
+    def test_lru_touch_on_get(self, rng):
+        store = ArtifactStore(max_memory_entries=2)
+        store.put(key("00000000"), arrays={"x": rng.normal(size=(2,))})
+        store.put(key("00000001"), arrays={"x": rng.normal(size=(2,))})
+        store.get(key("00000000"))  # refresh 0; 1 becomes LRU
+        store.put(key("00000002"), arrays={"x": rng.normal(size=(2,))})
+        assert store.get(key("00000000")) is not None
+        assert store.get(key("00000001")) is None
+
+    def test_malformed_key_rejected(self):
+        store = ArtifactStore()
+        for bad in ("no-slash", "UPPER/abc123", "ns/nothex!", "ns/sub/abc123ff"):
+            with pytest.raises(ValueError):
+                store.get(bad)
+
+    def test_reserved_array_name_rejected(self, rng):
+        store = ArtifactStore()
+        with pytest.raises(ValueError):
+            store.put(key(), arrays={"__artifact_meta__": rng.normal(size=(2,))})
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path, rng):
+        x = rng.normal(size=(4, 3))
+        ArtifactStore(tmp_path).put(key(), arrays={"x": x}, meta={"kind": "test"})
+        fresh = ArtifactStore(tmp_path)
+        artifact = fresh.get(key())
+        np.testing.assert_array_equal(artifact.arrays["x"], x)
+        assert artifact.meta == {"kind": "test"}
+        assert fresh.stats.hits == 1
+
+    def test_disk_layout_is_namespaced(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path)
+        store.put(key(namespace="embedding"), arrays={"x": rng.normal(size=(2,))})
+        assert (tmp_path / "embedding" / "deadbeef00.npz").exists()
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path)
+        store.put(key(), arrays={"x": rng.normal(size=(2,))})
+        path = tmp_path / "result" / "deadbeef00.npz"
+        path.write_bytes(b"not an npz archive at all")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get(key()) is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path, rng, monkeypatch):
+        ArtifactStore(tmp_path).put(key(), arrays={"x": rng.normal(size=(2,))})
+        monkeypatch.setattr(store_module, "STORE_VERSION", 999)
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get(key()) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_clear_namespace(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path)
+        store.put(key(namespace="embedding"), arrays={"x": rng.normal(size=(2,))})
+        store.put(key(namespace="pretrain"), arrays={"x": rng.normal(size=(2,))})
+        removed = store.clear(namespace="embedding")
+        assert removed == 2  # memory + disk copy
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get(key(namespace="embedding")) is None
+        assert fresh.get(key(namespace="pretrain")) is not None
+
+    def test_disk_summary(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path)
+        store.put(key(namespace="embedding"), arrays={"x": rng.normal(size=(8,))})
+        store.put(key(namespace="result"), meta={"accuracy": 0.5})
+        summary = store.disk_summary()
+        assert summary["embedding"]["entries"] == 1
+        assert summary["result"]["entries"] == 1
+        assert summary["embedding"]["bytes"] > 0
+
+    def test_contains_does_not_touch_counters(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path)
+        store.put(key(), arrays={"x": rng.normal(size=(2,))})
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.contains(key())
+        assert not fresh.contains(key("ffffffff"))
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == 0
