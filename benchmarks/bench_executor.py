@@ -1,0 +1,122 @@
+"""Serial vs parallel executor benchmark.
+
+Runs the same cold-cache experiment grid twice — ``workers=1`` and
+``workers=N`` — and records both wall clocks into
+``BENCH_executor.json``.
+
+The grid mixes quick fit-once jobs (pca) with slow trainable-adapter
+jobs (lcomb) under a per-job timeout calibrated from a probe job.
+Both modes classify the slow jobs as the paper's TO cells, but they
+pay very differently for it: serial execution cannot pre-empt, so it
+runs each slow job to completion before classifying it after the
+fact, while the pool terminates the offending worker at the deadline.
+That pre-emption is where the parallel wall-clock win comes from —
+it holds even on a single-CPU container, where parallelism buys no
+raw compute.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.exec import JobSpec, grid, run_jobs
+from repro.experiments import FAST, ExperimentRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Small surrogates keep the probe and quick (pca) jobs snappy; the
+#: high joint-epoch count stretches only the trainable-adapter (lcomb)
+#: jobs, which train the encoder in the loop — they are the ones the
+#: per-job timeout is meant to cut off, and the pre-emption saving
+#: must dominate the pool's worker-spawn overhead for the comparison
+#: to be meaningful.
+BENCH_CONFIG = FAST.with_(
+    datasets=("JapaneseVowels", "Heartbeat"),
+    seeds=(0, 1),
+    pretrain_steps=5,
+    joint_epochs=100,
+)
+
+
+def bench_grid() -> tuple[JobSpec, ...]:
+    """Quick pca jobs plus slow lcomb jobs, over two datasets/seeds."""
+    quick = grid(
+        ["JapaneseVowels", "Heartbeat"], "MOMENT", adapters=["pca"], seeds=(0, 1)
+    )
+    slow = grid(["JapaneseVowels", "Heartbeat"], "MOMENT", adapters=["lcomb"], seeds=(0,))
+    return quick + slow
+
+
+def calibrate() -> float:
+    """Cold wall-clock of one quick (pca) job, used to set the timeout."""
+    with tempfile.TemporaryDirectory() as cache:
+        runner = ExperimentRunner(BENCH_CONFIG, cache_dir=cache)
+        start = time.perf_counter()
+        runner.run_spec(JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca"))
+        return time.perf_counter() - start
+
+
+def run_mode(specs, *, workers: int, job_timeout: float) -> dict:
+    with tempfile.TemporaryDirectory() as cache:
+        runner = ExperimentRunner(BENCH_CONFIG, cache_dir=cache)
+        start = time.perf_counter()
+        results = run_jobs(runner, specs, workers=workers, job_timeout=job_timeout)
+        wall = time.perf_counter() - start
+    return {
+        "workers": workers,
+        "wall_s": round(wall, 3),
+        "statuses": [str(r.status) for r in results],
+        "cells": [r.cell for r in results],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2, help="parallel worker count")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_executor.json"),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    specs = bench_grid()
+    calibration = calibrate()
+    # Quick jobs must clear the budget even under worker contention;
+    # slow lcomb jobs cost an order of magnitude more and must not.
+    job_timeout = max(1.0, 3.0 * calibration)
+    print(f"grid: {len(specs)} jobs, calibration {calibration:.2f}s, "
+          f"timeout {job_timeout:.2f}s", flush=True)
+
+    serial = run_mode(specs, workers=1, job_timeout=job_timeout)
+    print(f"serial   : {serial['wall_s']:.2f}s  {serial['cells']}", flush=True)
+    parallel = run_mode(specs, workers=args.workers, job_timeout=job_timeout)
+    print(f"parallel : {parallel['wall_s']:.2f}s  {parallel['cells']}", flush=True)
+
+    speedup = serial["wall_s"] / parallel["wall_s"] if parallel["wall_s"] else float("inf")
+    record = {
+        "benchmark": "executor_serial_vs_parallel",
+        "cpu_count": os.cpu_count(),
+        "calibration_s": round(calibration, 3),
+        "job_timeout_s": round(job_timeout, 3),
+        "jobs": [s.label for s in specs],
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(speedup, 3),
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"speedup  : {speedup:.2f}x  -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

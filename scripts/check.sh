@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The single pre-merge gate: ruff + the tier-1 pytest suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+#
+# Delegates to scripts/lint.sh (which degrades gracefully when ruff is
+# not installed) so there is exactly one definition of the gate; extra
+# arguments are forwarded to pytest, e.g.:
+#
+#     scripts/check.sh                 # full gate
+#     scripts/check.sh tests/exec -q   # one subtree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    exec scripts/lint.sh
+fi
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests benchmarks examples scripts
+else
+    echo "!! ruff not installed; skipping lint (pip install ruff)" >&2
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest "$@"

@@ -19,25 +19,29 @@ from scratch on numpy:
 * :mod:`repro.training` — head / adapter+head / full fine-tuning with
   embedding caching;
 * :mod:`repro.evaluation` — accuracy, Welch t-tests, ranks, rendering;
+* :mod:`repro.exec` — spec-driven experiment API (:class:`JobSpec`,
+  ``grid``) and the fault-tolerant parallel job executor;
 * :mod:`repro.experiments` — one entry point per paper table/figure.
 
-Quickstart::
+Quickstart (see ``docs/api.md`` for the full tour)::
 
-    from repro.data import load_dataset
-    from repro.models import load_pretrained
-    from repro.adapters import make_adapter
-    from repro.training import AdapterPipeline, FineTuneStrategy
+    from repro import JobSpec, run_experiment, fit_pipeline
 
-    ds = load_dataset("Heartbeat", seed=0, scale=0.1)
-    model = load_pretrained("moment-tiny", seed=0)
-    pipeline = AdapterPipeline(model, make_adapter("pca", 5), ds.num_classes)
-    pipeline.fit(ds.x_train, ds.y_train, strategy=FineTuneStrategy.ADAPTER_HEAD)
-    print("accuracy:", pipeline.score(ds.x_test, ds.y_test))
+    # One cached, simulation-gated experiment job:
+    result = run_experiment(JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca"))
+    print(result.cell)          # accuracy, or "TO"/"COM"
+
+    # Or hands-on, without the runner:
+    pipeline, ds = fit_pipeline("Heartbeat", adapter="pca")
+    print(pipeline.score(ds.x_test, ds.y_test))
 """
 
 from . import nn  # noqa: F401  (import order: nn first, it has no siblings)
 from . import runtime  # noqa: F401  (second: only depends on nn)
-from . import adapters, baselines, data, evaluation, experiments, models, resources, training
+from . import adapters, baselines, data, evaluation, models, resources, training
+from . import exec  # noqa: A004  (shadows no builtin at module scope)
+from . import experiments
+from .api import JobSpec, fit_pipeline, run_experiment, run_sweep
 
 __version__ = "1.0.0"
 
@@ -51,6 +55,11 @@ __all__ = [
     "resources",
     "training",
     "evaluation",
+    "exec",
     "experiments",
+    "JobSpec",
+    "run_experiment",
+    "run_sweep",
+    "fit_pipeline",
     "__version__",
 ]

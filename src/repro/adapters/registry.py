@@ -18,7 +18,23 @@ __all__ = ["ADAPTER_NAMES", "make_adapter"]
 DEFAULT_TOP_K = 7
 
 
+#: Adapter-specific options each factory actually consumes; anything
+#: else in **kwargs is a caller mistake and must not be dropped silently.
+_ACCEPTED_KWARGS: dict[str, frozenset[str]] = {
+    "patch_pca": frozenset({"patch_window_size"}),
+    "rand_proj": frozenset({"sparse"}),
+    "lcomb_top_k": frozenset({"top_k"}),
+}
+
+
 def _build(name: str, output_channels: int, seed: int, **kwargs) -> Adapter:
+    allowed = _ACCEPTED_KWARGS.get(name, frozenset())
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise TypeError(
+            f"adapter {name!r} got unexpected options {sorted(unknown)}; "
+            f"accepts {sorted(allowed) if allowed else 'no options'}"
+        )
     factories: dict[str, Callable[[], Adapter]] = {
         "none": lambda: IdentityAdapter(),
         "pca": lambda: PCAAdapter(output_channels),
@@ -75,6 +91,8 @@ def make_adapter(
         Seed for stochastic adapters (random projection, lcomb init).
     kwargs:
         Adapter-specific options: ``patch_window_size`` (patch_pca),
-        ``sparse`` (rand_proj), ``top_k`` (lcomb_top_k).
+        ``sparse`` (rand_proj), ``top_k`` (lcomb_top_k).  Options the
+        named adapter does not accept raise :class:`TypeError` rather
+        than being silently dropped.
     """
     return _build(name.lower(), output_channels, seed, **kwargs)

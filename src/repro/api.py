@@ -1,0 +1,125 @@
+"""Top-level facade: the 90% use case in three calls.
+
+* :func:`run_experiment` — run one :class:`~repro.exec.JobSpec` (or a
+  grid of them) through an :class:`~repro.experiments.ExperimentRunner`
+  with caching, parallelism and fault handling included;
+* :func:`run_sweep` — grid-driven ablation sweeps (re-exported from
+  :mod:`repro.experiments.sweeps`);
+* :func:`fit_pipeline` — load data, load a pretrained model, build an
+  adapter and fit the :class:`~repro.training.AdapterPipeline` in one
+  call.
+
+All three are re-exported from the package root::
+
+    from repro import JobSpec, run_experiment, run_sweep, fit_pipeline
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .adapters import make_adapter
+from .data import load_dataset
+from .data.uea import MultivariateDataset
+from .exec import JobSpec
+from .experiments.sweeps import run_sweep
+from .models import load_pretrained
+from .training import AdapterPipeline, FineTuneStrategy, TrainConfig
+
+__all__ = ["JobSpec", "run_experiment", "run_sweep", "fit_pipeline"]
+
+
+def run_experiment(
+    spec: JobSpec | Iterable[JobSpec],
+    *,
+    preset: str = "fast",
+    config: Any = None,
+    cache_dir: str | None = None,
+    workers: int = 1,
+    job_timeout: float | None = None,
+    runner: Any = None,
+):
+    """Run one spec (or a grid) and return the ExperimentResult(s).
+
+    Parameters
+    ----------
+    spec:
+        A single :class:`JobSpec` (returns one result) or an iterable
+        of specs (returns a list in input order, executed through the
+        parallel executor with deduplication).
+    preset / config:
+        Experiment preset name, or an explicit
+        :class:`~repro.experiments.ExperimentConfig` overriding it.
+    cache_dir:
+        Persistent artifact cache directory (default:
+        ``$REPRO_CACHE_DIR``; unset means memory-only caching).
+    workers / job_timeout:
+        Executor settings — worker process count and the per-job
+        wall-clock budget (jobs over it surface as ``TO`` cells).
+    runner:
+        Reuse an existing :class:`~repro.experiments.ExperimentRunner`
+        (overrides every other construction parameter).
+    """
+    from .experiments import ExperimentRunner, get_preset
+
+    if runner is None:
+        runner = ExperimentRunner(
+            config if config is not None else get_preset(preset),
+            cache_dir=cache_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+        )
+    if isinstance(spec, JobSpec):
+        return runner.run_specs([spec])[0]
+    return runner.run_specs(list(spec))
+
+
+def fit_pipeline(
+    dataset: str | MultivariateDataset,
+    model: str = "moment-tiny",
+    adapter: str = "pca",
+    channels: int = 5,
+    *,
+    strategy: FineTuneStrategy | str = FineTuneStrategy.ADAPTER_HEAD,
+    seed: int = 0,
+    train_config: TrainConfig | None = None,
+    adapter_kwargs: Mapping[str, Any] | None = None,
+    scale: float = 0.1,
+    max_length: int | None = 96,
+) -> tuple[AdapterPipeline, MultivariateDataset]:
+    """Load, build and fit an adapter pipeline in one call.
+
+    Returns ``(pipeline, dataset)`` so scoring is one more line::
+
+        pipeline, ds = fit_pipeline("Heartbeat", adapter="pca")
+        print(pipeline.score(ds.x_test, ds.y_test))
+
+    Parameters
+    ----------
+    dataset:
+        Dataset name (loaded as a surrogate at ``scale`` /
+        ``max_length``) or an already-loaded
+        :class:`MultivariateDataset`.
+    model:
+        Runnable model name (``moment-tiny`` or ``vit-tiny``).
+    adapter / channels / adapter_kwargs:
+        Adapter registry name (``"none"`` trains the head on raw
+        channels), its reduced channel count D', and extra options.
+    strategy / seed / train_config:
+        Fine-tuning strategy, random seed and training
+        hyperparameters (library defaults when ``None``).
+    """
+    if isinstance(dataset, MultivariateDataset):
+        ds = dataset
+    else:
+        ds = load_dataset(dataset, seed=seed, scale=scale, max_length=max_length)
+    runnable = load_pretrained(model, seed=seed)
+    if adapter == "none":
+        built = make_adapter("none")
+    else:
+        built = make_adapter(adapter, channels, seed=seed, **dict(adapter_kwargs or {}))
+    pipeline = AdapterPipeline(runnable, built, ds.num_classes, seed=seed)
+    if not isinstance(strategy, FineTuneStrategy):
+        strategy = FineTuneStrategy(strategy)
+    pipeline.fit(ds.x_train, ds.y_train, strategy=strategy, config=train_config)
+    return pipeline, ds

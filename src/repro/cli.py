@@ -35,6 +35,7 @@ from .adapters import make_adapter
 from .adapters.registry import ADAPTER_NAMES
 from .data import dataset_info, dataset_names
 from .evaluation import render_table
+from .exec import JobSpec, ProgressTracker
 from .experiments import (
     ExperimentRunner,
     figure1,
@@ -117,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="persistent artifact cache (default: $REPRO_CACHE_DIR)",
         )
+        cmd.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for the experiment grid (1 = in-process)",
+        )
+        cmd.add_argument(
+            "--job-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-job wall-clock budget; jobs over it surface as TO cells",
+        )
         if name == "table":
             cmd.add_argument("--latex", action="store_true", help="emit LaTeX instead of markdown")
 
@@ -151,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         help="persistent artifact cache (default: $REPRO_CACHE_DIR)",
+    )
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the experiment grid (1 = in-process)",
+    )
+    report.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; jobs over it surface as TO cells",
     )
 
     return parser
@@ -225,7 +242,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.dataset, seed=args.seed, scale=args.scale, max_length=args.max_length,
         normalize=False,
     )
+    spec = spec_from_run_args(args)
     print(f"loaded  : {dataset.describe()}")
+    print(f"spec    : {spec.label}")
     model = load_pretrained(args.model, seed=args.seed)
     adapter = make_adapter(
         args.adapter, args.channels if args.adapter != "none" else 1, seed=args.seed
@@ -249,6 +268,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro run`` takes runnable (tiny) model names; specs use paper labels.
+_PAPER_LABEL_BY_RUNNABLE = {"moment-tiny": "MOMENT", "vit-tiny": "ViT"}
+
+
+def spec_from_run_args(args: argparse.Namespace) -> JobSpec:
+    """Map ``repro run`` argv onto the canonical :class:`JobSpec`."""
+    return JobSpec(
+        dataset=args.dataset,
+        model=_PAPER_LABEL_BY_RUNNABLE[args.model],
+        adapter=args.adapter,
+        strategy=FineTuneStrategy(args.strategy),
+        seed=args.seed,
+    )
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     config = get_preset(args.preset)
     overrides = {}
@@ -258,7 +292,14 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         overrides["seeds"] = tuple(args.seeds)
     if overrides:
         config = config.with_(**overrides)
-    return ExperimentRunner(config, cache_dir=getattr(args, "cache_dir", None))
+    workers = max(1, int(getattr(args, "workers", 1) or 1))
+    return ExperimentRunner(
+        config,
+        cache_dir=getattr(args, "cache_dir", None),
+        workers=workers,
+        job_timeout=getattr(args, "job_timeout", None),
+        tracker=ProgressTracker(stream=sys.stderr) if workers > 1 else None,
+    )
 
 
 def _cmd_table(args: argparse.Namespace) -> int:

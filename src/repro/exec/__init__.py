@@ -1,0 +1,58 @@
+"""Spec-driven experiment API and fault-tolerant parallel executor.
+
+The subsystem has four parts:
+
+* :mod:`repro.exec.spec` — :class:`JobSpec`, the frozen hashable
+  description of one experiment job, and :func:`grid` to expand
+  coordinate axes into deterministic, duplicate-free spec tuples;
+* :mod:`repro.exec.executor` — :class:`ParallelExecutor` /
+  :func:`run_jobs`, which drive spec grids through worker processes
+  (or inline when ``workers<=1``), plus the generic
+  :class:`WorkerPool` they are built on;
+* :mod:`repro.exec.faults` — the failure taxonomy (timeout, memory
+  budget, transient, permanent), :class:`FaultPolicy` retry/backoff
+  knobs, and the mapping of executor faults onto the paper's TO/COM
+  table cells;
+* :mod:`repro.exec.progress` — :class:`ProgressTracker`, aggregating
+  per-job ``RunSummary`` events into one live report line.
+
+Usage and design notes: ``docs/exec.md``.
+"""
+
+from .executor import JobOutcome, ParallelExecutor, WorkerPool, run_jobs
+from .faults import (
+    TRANSIENT_EXCEPTIONS,
+    ExecError,
+    FaultPolicy,
+    JobFailedError,
+    JobFailure,
+    PoolBrokenError,
+    TransientJobError,
+    is_transient,
+    memory_result,
+    timeout_result,
+)
+from .progress import ProgressTracker
+from .spec import JobSpec, config_from_meta, config_to_meta, grid
+
+__all__ = [
+    "JobSpec",
+    "grid",
+    "ParallelExecutor",
+    "WorkerPool",
+    "JobOutcome",
+    "run_jobs",
+    "FaultPolicy",
+    "ExecError",
+    "PoolBrokenError",
+    "JobFailedError",
+    "JobFailure",
+    "TransientJobError",
+    "TRANSIENT_EXCEPTIONS",
+    "is_transient",
+    "timeout_result",
+    "memory_result",
+    "ProgressTracker",
+    "config_to_meta",
+    "config_from_meta",
+]

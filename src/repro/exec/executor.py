@@ -1,0 +1,534 @@
+"""Fault-tolerant parallel job executor.
+
+Two layers:
+
+* :class:`WorkerPool` — a generic spawn-based process pool built
+  directly on ``multiprocessing`` primitives (one task queue and one
+  result pipe per worker) so the parent keeps full control: it knows
+  which worker runs which job, can terminate exactly the worker that
+  blew its wall-clock budget, respawns crashed workers without
+  abandoning the grid, and retries transient failures with
+  exponential backoff.  ``ProcessPoolExecutor`` offers none of that —
+  one crashed worker breaks its whole pool.
+
+  The result channel is deliberately *per worker* rather than one
+  shared queue: a shared ``mp.Queue`` serialises writers through a
+  cross-process lock, and a worker dying at the wrong instant — an
+  ``os._exit`` in user code, an OOM kill, or the pool's own
+  ``terminate()`` at a timeout — can die holding it, deadlocking
+  every other worker's sends forever.  With a single-writer pipe per
+  worker, a death mid-write corrupts only that worker's channel,
+  which the crash-reaping path already handles.
+* :class:`ParallelExecutor` / :func:`run_jobs` — the experiment layer:
+  takes :class:`~repro.exec.spec.JobSpec`\\ s, deduplicates them,
+  resolves cache hits and simulation-gated (TO/COM) jobs in the
+  parent, fans the remaining training jobs out to workers, and maps
+  executor faults onto the paper's TO/COM cells
+  (see :mod:`repro.exec.faults`).
+
+Determinism: jobs are assigned to workers in input order and results
+are returned in input order, so a grid executed with ``workers=1`` and
+``workers=4`` yields identical results (training is seeded and every
+job is independent).  Workers share the parent's on-disk artifact
+store when one is configured; with a memory-only store, results travel
+back over the result pipe and the parent re-materialises them.
+
+Timeout semantics: in pool mode the budget is enforced pre-emptively
+(the worker is terminated at the deadline); in serial mode — used when
+``workers<=1`` or as the degradation path when the pool dies — a job
+cannot be pre-empted, so it is classified after the fact.  Either way
+the job surfaces as a ``TO`` cell and the rest of the grid completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing import connection as mp_connection
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..runtime import Stopwatch
+from .faults import FaultPolicy, _FailureLog, is_transient, memory_result, timeout_result
+from .progress import ProgressTracker
+from .spec import JobSpec, config_from_meta, config_to_meta
+
+__all__ = ["JobOutcome", "WorkerPool", "ParallelExecutor", "run_jobs"]
+
+#: Parent scheduler poll interval (seconds).
+_POLL_S = 0.05
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+def _safe_send(result_conn, message) -> None:
+    try:
+        result_conn.send(message)
+    except Exception:
+        pass  # parent gone or pipe torn down; nothing useful left to do
+
+
+def _worker_main(worker_id, task, initializer, initargs, task_q, result_conn) -> None:
+    """Child entry point: init once, then execute tasks until sentinel."""
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException as exc:  # noqa: BLE001 — init failure must be reported, not crash
+        _safe_send(result_conn, (worker_id, None, "init_error", f"{type(exc).__name__}: {exc}"))
+        return
+    _safe_send(result_conn, (worker_id, None, "ready", None))
+    while True:
+        message = task_q.get()
+        if message is None:
+            return
+        index, payload = message
+        try:
+            value = task(payload)
+        except BaseException as exc:  # noqa: BLE001 — job errors are data, not crashes
+            _safe_send(
+                result_conn,
+                (worker_id, index, "error", (f"{type(exc).__name__}: {exc}", is_transient(exc))),
+            )
+        else:
+            _safe_send(result_conn, (worker_id, index, "ok", value))
+
+
+# Spec-job worker state: one ExperimentRunner per worker process,
+# rebuilt from the transported config by the initializer below.
+_WORKER_RUNNER = None
+
+
+def _spec_worker_init(config_meta: dict, cache_dir: str | None) -> None:
+    global _WORKER_RUNNER
+    from ..experiments.runner import ExperimentRunner
+
+    _WORKER_RUNNER = ExperimentRunner(config_from_meta(config_meta), cache_dir=cache_dir)
+
+
+def _execute_spec(payload: dict) -> dict:
+    result = _WORKER_RUNNER.run_spec(JobSpec.from_dict(payload))
+    return result.to_meta()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass
+class JobOutcome:
+    """Terminal state of one payload in :meth:`WorkerPool.map`."""
+
+    index: int
+    status: str  # "ok" | "timeout" | "error" | "broken"
+    value: Any = None
+    error: str | None = None
+    attempts: int = 1
+
+
+@dataclass
+class _Pending:
+    index: int
+    payload: Any
+    label: str
+    failures: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Worker:
+    process: Any
+    task_q: Any
+    conn: Any  # parent's receive end of this worker's result pipe
+    ready: bool = False
+    entry: _Pending | None = field(default=None)
+    started: float = 0.0
+
+
+class WorkerPool:
+    """Spawn-based pool with per-job timeout, retry and respawn.
+
+    Parameters
+    ----------
+    task:
+        Module-level callable executed per payload in the workers
+        (must be importable under spawn).
+    workers:
+        Worker process count (capped to the payload count per map).
+    initializer / initargs:
+        Optional per-worker one-time setup, also module-level.
+    policy:
+        Retry/backoff policy for transient failures and crashes.
+    timeout:
+        Per-job wall-clock budget, measured from assignment to a
+        worker; the worker is terminated at the deadline.  ``None``
+        disables enforcement.
+    tracker:
+        Optional :class:`ProgressTracker`, notified of retries.
+    """
+
+    def __init__(
+        self,
+        task: Callable[[Any], Any],
+        *,
+        workers: int = 2,
+        initializer: Callable[..., None] | None = None,
+        initargs: Sequence[Any] = (),
+        policy: FaultPolicy | None = None,
+        timeout: float | None = None,
+        tracker: ProgressTracker | None = None,
+    ) -> None:
+        self.task = task
+        self.workers = max(1, int(workers))
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.timeout = timeout
+        self.tracker = tracker
+
+    # ------------------------------------------------------------------
+    def map(self, payloads: Sequence[Any], labels: Sequence[str] | None = None) -> list[JobOutcome]:
+        """Run every payload; returns outcomes in input order.
+
+        Never raises for per-job conditions: timeouts, permanent
+        errors and pool breakage are reported in the outcomes (status
+        ``"timeout"`` / ``"error"`` / ``"broken"``) so the caller
+        decides how to degrade.
+        """
+        n = len(payloads)
+        if n == 0:
+            return []
+        labels = list(labels) if labels is not None else [f"job-{i}" for i in range(n)]
+        ctx = mp.get_context("spawn")
+        pending: list[_Pending] = [
+            _Pending(index=i, payload=p, label=labels[i]) for i, p in enumerate(payloads)
+        ]
+        outcomes: dict[int, JobOutcome] = {}
+        workers: dict[int, _Worker] = {}
+        target = min(self.workers, n)
+        next_worker_id = 0
+        init_failures = 0
+        broken = False
+
+        def spawn_one() -> bool:
+            nonlocal next_worker_id, broken
+            task_q = ctx.SimpleQueue()
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            try:
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(next_worker_id, self.task, self.initializer, self.initargs,
+                          task_q, send_conn),
+                    daemon=True,
+                )
+                process.start()
+            except OSError:
+                broken = True
+                recv_conn.close()
+                return False
+            finally:
+                # The child holds the only live send end; closing the
+                # parent's copy makes a worker death surface as EOF.
+                send_conn.close()
+            workers[next_worker_id] = _Worker(process=process, task_q=task_q, conn=recv_conn)
+            next_worker_id += 1
+            return True
+
+        def stop_worker(worker: _Worker, *, force: bool) -> None:
+            if force:
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+            else:
+                try:
+                    worker.task_q.put(None)
+                except Exception:
+                    pass
+
+        def record_failure(entry: _Pending, error: str, transient: bool) -> None:
+            entry.failures += 1
+            if transient and entry.failures <= self.policy.max_retries:
+                entry.not_before = time.monotonic() + self.policy.backoff_delay(entry.failures)
+                pending.append(entry)
+                if self.tracker is not None:
+                    self.tracker.job_retried(entry.label)
+            else:
+                outcomes[entry.index] = JobOutcome(
+                    index=entry.index, status="error", error=error, attempts=entry.failures
+                )
+
+        def close_conn(worker: _Worker) -> None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+        try:
+            while len(outcomes) < n:
+                if broken:
+                    for worker in workers.values():
+                        if worker.entry is not None:
+                            pending.append(worker.entry)
+                            worker.entry = None
+                    for entry in pending:
+                        outcomes.setdefault(
+                            entry.index,
+                            JobOutcome(index=entry.index, status="broken",
+                                       error="worker pool broken", attempts=entry.failures + 1),
+                        )
+                    break
+
+                now = time.monotonic()
+
+                # Top up the pool (never more workers than waiting jobs).
+                while len(workers) < target and len(pending) > sum(
+                    1 for w in workers.values() if w.entry is None
+                ):
+                    if not spawn_one():
+                        break
+                if broken:
+                    continue
+
+                # Assign due jobs to ready idle workers, in input order.
+                idle = [w for w in workers.values() if w.ready and w.entry is None]
+                for worker in idle:
+                    due = [e for e in pending if e.not_before <= now]
+                    if not due:
+                        break
+                    entry = min(due, key=lambda e: e.index)
+                    pending.remove(entry)
+                    worker.entry = entry
+                    worker.started = time.monotonic()
+                    try:
+                        worker.task_q.put((entry.index, entry.payload))
+                    except Exception:
+                        worker.entry = None
+                        record_failure(entry, "task dispatch failed", transient=True)
+
+                # Drain results: wait on every live worker's pipe at
+                # once, then empty each readable pipe.  A dead worker's
+                # EOF also wakes the wait, so reaping is prompt.
+                readable = mp_connection.wait(
+                    [worker.conn for worker in workers.values()], timeout=_POLL_S
+                ) if workers else []
+                for worker_id, worker in list(workers.items()):
+                    if worker.conn not in readable:
+                        continue
+                    while True:
+                        try:
+                            if not worker.conn.poll(0):
+                                break
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            break  # worker died; the reaping pass below handles it
+                        _, index, kind, value = message
+                        if kind == "ready":
+                            worker.ready = True
+                            continue
+                        if kind == "init_error":
+                            init_failures += 1
+                            workers.pop(worker_id, None)
+                            close_conn(worker)
+                            if init_failures >= target:
+                                broken = True
+                            break
+                        if worker.entry is None or worker.entry.index != index:
+                            continue  # stale message (e.g. from a re-assigned retry)
+                        entry = worker.entry
+                        worker.entry = None
+                        if kind == "ok":
+                            outcomes[index] = JobOutcome(
+                                index=index, status="ok", value=value, attempts=entry.failures + 1
+                            )
+                        else:  # "error"
+                            error_text, transient = value
+                            record_failure(entry, error_text, transient)
+
+                # Reap crashed workers; their inflight job retries.
+                for worker_id, worker in list(workers.items()):
+                    if worker.process.is_alive():
+                        continue
+                    workers.pop(worker_id)
+                    close_conn(worker)
+                    if not worker.ready and worker.entry is None:
+                        init_failures += 1
+                        if init_failures >= target:
+                            broken = True
+                    if worker.entry is not None:
+                        entry, worker.entry = worker.entry, None
+                        record_failure(
+                            entry,
+                            f"worker process died (exitcode {worker.process.exitcode})",
+                            transient=True,
+                        )
+
+                # Enforce the per-job wall-clock budget.
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for worker_id, worker in list(workers.items()):
+                        if worker.entry is None or now - worker.started <= self.timeout:
+                            continue
+                        entry = worker.entry
+                        worker.entry = None
+                        outcomes[entry.index] = JobOutcome(
+                            index=entry.index, status="timeout",
+                            error=f"exceeded job timeout of {self.timeout:g}s",
+                            attempts=entry.failures + 1,
+                        )
+                        workers.pop(worker_id)
+                        stop_worker(worker, force=True)
+                        close_conn(worker)
+        finally:
+            for worker in workers.values():
+                stop_worker(worker, force=False)
+            deadline = time.monotonic() + 2.0
+            for worker in workers.values():
+                worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    stop_worker(worker, force=True)
+                close_conn(worker)
+
+        return [outcomes[i] for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Experiment layer
+# ----------------------------------------------------------------------
+class ParallelExecutor:
+    """Runs :class:`JobSpec` grids through an :class:`ExperimentRunner`.
+
+    The parent resolves everything that does not need a worker —
+    cache hits, jobs the resource simulation already rejects (their
+    TO/COM outcome costs no training), and jobs over the executor's
+    simulated-memory budget — then fans the remaining training jobs
+    out to a :class:`WorkerPool` (or runs them inline when
+    ``workers<=1``).  Duplicate specs are deduplicated; results come
+    back in input order.
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        workers: int | None = None,
+        job_timeout: float | None = None,
+        policy: FaultPolicy | None = None,
+        tracker: ProgressTracker | None = None,
+    ) -> None:
+        self.runner = runner
+        self.workers = int(runner.workers if workers is None else workers)
+        self.job_timeout = runner.job_timeout if job_timeout is None else job_timeout
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.tracker = tracker
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[JobSpec]) -> list:
+        """Execute a grid; returns results in input order.
+
+        Raises :class:`~repro.exec.faults.JobFailedError` only after
+        the whole grid has been driven to completion, so completed
+        work is preserved (and cached) even when some jobs fail.
+        """
+        specs = [s if isinstance(s, JobSpec) else JobSpec.from_dict(s) for s in specs]
+        unique: dict[JobSpec, None] = {}
+        for spec in specs:
+            unique.setdefault(spec, None)
+        tracker = self.tracker if self.tracker is not None else ProgressTracker()
+        tracker.begin(len(unique))
+
+        results: dict[JobSpec, Any] = {}
+        needs_worker: list[JobSpec] = []
+        for spec in unique:
+            cached = self.runner.cached_result(spec)
+            if cached is not None:
+                results[spec] = cached
+                tracker.job_done(spec.label, status=str(cached.status), cached=True,
+                                 summary=cached.summary)
+                continue
+            simulated = self.runner.simulate_spec(spec)
+            budget = self.policy.memory_budget_bytes
+            if budget is not None and simulated.peak_memory_bytes > budget:
+                results[spec] = memory_result(spec, simulated)
+                tracker.job_done(spec.label, status="COM")
+                continue
+            if not simulated.ok:
+                # The runner records the TO/COM cell without training.
+                result = self.runner.run_spec(spec)
+                results[spec] = result
+                tracker.job_done(spec.label, status=str(result.status), summary=result.summary)
+                continue
+            needs_worker.append(spec)
+
+        if needs_worker:
+            if self.workers > 1:
+                self._run_pooled(needs_worker, results, tracker)
+            else:
+                for spec in needs_worker:
+                    results[spec] = self._run_inline(spec)
+                    tracker.job_done(spec.label, status=str(results[spec].status),
+                                     summary=results[spec].summary)
+        tracker.close()
+        return [results[spec] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, spec: JobSpec):
+        """In-process execution with post-hoc timeout classification."""
+        watch = Stopwatch()
+        result = self.runner.run_spec(spec)
+        elapsed = watch.elapsed()
+        if self.job_timeout is not None and elapsed > self.job_timeout:
+            return timeout_result(spec, result.simulated, elapsed)
+        return result
+
+    def _run_pooled(self, specs: list[JobSpec], results: dict, tracker: ProgressTracker) -> None:
+        from ..experiments.runner import ExperimentResult
+
+        cache_dir = self.runner.store.cache_dir
+        pool = WorkerPool(
+            _execute_spec,
+            workers=min(self.workers, len(specs)),
+            initializer=_spec_worker_init,
+            initargs=(config_to_meta(self.runner.config),
+                      str(cache_dir) if cache_dir is not None else None),
+            policy=self.policy,
+            timeout=self.job_timeout,
+            tracker=tracker,
+        )
+        outcomes = pool.map([s.to_dict() for s in specs], labels=[s.label for s in specs])
+        failures = _FailureLog()
+        for spec, outcome in zip(specs, outcomes):
+            if outcome.status == "ok":
+                result = ExperimentResult.from_meta(outcome.value)
+                self.runner.adopt_result(spec, result)
+                results[spec] = result
+                tracker.job_done(spec.label, status=str(result.status), summary=result.summary)
+            elif outcome.status == "timeout":
+                simulated = self.runner.simulate_spec(spec)
+                results[spec] = timeout_result(spec, simulated, self.job_timeout or 0.0)
+                tracker.job_done(spec.label, status="TO")
+            elif outcome.status == "broken":
+                # Graceful degradation: the pool died, finish inline.
+                results[spec] = self._run_inline(spec)
+                tracker.job_done(spec.label, status=str(results[spec].status),
+                                 summary=results[spec].summary)
+            else:  # permanent error
+                tracker.job_failed(spec.label, outcome.error or "unknown error")
+                failures.add(spec.label, outcome.error or "unknown error", outcome.attempts)
+        failures.raise_if_any()
+
+
+def run_jobs(
+    runner,
+    specs: Iterable[JobSpec],
+    *,
+    workers: int | None = None,
+    job_timeout: float | None = None,
+    policy: FaultPolicy | None = None,
+    tracker: ProgressTracker | None = None,
+) -> list:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    executor = ParallelExecutor(
+        runner, workers=workers, job_timeout=job_timeout, policy=policy, tracker=tracker
+    )
+    return executor.run(specs)

@@ -1,0 +1,184 @@
+"""Fault taxonomy and policy for the parallel job executor.
+
+The executor distinguishes four failure modes, each with its own
+handling — the point of the subsystem is that none of them takes the
+rest of the grid down:
+
+* **timeout** — a job exceeds the per-job wall-clock budget.  The
+  worker is terminated (serial mode classifies after the fact) and the
+  job surfaces as the paper's ``TO`` cell via :func:`timeout_result`.
+* **memory budget** — a job's *simulated* paper-scale peak memory
+  exceeds the executor's budget.  Detected before any work happens and
+  surfaced as a ``COM`` cell via :func:`memory_result`.
+* **transient worker failure** — the worker process died (crash,
+  signal) or raised an exception classified transient
+  (:func:`is_transient`).  The job is retried on a fresh worker, up to
+  :attr:`FaultPolicy.max_retries` times with exponential backoff.
+* **permanent job failure** — a deterministic exception from the job
+  body, or a transient one that exhausted its retries.  Collected and
+  raised as one :class:`JobFailedError` *after* the rest of the grid
+  has finished (completed work stays in the artifact store).
+
+Executor-level TO/COM results are deliberately **not** written to the
+artifact store: the timeout and memory budget are properties of the
+executor invocation, not of the job's content-addressed identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ExecError",
+    "PoolBrokenError",
+    "JobFailure",
+    "JobFailedError",
+    "TransientJobError",
+    "TRANSIENT_EXCEPTIONS",
+    "is_transient",
+    "FaultPolicy",
+    "timeout_result",
+    "memory_result",
+]
+
+
+class ExecError(RuntimeError):
+    """Base class for executor errors."""
+
+
+class PoolBrokenError(ExecError):
+    """The worker pool could not keep any worker alive."""
+
+
+class TransientJobError(RuntimeError):
+    """Marker exception: a failure worth retrying on a fresh worker.
+
+    Raised by job code (or injected by tests) to signal a condition
+    that is expected to clear — e.g. a racy filesystem hiccup.
+    """
+
+
+#: Exception types the executor treats as transient (retryable).
+TRANSIENT_EXCEPTIONS: tuple[type[BaseException], ...] = (
+    TransientJobError,
+    OSError,
+    EOFError,
+    BrokenPipeError,
+    ConnectionError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether an exception warrants a retry on a fresh worker."""
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One permanently failed job, for :class:`JobFailedError`."""
+
+    label: str
+    error: str
+    attempts: int
+
+
+class JobFailedError(ExecError):
+    """One or more jobs failed permanently (grid still completed)."""
+
+    def __init__(self, failures: list[JobFailure]):
+        self.failures = list(failures)
+        lines = "; ".join(
+            f"{f.label}: {f.error} (after {f.attempts} attempt{'s' if f.attempts != 1 else ''})"
+            for f in self.failures
+        )
+        super().__init__(f"{len(self.failures)} job(s) failed permanently: {lines}")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry / budget knobs of one executor invocation.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts granted to a job after a *transient* failure
+        (a deterministic job exception is never retried).
+    backoff_s / backoff_factor:
+        Exponential backoff before re-submitting a retried job:
+        attempt ``n`` (1-based failure count) waits
+        ``backoff_s * backoff_factor ** (n - 1)`` seconds.
+    memory_budget_bytes:
+        Optional executor-level cap on a job's *simulated* paper-scale
+        peak memory; jobs over it become ``COM`` cells without running.
+        ``None`` leaves the run budget (V100-32GB) as the only cap.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    memory_budget_bytes: float | None = None
+
+    def backoff_delay(self, failures: int) -> float:
+        """Seconds to wait before the retry following failure #n."""
+        if failures <= 0:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (failures - 1)
+
+    def delays(self) -> tuple[float, ...]:
+        """The full backoff schedule (one delay per permitted retry)."""
+        return tuple(self.backoff_delay(n) for n in range(1, self.max_retries + 1))
+
+
+@dataclass
+class _FailureLog:
+    """Mutable collector used by the executor while a grid runs."""
+
+    failures: list[JobFailure] = field(default_factory=list)
+
+    def add(self, label: str, error: str, attempts: int) -> None:
+        self.failures.append(JobFailure(label=label, error=error, attempts=attempts))
+
+    def raise_if_any(self) -> None:
+        if self.failures:
+            raise JobFailedError(self.failures)
+
+
+# ----------------------------------------------------------------------
+# Mapping executor faults onto the paper's table cells
+# ----------------------------------------------------------------------
+def timeout_result(spec, simulated, seconds: float):
+    """An ``ExperimentResult`` rendering a timed-out job as a TO cell."""
+    from ..experiments.runner import ExperimentResult
+    from ..resources import RunStatus
+
+    return ExperimentResult(
+        dataset=spec.dataset,
+        model=spec.model,
+        adapter=spec.adapter,
+        strategy=spec.strategy,
+        seed=spec.seed,
+        status=RunStatus.TIMEOUT,
+        accuracy=None,
+        simulated=simulated,
+        measured_seconds=float(seconds),
+        summary=None,
+    )
+
+
+def memory_result(spec, simulated):
+    """An ``ExperimentResult`` rendering a budget-violating job as COM."""
+    from ..experiments.runner import ExperimentResult
+    from ..resources import RunStatus
+
+    return ExperimentResult(
+        dataset=spec.dataset,
+        model=spec.model,
+        adapter=spec.adapter,
+        strategy=spec.strategy,
+        seed=spec.seed,
+        status=RunStatus.OUT_OF_MEMORY,
+        accuracy=None,
+        simulated=simulated,
+        measured_seconds=0.0,
+        summary=None,
+    )

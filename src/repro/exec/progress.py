@@ -1,0 +1,133 @@
+"""Live progress aggregation for executor runs.
+
+Each finished job carries an optional :class:`~repro.runtime.RunSummary`
+(span seconds + counters).  The tracker folds those into one running
+aggregate and keeps live jobs-done / failed / cached counts that the
+CLI renders as a single updating status line.
+
+The tracker is cumulative across batches on purpose: a table
+regeneration issues one small grid per table cell, and the user cares
+about overall progress, so ``begin()`` *adds* to the expected total
+instead of resetting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from ..runtime import Instrumentation, RunSummary, Stopwatch
+
+__all__ = ["ProgressTracker"]
+
+
+class ProgressTracker:
+    """Aggregates per-job events into a live one-line report.
+
+    Parameters
+    ----------
+    stream:
+        Optional text stream; when set, every event rewrites a
+        ``\\r``-terminated status line (and :meth:`close` finishes it
+        with a newline).  ``None`` keeps the tracker silent.
+    """
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.retried = 0
+        self.failed = 0
+        self.by_status: dict[str, int] = {}
+        self._instrumentation = Instrumentation()
+        self._watch = Stopwatch()
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def begin(self, total: int) -> None:
+        """Announce ``total`` more jobs (cumulative across batches)."""
+        self.total += int(total)
+        self._emit()
+
+    def job_done(self, label: str, *, status: str = "OK", cached: bool = False,
+                 summary: RunSummary | None = None) -> None:
+        """Record one finished job (including cache hits and TO/COM)."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        if summary is not None:
+            self.merge_summary(summary)
+        self._emit()
+
+    def job_failed(self, label: str, error: str = "") -> None:
+        """Record one permanently failed job."""
+        self.done += 1
+        self.failed += 1
+        self._emit()
+
+    def job_retried(self, label: str) -> None:
+        """Record one retry (the job is still pending)."""
+        self.retried += 1
+        self._emit()
+
+    def merge_summary(self, summary: RunSummary) -> None:
+        """Fold a job's RunSummary into the aggregate."""
+        for phase, seconds in summary.phase_seconds.items():
+            self._instrumentation.add_seconds(phase, seconds)
+        for counter, value in summary.counters.items():
+            self._instrumentation.count(counter, value)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> RunSummary:
+        """The aggregated RunSummary over every recorded job."""
+        return self._instrumentation.summary()
+
+    def snapshot(self) -> dict:
+        """Plain-dict state (JSON-able; used by tests and benchmarks)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "cached": self.cached,
+            "retried": self.retried,
+            "failed": self.failed,
+            "by_status": dict(self.by_status),
+            "elapsed_s": self._watch.elapsed(),
+        }
+
+    def render(self) -> str:
+        """The one-line report, e.g. ``jobs 5/8 done · 2 cached · 1 TO``."""
+        parts = [f"jobs {self.done}/{self.total} done"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        for status, count in sorted(self.by_status.items()):
+            if status != "OK":
+                parts.append(f"{count} {status}")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        parts.append(f"{self._watch.elapsed():.1f}s")
+        return " · ".join(parts)
+
+    def close(self) -> None:
+        """Finish the live line (newline) if anything was written."""
+        if self.stream is not None and self._dirty:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, io.UnsupportedOperation):
+                pass
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    def _emit(self) -> None:
+        if self.stream is None:
+            return
+        try:
+            self.stream.write("\r" + self.render())
+            self.stream.flush()
+            self._dirty = True
+        except (OSError, io.UnsupportedOperation):
+            pass

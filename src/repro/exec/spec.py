@@ -1,0 +1,249 @@
+"""Frozen, hashable experiment-job specifications.
+
+One experiment job used to be a bag of keyword arguments threaded
+through ``ExperimentRunner.run()``, the sweep helpers and three CLI
+subcommands, each with its own copy of the signature.  :class:`JobSpec`
+reifies the job as a single frozen dataclass: the five sweep
+coordinates (dataset, model, adapter, strategy, seed) plus the two
+modifiers that travelled alongside them (``adapter_kwargs`` and
+``simulate_adapter_as``).
+
+Because the spec is frozen and hashable it can be
+
+* deduplicated (two equal specs are one job),
+* used directly as a dict key by the executor's scheduler,
+* serialised losslessly (``to_dict`` / ``from_dict``) across process
+  boundaries to ``repro.exec`` worker processes, and
+* mapped onto one content-addressed ``result/...`` store key via
+  :meth:`JobSpec.result_key`.
+
+:func:`grid` expands the cross product of coordinate axes into a
+deterministic, duplicate-free tuple of specs — the input format of
+:class:`repro.exec.ParallelExecutor` and ``run_sweep``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..data.metadata import dataset_info
+from ..runtime import result_key as _result_key
+from ..training import FineTuneStrategy
+
+__all__ = ["JobSpec", "grid", "config_to_meta", "config_from_meta"]
+
+#: Paper model labels accepted by :class:`JobSpec` (kept in sync with
+#: ``repro.experiments.config.PAPER_MODELS``; validated lazily so this
+#: module never imports the experiments package at import time).
+_KNOWN_MODELS = ("MOMENT", "ViT")
+
+
+def _normalize_kwargs(value: Any) -> tuple[tuple[str, Any], ...]:
+    """Canonicalise adapter kwargs into a sorted, hashable tuple."""
+    if value is None:
+        return ()
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:  # already tuple-of-pairs (e.g. from a round-trip)
+        items = [(k, v) for k, v in value]
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment job: the unit the executor schedules.
+
+    Attributes
+    ----------
+    dataset:
+        Table-3 dataset name; short names are normalised to full names
+        at construction, so two specs built from ``"Vowels"`` and
+        ``"JapaneseVowels"`` compare (and hash, and cache) equal.
+    model:
+        Paper model label (``"MOMENT"`` or ``"ViT"``).
+    adapter:
+        Adapter registry name, or ``"none"``.
+    adapter_kwargs:
+        Extra adapter options as a sorted tuple of pairs (a plain dict
+        is accepted and normalised); see :attr:`adapter_options`.
+    strategy:
+        Fine-tuning strategy (a :class:`FineTuneStrategy` or its
+        string value).
+    seed:
+        Random seed of the job.
+    simulate_adapter_as:
+        Cost-model adapter kind when ``adapter`` is a variant the
+        simulator does not know (e.g. ``scaled_pca`` prices as
+        ``pca``).  Part of the spec — and hence of the result key.
+    """
+
+    dataset: str
+    model: str
+    adapter: str = "none"
+    adapter_kwargs: tuple[tuple[str, Any], ...] = field(default=())
+    strategy: FineTuneStrategy = FineTuneStrategy.ADAPTER_HEAD
+    seed: int = 0
+    simulate_adapter_as: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataset", dataset_info(self.dataset).name)
+        if self.model not in _KNOWN_MODELS:
+            raise ValueError(
+                f"unknown paper model {self.model!r}; expected one of {_KNOWN_MODELS}"
+            )
+        object.__setattr__(self, "adapter_kwargs", _normalize_kwargs(self.adapter_kwargs))
+        if not isinstance(self.strategy, FineTuneStrategy):
+            object.__setattr__(self, "strategy", FineTuneStrategy(self.strategy))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.simulate_adapter_as == self.adapter:
+            # Simulating as itself is the default; normalising keeps the
+            # result key (and hence the cache) shared with plain specs.
+            object.__setattr__(self, "simulate_adapter_as", None)
+
+    # ------------------------------------------------------------------
+    @property
+    def adapter_options(self) -> dict[str, Any]:
+        """The adapter kwargs as a plain dict (for ``make_adapter``)."""
+        return dict(self.adapter_kwargs)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable job identity (progress reports)."""
+        extra = f"[{','.join(f'{k}={v}' for k, v in self.adapter_kwargs)}]" if self.adapter_kwargs else ""
+        return f"{self.dataset}/{self.model}/{self.adapter}{extra}/{self.strategy.value}/s{self.seed}"
+
+    def result_key(self, config_fingerprint: str) -> str:
+        """The content-addressed ``result/...`` store key of this job."""
+        return _result_key(
+            config_fingerprint,
+            self.dataset,
+            self.model,
+            self.adapter,
+            self.adapter_options,
+            self.strategy.value,
+            self.seed,
+            simulate_adapter_as=self.simulate_adapter_as,
+        )
+
+    def replace(self, **changes: Any) -> "JobSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Cross-process transport (JSON-able, pickle-free)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able snapshot; inverse of :meth:`from_dict`."""
+        return {
+            "dataset": self.dataset,
+            "model": self.model,
+            "adapter": self.adapter,
+            "adapter_kwargs": [[k, v] for k, v in self.adapter_kwargs],
+            "strategy": self.strategy.value,
+            "seed": self.seed,
+            "simulate_adapter_as": self.simulate_adapter_as,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(
+            dataset=data["dataset"],
+            model=data["model"],
+            adapter=data.get("adapter", "none"),
+            adapter_kwargs=tuple((k, v) for k, v in data.get("adapter_kwargs") or ()),
+            strategy=data.get("strategy", FineTuneStrategy.ADAPTER_HEAD),
+            seed=data.get("seed", 0),
+            simulate_adapter_as=data.get("simulate_adapter_as"),
+        )
+
+    @staticmethod
+    def grid(*args, **kwargs) -> tuple["JobSpec", ...]:
+        """Alias for :func:`repro.exec.grid`."""
+        return grid(*args, **kwargs)
+
+
+def _as_adapter_entry(entry: Any) -> tuple[str, dict, str | None]:
+    """Normalise a grid adapter entry: name | (name, kwargs[, sim_as])."""
+    if isinstance(entry, str):
+        return entry, {}, None
+    entry = tuple(entry)
+    if len(entry) == 2:
+        name, kwargs = entry
+        return name, dict(kwargs or {}), None
+    name, kwargs, sim_as = entry
+    return name, dict(kwargs or {}), sim_as
+
+
+def grid(
+    datasets: Sequence[str] | str,
+    models: Sequence[str] | str,
+    adapters: Sequence[Any] | str = ("none",),
+    strategies: Sequence[FineTuneStrategy | str] | FineTuneStrategy | str = (
+        FineTuneStrategy.ADAPTER_HEAD,
+    ),
+    seeds: Iterable[int] | int = (0,),
+) -> tuple[JobSpec, ...]:
+    """Expand coordinate axes into a deterministic tuple of specs.
+
+    Axes may be given as a single value or a sequence.  ``adapters``
+    entries are either a registry name or a ``(name, kwargs)`` /
+    ``(name, kwargs, simulate_adapter_as)`` tuple.  The expansion order
+    is dataset-major (dataset, model, adapter, strategy, seed) and
+    duplicates (e.g. from short/full dataset aliases) are dropped while
+    preserving first appearance.
+    """
+    if isinstance(datasets, str):
+        datasets = (datasets,)
+    if isinstance(models, str):
+        models = (models,)
+    if isinstance(adapters, str):
+        adapters = (adapters,)
+    if isinstance(strategies, (FineTuneStrategy, str)):
+        strategies = (strategies,)
+    if isinstance(seeds, int):
+        seeds = (seeds,)
+    seeds = tuple(seeds)
+
+    specs: dict[JobSpec, None] = {}
+    for dataset in datasets:
+        for model in models:
+            for entry in adapters:
+                adapter, kwargs, sim_as = _as_adapter_entry(entry)
+                for strategy in strategies:
+                    for seed in seeds:
+                        spec = JobSpec(
+                            dataset=dataset,
+                            model=model,
+                            adapter=adapter,
+                            adapter_kwargs=kwargs,
+                            strategy=strategy,
+                            seed=seed,
+                            simulate_adapter_as=sim_as,
+                        )
+                        specs.setdefault(spec, None)
+    return tuple(specs)
+
+
+# ----------------------------------------------------------------------
+# ExperimentConfig transport (used to initialise worker processes)
+# ----------------------------------------------------------------------
+def config_to_meta(config: Any) -> dict:
+    """JSON-able snapshot of a (frozen, flat) config dataclass."""
+    meta = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        meta[f.name] = list(value) if isinstance(value, tuple) else value
+    return meta
+
+
+def config_from_meta(meta: Mapping[str, Any]) -> Any:
+    """Rebuild an ``ExperimentConfig`` from :func:`config_to_meta` output."""
+    from ..experiments.config import ExperimentConfig
+
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    fields = {
+        k: tuple(v) if isinstance(v, list) else v for k, v in meta.items() if k in known
+    }
+    return ExperimentConfig(**fields)

@@ -13,7 +13,7 @@ from .figures import (
 )
 from .report import build_report
 from .runner import ExperimentResult, ExperimentRunner
-from .sweeps import SweepPoint, sweep_adapters, sweep_reduced_channels
+from .sweeps import SweepJob, SweepPoint, run_sweep, sweep_adapters, sweep_reduced_channels
 from .tables import TableResult, table1, table2, table3, table4, table5
 
 __all__ = [
@@ -26,6 +26,8 @@ __all__ = [
     "ExperimentResult",
     "build_report",
     "SweepPoint",
+    "SweepJob",
+    "run_sweep",
     "sweep_reduced_channels",
     "sweep_adapters",
     "TableResult",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..evaluation import render_table
+from ..exec.spec import JobSpec
 from ..training import FineTuneStrategy
 from . import paper_reference as paper
 from .figures import figure1, figure4, figure5, headline_claims
@@ -72,7 +73,9 @@ def _section_table2(runner: ExperimentRunner) -> str:
             strategy = (
                 FineTuneStrategy.HEAD if column == "head" else FineTuneStrategy.ADAPTER_HEAD
             )
-            run = runner.run(dataset, model, adapter=adapter, strategy=strategy)
+            run = runner.run_spec(
+                JobSpec(dataset=dataset, model=model, adapter=adapter, strategy=strategy)
+            )
             measured_text = str(run.status)
         rows.append([dataset, model, column, str(reference), measured_text])
     table = render_table(["Dataset", "Model", "Column", "Paper", "Ours"], rows)

@@ -22,7 +22,9 @@ from cache with zero pretraining steps and zero encoder passes.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -41,8 +43,8 @@ from ..runtime import (
     fingerprint_config_fields,
     pretrain_key,
     resolve_cache_dir,
-    result_key,
 )
+from ..exec.spec import JobSpec
 from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
 from .config import PAPER_MODELS, ExperimentConfig
 
@@ -136,6 +138,17 @@ class ExperimentRunner:
     store:
         Inject a ready-made store (shared across runners, or a test
         double).  Overrides ``cache_dir``.
+    workers:
+        Default worker-process count for :meth:`run_specs` (and hence
+        the sweeps and CLI paths built on it).  ``1`` keeps everything
+        in-process.
+    job_timeout:
+        Default per-job wall-clock budget in seconds for
+        :meth:`run_specs`; jobs over it surface as ``TO`` cells.
+        ``None`` disables enforcement.
+    tracker:
+        Default :class:`repro.exec.ProgressTracker` used by
+        :meth:`run_specs` (e.g. the CLI's stderr live line).
     """
 
     #: ExperimentConfig fields that change a single job's outcome.  The
@@ -161,9 +174,15 @@ class ExperimentRunner:
         config: ExperimentConfig,
         cache_dir: str | None = None,
         store: ArtifactStore | None = None,
+        workers: int = 1,
+        job_timeout: float | None = None,
+        tracker=None,
     ) -> None:
         self.config = config
         self.store = store if store is not None else ArtifactStore(resolve_cache_dir(cache_dir))
+        self.workers = max(1, int(workers))
+        self.job_timeout = job_timeout
+        self.tracker = tracker
         self.instrumentation = Instrumentation()
         self._config_fingerprint = fingerprint_config_fields(config, self._JOB_CONFIG_FIELDS)
         #: Per-process identity layer over the store, so repeated
@@ -247,85 +266,84 @@ class ExperimentRunner:
             seed=seed,
         )
 
-    def run(
-        self,
-        dataset: str,
-        model: str,
-        adapter: str = "none",
-        strategy: FineTuneStrategy = FineTuneStrategy.ADAPTER_HEAD,
-        seed: int = 0,
-        adapter_kwargs: dict | None = None,
-        simulate_adapter_as: str | None = None,
-    ) -> ExperimentResult:
-        """Run (or fetch from the store) one experiment job.
-
-        Parameters
-        ----------
-        dataset, model, adapter, strategy, seed:
-            Job coordinates.  ``model`` is a paper label ("MOMENT" or
-            "ViT"); ``adapter`` is a registry name or "none".
-        adapter_kwargs:
-            Extra adapter options (``patch_window_size``, ``top_k``).
-        simulate_adapter_as:
-            Cost-model adapter kind when the adapter name is a
-            variant the simulator does not know (e.g. ``scaled_pca``
-            simulates as ``pca``).
-        """
-        adapter_kwargs = adapter_kwargs or {}
-        dataset = dataset_info(dataset).name
-        key = result_key(
-            self._config_fingerprint,
-            dataset,
-            model,
-            adapter,
-            adapter_kwargs,
-            strategy.value,
-            seed,
-        )
+    # ------------------------------------------------------------------
+    # Spec-driven API (canonical)
+    # ------------------------------------------------------------------
+    def cached_result(self, spec: JobSpec) -> ExperimentResult | None:
+        """The stored result for ``spec``, or ``None`` when absent."""
+        key = spec.result_key(self._config_fingerprint)
         if key in self._materialized:
             return self._materialized[key]
         artifact = self.store.get(key)
-        if artifact is not None:
-            result = ExperimentResult.from_meta(artifact.meta)
-            self._materialized[key] = result
-            return result
+        if artifact is None:
+            return None
+        result = ExperimentResult.from_meta(artifact.meta)
+        self._materialized[key] = result
+        return result
 
-        paper_config, _ = PAPER_MODELS[model]
-        ds = self._dataset(dataset, seed)
-        sim_adapter = simulate_adapter_as or adapter
-        simulated = simulate_finetuning(
+    def adopt_result(self, spec: JobSpec, result: ExperimentResult) -> ExperimentResult:
+        """Record a result computed elsewhere (e.g. a worker process).
+
+        With a shared disk store the worker already persisted it and
+        this only refreshes the parent's tiers; with a memory-only
+        store this is how the result enters the parent's cache at all.
+        """
+        key = spec.result_key(self._config_fingerprint)
+        if self.store.get(key) is None:
+            self.store.put(key, meta=json.loads(json.dumps(result.to_meta())))
+        self._materialized[key] = result
+        return result
+
+    def simulate_spec(self, spec: JobSpec) -> SimulatedRun:
+        """Price ``spec`` at paper scale without running anything.
+
+        Needs only the dataset *metadata*, so it is cheap enough for
+        the executor to gate every job on it before scheduling.
+        """
+        paper_config, _ = PAPER_MODELS[spec.model]
+        info = dataset_info(spec.dataset)
+        sim_adapter = spec.simulate_adapter_as or spec.adapter
+        return simulate_finetuning(
             paper_config,
-            ds.info,
+            info,
             adapter=None if sim_adapter == "none" else sim_adapter,
             reduced_channels=self.config.reduced_channels,
-            full_finetune=strategy is FineTuneStrategy.FULL,
+            full_finetune=spec.strategy is FineTuneStrategy.FULL,
         )
 
+    def run_spec(self, spec: JobSpec) -> ExperimentResult:
+        """Run (or fetch from the store) one experiment job."""
+        cached = self.cached_result(spec)
+        if cached is not None:
+            return cached
+
+        simulated = self.simulate_spec(spec)
         accuracy = None
         measured = 0.0
         summary = None
         if simulated.ok:
+            ds = self._dataset(spec.dataset, spec.seed)
             self.instrumentation.count("fit_runs")
             job = Instrumentation()
             with job.span("job"):
-                runnable = self._pretrained_model(model, seed)
-                if adapter == "none":
+                runnable = self._pretrained_model(spec.model, spec.seed)
+                if spec.adapter == "none":
                     built_adapter = make_adapter("none")
                 else:
                     built_adapter = make_adapter(
-                        adapter,
+                        spec.adapter,
                         self.config.reduced_channels,
-                        seed=seed,
-                        **adapter_kwargs,
+                        seed=spec.seed,
+                        **spec.adapter_options,
                     )
                 pipeline = AdapterPipeline(
-                    runnable, built_adapter, ds.num_classes, seed=seed, store=self.store
+                    runnable, built_adapter, ds.num_classes, seed=spec.seed, store=self.store
                 )
                 fit_report = pipeline.fit(
                     ds.x_train,
                     ds.y_train,
-                    strategy=strategy,
-                    config=self._train_config(adapter, strategy, seed),
+                    strategy=spec.strategy,
+                    config=self._train_config(spec.adapter, spec.strategy, spec.seed),
                 )
                 with job.span("score"):
                     accuracy = pipeline.score(ds.x_test, ds.y_test)
@@ -338,25 +356,88 @@ class ExperimentRunner:
             summary = job.summary()
 
         result = ExperimentResult(
-            dataset=dataset,
-            model=model,
-            adapter=adapter,
-            strategy=strategy,
-            seed=seed,
+            dataset=spec.dataset,
+            model=spec.model,
+            adapter=spec.adapter,
+            strategy=spec.strategy,
+            seed=spec.seed,
             status=simulated.status,
             accuracy=accuracy,
             simulated=simulated,
             measured_seconds=measured,
             summary=summary,
         )
+        key = spec.result_key(self._config_fingerprint)
         # Guard against unserialisable drift early: the store meta must
         # round-trip through JSON for the disk tier to be trustworthy.
         self.store.put(key, meta=json.loads(json.dumps(result.to_meta())))
         self._materialized[key] = result
         return result
 
+    def run_specs(
+        self,
+        specs: Iterable[JobSpec],
+        *,
+        workers: int | None = None,
+        job_timeout: float | None = None,
+        policy=None,
+        tracker=None,
+    ) -> list[ExperimentResult]:
+        """Run a grid of specs through the parallel executor.
+
+        ``workers`` / ``job_timeout`` default to the runner's own
+        settings; see :class:`repro.exec.ParallelExecutor` for the
+        fault semantics.  Results come back in input order.
+        """
+        from ..exec.executor import run_jobs
+
+        return run_jobs(
+            self, specs, workers=workers, job_timeout=job_timeout,
+            policy=policy, tracker=tracker if tracker is not None else self.tracker,
+        )
+
+    # ------------------------------------------------------------------
+    # Keyword API (deprecated shim)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dataset: str | JobSpec,
+        model: str | None = None,
+        adapter: str = "none",
+        strategy: FineTuneStrategy = FineTuneStrategy.ADAPTER_HEAD,
+        seed: int = 0,
+        adapter_kwargs: dict | None = None,
+        simulate_adapter_as: str | None = None,
+    ) -> ExperimentResult:
+        """Run one experiment job.
+
+        The canonical call passes a single :class:`repro.exec.JobSpec`
+        (``runner.run(spec)``); the historical keyword form is kept as
+        a shim that builds the spec and emits a DeprecationWarning.
+        """
+        if isinstance(dataset, JobSpec):
+            return self.run_spec(dataset)
+        warnings.warn(
+            "ExperimentRunner.run(dataset, model, ...) keywords are deprecated; "
+            "pass a repro.exec.JobSpec instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = JobSpec(
+            dataset=dataset,
+            model=model,
+            adapter=adapter,
+            adapter_kwargs=adapter_kwargs,
+            strategy=strategy,
+            seed=seed,
+            simulate_adapter_as=simulate_adapter_as,
+        )
+        return self.run_spec(spec)
+
     def run_seeds(self, dataset: str, model: str, **kwargs) -> list[ExperimentResult]:
-        """Run one job across all configured seeds."""
-        return [
-            self.run(dataset, model, seed=seed, **kwargs) for seed in self.config.seeds
+        """Run one job across all configured seeds (via the executor)."""
+        specs = [
+            JobSpec(dataset=dataset, model=model, seed=seed, **kwargs)
+            for seed in self.config.seeds
         ]
+        return self.run_specs(specs)

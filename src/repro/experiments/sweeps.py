@@ -1,33 +1,103 @@
-"""Reusable hyperparameter sweeps over the adapter pipeline.
+"""Grid-driven hyperparameter sweeps over the adapter pipeline.
 
-Library-level counterparts of the ablation benchmarks: sweep the
-reduced channel count D', or compare a set of adapters, on one
-dataset — returning structured points (accuracy, wall time, simulated
-paper-scale cost) ready for tabulation or plotting.
+Library-level counterparts of the ablation benchmarks: describe each
+sweep configuration as a :class:`SweepJob` and run the whole grid
+through :func:`run_sweep`, which executes points on the
+:class:`repro.exec.WorkerPool` (inline when ``workers<=1``) and
+returns structured :class:`SweepPoint`\\ s — accuracy, wall time and
+the simulated paper-scale cost — ready for tabulation or plotting.
+
+The historical entry points :func:`sweep_reduced_channels` (accuracy
+vs the reduced channel count D') and :func:`sweep_adapters` (Table-2
+style adapter comparison) remain as thin grid-building wrappers.
+
+Infeasible points — a D' larger than the dataset's channel count —
+are *skipped with a logged warning* and marked ``skipped=True`` in the
+results instead of aborting the sweep and discarding every completed
+point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 from ..adapters import make_adapter
+from ..data import load_dataset
 from ..data.uea import MultivariateDataset
+from ..exec.executor import WorkerPool
+from ..exec.faults import FaultPolicy, _FailureLog
+from ..exec.progress import ProgressTracker
 from ..models import build_model
 from ..resources import SimulatedRun, simulate_finetuning
 from ..runtime import Stopwatch
 from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
 
-__all__ = ["SweepPoint", "sweep_reduced_channels", "sweep_adapters"]
+__all__ = [
+    "SweepPoint",
+    "SweepJob",
+    "run_sweep",
+    "sweep_reduced_channels",
+    "sweep_adapters",
+]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One sweep configuration and its measurements."""
+    """One sweep configuration and its measurements.
+
+    ``accuracy`` is ``None`` when the point produced no score: either
+    it was infeasible (``skipped=True``) or it exceeded the sweep's
+    per-job timeout (``note="TO"``).
+    """
 
     label: str
-    accuracy: float
+    accuracy: float | None
     wall_seconds: float
     simulated: SimulatedRun
+    skipped: bool = False
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One point of a sweep grid (the unit :func:`run_sweep` runs).
+
+    Attributes
+    ----------
+    label:
+        Human-readable point identity, carried onto the result.
+    adapter:
+        Adapter registry name, or ``"none"`` (trains head-only).
+    channels:
+        Reduced channel count D' for the adapter.
+    adapter_kwargs:
+        Extra adapter options as a sorted tuple of pairs (a plain
+        mapping is accepted and normalised).
+    simulate_adapter_as:
+        Adapter kind used for the paper-scale cost simulation when it
+        should differ from ``adapter`` (the D' sweep prices the
+        trainable ``lcomb`` regime regardless of the adapter it
+        trains).
+    """
+
+    label: str
+    adapter: str = "pca"
+    channels: int = 5
+    adapter_kwargs: tuple[tuple[str, Any], ...] = field(default=())
+    simulate_adapter_as: str | None = None
+
+    def __post_init__(self) -> None:
+        kwargs = self.adapter_kwargs
+        if isinstance(kwargs, Mapping):
+            kwargs = kwargs.items()
+        object.__setattr__(
+            self, "adapter_kwargs", tuple(sorted((str(k), v) for k, v in kwargs))
+        )
+        object.__setattr__(self, "channels", int(self.channels))
 
 
 def _fit_and_score(
@@ -53,6 +123,143 @@ def _fit_and_score(
     return accuracy, watch.elapsed()
 
 
+def _sweep_task(payload: dict) -> tuple[float, float]:
+    """Worker-side execution of one sweep point (spawn-safe)."""
+    return _fit_and_score(
+        payload["dataset"],
+        payload["model_name"],
+        payload["adapter"],
+        payload["channels"],
+        payload["config"],
+        payload["seed"],
+        payload["adapter_kwargs"],
+    )
+
+
+def run_sweep(
+    dataset: MultivariateDataset | str,
+    jobs: Sequence[SweepJob],
+    *,
+    model_name: str = "moment-tiny",
+    paper_model: str = "moment-large",
+    config: TrainConfig | None = None,
+    seed: int = 0,
+    workers: int = 1,
+    job_timeout: float | None = None,
+    policy: FaultPolicy | None = None,
+    tracker: ProgressTracker | None = None,
+) -> list[SweepPoint]:
+    """Run a sweep grid on one dataset; one :class:`SweepPoint` per job.
+
+    ``dataset`` is a loaded :class:`MultivariateDataset` or a dataset
+    name (full or short), loaded with the same compact defaults as
+    :func:`repro.api.fit_pipeline`.
+
+    Points whose D' exceeds ``dataset.num_channels`` are skipped with
+    a logged warning (``skipped=True``, ``accuracy=None``) instead of
+    aborting the sweep.  With ``workers > 1`` feasible points run on a
+    :class:`repro.exec.WorkerPool`; a point over ``job_timeout`` comes
+    back with ``accuracy=None`` and ``note="TO"``, and permanent
+    worker failures raise :class:`repro.exec.JobFailedError` only
+    after every other point has finished.
+    """
+    if isinstance(dataset, str):
+        dataset = load_dataset(dataset, seed=seed, scale=0.1, max_length=96)
+    config = config if config is not None else TrainConfig(epochs=40, seed=seed)
+    results: dict[int, SweepPoint] = {}
+    runnable: list[tuple[int, SweepJob]] = []
+    tracker = tracker if tracker is not None else ProgressTracker()
+    tracker.begin(len(jobs))
+
+    def simulated_for(job: SweepJob) -> SimulatedRun:
+        sim_adapter = job.simulate_adapter_as or job.adapter
+        return simulate_finetuning(
+            paper_model,
+            dataset.info,
+            adapter=None if sim_adapter == "none" else sim_adapter,
+            reduced_channels=job.channels,
+        )
+
+    for index, job in enumerate(jobs):
+        if job.channels > dataset.num_channels:
+            logger.warning(
+                "skipping sweep point %s: D'=%d exceeds the dataset's %d channels",
+                job.label, job.channels, dataset.num_channels,
+            )
+            results[index] = SweepPoint(
+                label=job.label,
+                accuracy=None,
+                wall_seconds=0.0,
+                simulated=simulated_for(job),
+                skipped=True,
+                note=f"D'={job.channels} > {dataset.num_channels} channels",
+            )
+            tracker.job_done(job.label, status="SKIP")
+        else:
+            runnable.append((index, job))
+
+    def payload_for(job: SweepJob) -> dict:
+        return {
+            "dataset": dataset,
+            "model_name": model_name,
+            "adapter": job.adapter,
+            "channels": job.channels,
+            "config": config,
+            "seed": seed,
+            "adapter_kwargs": dict(job.adapter_kwargs),
+        }
+
+    def point(job: SweepJob, accuracy: float | None, wall: float, note: str = "") -> SweepPoint:
+        return SweepPoint(
+            label=job.label,
+            accuracy=accuracy,
+            wall_seconds=wall,
+            simulated=simulated_for(job),
+            note=note,
+        )
+
+    if workers > 1 and runnable:
+        pool = WorkerPool(
+            _sweep_task,
+            workers=min(workers, len(runnable)),
+            policy=policy,
+            timeout=job_timeout,
+            tracker=tracker,
+        )
+        outcomes = pool.map(
+            [payload_for(job) for _, job in runnable],
+            labels=[job.label for _, job in runnable],
+        )
+        failures = _FailureLog()
+        for (index, job), outcome in zip(runnable, outcomes):
+            if outcome.status == "ok":
+                accuracy, wall = outcome.value
+                results[index] = point(job, accuracy, wall)
+                tracker.job_done(job.label)
+            elif outcome.status == "timeout":
+                results[index] = point(job, None, job_timeout or 0.0, note="TO")
+                tracker.job_done(job.label, status="TO")
+            elif outcome.status == "broken":
+                accuracy, wall = _sweep_task(payload_for(job))
+                results[index] = point(job, accuracy, wall)
+                tracker.job_done(job.label)
+            else:
+                tracker.job_failed(job.label, outcome.error or "unknown error")
+                failures.add(job.label, outcome.error or "unknown error", outcome.attempts)
+        failures.raise_if_any()
+    else:
+        for index, job in runnable:
+            accuracy, wall = _sweep_task(payload_for(job))
+            if job_timeout is not None and wall > job_timeout:
+                results[index] = point(job, None, wall, note="TO")
+                tracker.job_done(job.label, status="TO")
+            else:
+                results[index] = point(job, accuracy, wall)
+                tracker.job_done(job.label)
+    tracker.close()
+    return [results[i] for i in sorted(results)]
+
+
 def sweep_reduced_channels(
     dataset: MultivariateDataset,
     channel_grid: tuple[int, ...] = (2, 5, 8, 12),
@@ -61,28 +268,32 @@ def sweep_reduced_channels(
     adapter_name: str = "pca",
     config: TrainConfig | None = None,
     seed: int = 0,
+    workers: int = 1,
+    job_timeout: float | None = None,
 ) -> list[SweepPoint]:
     """Accuracy / cost as a function of the reduced channel count D'.
 
-    The simulated cost uses the trainable-adapter (lcomb) regime at
-    paper scale, where D' actually moves the needle — the quantity the
-    D'-linearity of the cost model predicts.
+    Wrapper over :func:`run_sweep` with one :class:`SweepJob` per
+    channel count.  The simulated cost uses the trainable-adapter
+    (lcomb) regime at paper scale, where D' actually moves the
+    needle — the quantity the D'-linearity of the cost model predicts.
+    Channel counts beyond the dataset's are skipped (and marked), not
+    fatal.
     """
-    config = config if config is not None else TrainConfig(epochs=40, seed=seed)
-    points = []
-    for channels in channel_grid:
-        if channels > dataset.num_channels:
-            raise ValueError(
-                f"D'={channels} exceeds the dataset's {dataset.num_channels} channels"
-            )
-        accuracy, wall = _fit_and_score(
-            dataset, model_name, adapter_name, channels, config, seed
+    jobs = [
+        SweepJob(
+            label=f"D'={channels}",
+            adapter=adapter_name,
+            channels=channels,
+            simulate_adapter_as="lcomb",
         )
-        simulated = simulate_finetuning(
-            paper_model, dataset.info, adapter="lcomb", reduced_channels=channels
-        )
-        points.append(SweepPoint(f"D'={channels}", accuracy, wall, simulated))
-    return points
+        for channels in channel_grid
+    ]
+    return run_sweep(
+        dataset, jobs,
+        model_name=model_name, paper_model=paper_model,
+        config=config, seed=seed, workers=workers, job_timeout=job_timeout,
+    )
 
 
 def sweep_adapters(
@@ -93,19 +304,20 @@ def sweep_adapters(
     channels: int = 5,
     config: TrainConfig | None = None,
     seed: int = 0,
+    workers: int = 1,
+    job_timeout: float | None = None,
 ) -> list[SweepPoint]:
-    """Compare a set of adapters on one dataset (Table-2 style, one row)."""
-    config = config if config is not None else TrainConfig(epochs=40, seed=seed)
-    points = []
-    for adapter_name in adapters:
-        accuracy, wall = _fit_and_score(
-            dataset, model_name, adapter_name, channels, config, seed
-        )
-        simulated = simulate_finetuning(
-            paper_model,
-            dataset.info,
-            adapter=None if adapter_name == "none" else adapter_name,
-            reduced_channels=channels,
-        )
-        points.append(SweepPoint(adapter_name, accuracy, wall, simulated))
-    return points
+    """Compare a set of adapters on one dataset (Table-2 style, one row).
+
+    Wrapper over :func:`run_sweep` with one :class:`SweepJob` per
+    adapter, priced at paper scale as itself.
+    """
+    jobs = [
+        SweepJob(label=adapter_name, adapter=adapter_name, channels=channels)
+        for adapter_name in adapters
+    ]
+    return run_sweep(
+        dataset, jobs,
+        model_name=model_name, paper_model=paper_model,
+        config=config, seed=seed, workers=workers, job_timeout=job_timeout,
+    )

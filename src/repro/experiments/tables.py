@@ -14,6 +14,7 @@ import numpy as np
 
 from ..data.metadata import dataset_info
 from ..evaluation import aggregate_seeds, render_latex_table, render_table
+from ..exec.spec import JobSpec
 from ..resources import RunStatus
 from ..training import FineTuneStrategy
 from .config import ExperimentConfig
@@ -86,12 +87,22 @@ def table1(runner: ExperimentRunner) -> TableResult:
     config = runner.config
     headers = ["Dataset"] + list(config.models)
     result = TableResult("Table 1: full fine-tuning, no adapter", headers, [])
+    specs = [
+        JobSpec(dataset=dataset, model=model, adapter="none",
+                strategy=FineTuneStrategy.FULL, seed=seed)
+        for dataset in config.datasets
+        for model in config.models
+        for seed in config.seeds
+    ]
+    by_spec = dict(zip(specs, runner.run_specs(specs)))
     for dataset in config.datasets:
         row = [dataset]
         for model in config.models:
-            runs = runner.run_seeds(
-                dataset, model, adapter="none", strategy=FineTuneStrategy.FULL
-            )
+            runs = [
+                by_spec[JobSpec(dataset=dataset, model=model, adapter="none",
+                                strategy=FineTuneStrategy.FULL, seed=seed)]
+                for seed in config.seeds
+            ]
             cell, values = _aggregate_cell(runs)
             result.values[(dataset, model, "none")] = values
             row.append(cell)
@@ -106,23 +117,35 @@ def table2(runner: ExperimentRunner) -> TableResult:
         adapter for adapter in TABLE2_ADAPTERS
     ]
     result = TableResult("Table 2: adapter comparison (adapter+head, D'=5)", headers, [])
+
+    def cell_specs(dataset: str, model: str, column: str) -> list[JobSpec]:
+        adapter = "none" if column == "head" else column
+        strategy = (
+            FineTuneStrategy.HEAD if column == "head" else FineTuneStrategy.ADAPTER_HEAD
+        )
+        return [
+            JobSpec(dataset=dataset, model=model, adapter=adapter,
+                    strategy=strategy, seed=seed)
+            for seed in config.seeds
+        ]
+
+    columns = ("head",) + TABLE2_ADAPTERS
+    specs = [
+        spec
+        for dataset in config.datasets
+        for model in config.models
+        for column in columns
+        for spec in cell_specs(dataset, model, column)
+    ]
+    by_spec = dict(zip(specs, runner.run_specs(specs)))
     for dataset in config.datasets:
         for model in config.models:
             cells: list[str] = []
             raw: list[list[float] | None] = []
-            head_runs = runner.run_seeds(
-                dataset, model, adapter="none", strategy=FineTuneStrategy.HEAD
-            )
-            cell, values = _aggregate_cell(head_runs)
-            result.values[(dataset, model, "head")] = values
-            cells.append(cell)
-            raw.append(values)
-            for adapter in TABLE2_ADAPTERS:
-                runs = runner.run_seeds(
-                    dataset, model, adapter=adapter, strategy=FineTuneStrategy.ADAPTER_HEAD
-                )
+            for column in columns:
+                runs = [by_spec[spec] for spec in cell_specs(dataset, model, column)]
                 cell, values = _aggregate_cell(runs)
-                result.values[(dataset, model, adapter)] = values
+                result.values[(dataset, model, column)] = values
                 cells.append(cell)
                 raw.append(values)
             result.rows.append([dataset, model] + _mark_best(cells, raw))
@@ -162,22 +185,27 @@ def _pca_variants_table(runner: ExperimentRunner, model: str, table_id: str) -> 
     ]
     headers = ["Dataset"] + [label for label, _, _ in columns]
     result = TableResult(table_id, headers, [])
+
+    def cell_specs(dataset: str, adapter: str, kwargs: dict) -> list[JobSpec]:
+        return [
+            JobSpec(dataset=dataset, model=model, adapter=adapter,
+                    adapter_kwargs=kwargs, strategy=FineTuneStrategy.ADAPTER_HEAD,
+                    seed=seed, simulate_adapter_as="pca")
+            for seed in config.seeds
+        ]
+
+    specs = [
+        spec
+        for dataset in config.datasets
+        for _, adapter, kwargs in columns
+        for spec in cell_specs(dataset, adapter, kwargs)
+    ]
+    by_spec = dict(zip(specs, runner.run_specs(specs)))
     for dataset in config.datasets:
         cells: list[str] = []
         raw: list[list[float] | None] = []
         for label, adapter, kwargs in columns:
-            runs = [
-                runner.run(
-                    dataset,
-                    model,
-                    adapter=adapter,
-                    strategy=FineTuneStrategy.ADAPTER_HEAD,
-                    seed=seed,
-                    adapter_kwargs=kwargs,
-                    simulate_adapter_as="pca",
-                )
-                for seed in config.seeds
-            ]
+            runs = [by_spec[spec] for spec in cell_specs(dataset, adapter, kwargs)]
             cell, values = _aggregate_cell(runs)
             result.values[(dataset, model, label)] = values
             cells.append(cell)

@@ -70,11 +70,16 @@ def result_key(
     adapter_kwargs: dict | None,
     strategy: str,
     seed: int,
+    simulate_adapter_as: str | None = None,
 ) -> str:
-    """Key for one :class:`ExperimentResult` (a full job outcome)."""
+    """Key for one :class:`ExperimentResult` (a full job outcome).
+
+    ``simulate_adapter_as`` changes the simulated OK/TO/COM outcome, so
+    it is part of the key when set; the ``None`` default keeps every
+    key written by older callers unchanged.
+    """
     kwargs_blob = repr(tuple(sorted((adapter_kwargs or {}).items())))
-    digest = combine_fingerprints(
-        "result",
+    parts = [
         config_fingerprint,
         dataset,
         model,
@@ -82,5 +87,8 @@ def result_key(
         kwargs_blob,
         strategy,
         str(int(seed)),
-    )
+    ]
+    if simulate_adapter_as is not None:
+        parts.append(f"sim_as={simulate_adapter_as}")
+    digest = combine_fingerprints("result", *parts)
     return f"result/{digest}"

@@ -1,0 +1,246 @@
+"""Tests for the WorkerPool and the spec-level parallel executor.
+
+Worker task functions live at module level so the spawn context can
+re-import them in the child processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.exec import (
+    FaultPolicy,
+    JobFailedError,
+    JobSpec,
+    TransientJobError,
+    WorkerPool,
+    grid,
+    run_jobs,
+)
+from repro.exec import executor as executor_module
+from repro.experiments import ExperimentRunner, get_preset
+from repro.resources import RunStatus
+
+
+# ----------------------------------------------------------------------
+# Spawn-safe task functions
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _sleep_then_return(payload):
+    duration, value = payload
+    time.sleep(duration)
+    return value
+
+
+def _crash_first_time(marker_path):
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write("crashed")
+        os._exit(13)  # hard crash: no exception, no cleanup
+    return "recovered"
+
+
+def _always_value_error(_payload):
+    raise ValueError("deterministic failure")
+
+
+def _always_transient(_payload):
+    raise TransientJobError("keeps flaking")
+
+
+def _broken_initializer():
+    raise RuntimeError("worker init is broken")
+
+
+QUICK_POLICY = FaultPolicy(max_retries=2, backoff_s=0.05, backoff_factor=2.0)
+
+
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_results_in_input_order(self):
+        pool = WorkerPool(_square, workers=2, policy=QUICK_POLICY)
+        outcomes = pool.map([3, 1, 4, 1, 5])
+        assert [o.status for o in outcomes] == ["ok"] * 5
+        assert [o.value for o in outcomes] == [9, 1, 16, 1, 25]
+
+    def test_order_preserved_when_durations_vary(self):
+        pool = WorkerPool(_sleep_then_return, workers=2, policy=QUICK_POLICY)
+        outcomes = pool.map([(0.4, "slow"), (0.0, "fast")])
+        assert [o.value for o in outcomes] == ["slow", "fast"]
+
+    def test_timeout_terminates_only_the_offender(self):
+        pool = WorkerPool(
+            _sleep_then_return, workers=2, policy=QUICK_POLICY, timeout=1.0
+        )
+        outcomes = pool.map([(30.0, "never"), (0.05, "quick")])
+        assert outcomes[0].status == "timeout"
+        assert outcomes[0].value is None
+        assert outcomes[1].status == "ok"
+        assert outcomes[1].value == "quick"
+
+    def test_crashed_worker_respawns_and_job_retries(self, tmp_path):
+        marker = str(tmp_path / "crash-marker")
+        pool = WorkerPool(_crash_first_time, workers=1, policy=QUICK_POLICY)
+        outcomes = pool.map([marker])
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].value == "recovered"
+        assert outcomes[0].attempts == 2
+
+    def test_deterministic_errors_are_not_retried(self):
+        pool = WorkerPool(_always_value_error, workers=1, policy=QUICK_POLICY)
+        outcomes = pool.map(["x"])
+        assert outcomes[0].status == "error"
+        assert outcomes[0].attempts == 1
+        assert "ValueError" in outcomes[0].error
+
+    def test_transient_errors_exhaust_retries(self):
+        policy = FaultPolicy(max_retries=1, backoff_s=0.01)
+        pool = WorkerPool(_always_transient, workers=1, policy=policy)
+        outcomes = pool.map(["x"])
+        assert outcomes[0].status == "error"
+        assert outcomes[0].attempts == 2  # initial try + one retry
+        assert "TransientJobError" in outcomes[0].error
+
+    def test_broken_initializer_breaks_pool_not_caller(self):
+        pool = WorkerPool(
+            _square, workers=2, initializer=_broken_initializer, policy=QUICK_POLICY
+        )
+        outcomes = pool.map([1, 2, 3])
+        assert [o.status for o in outcomes] == ["broken"] * 3
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fast_config():
+    return get_preset("fast")
+
+
+class TestRunJobs:
+    def test_parallel_matches_serial_on_cold_grids(self, fast_config, tmp_path):
+        """Acceptance: workers=1 and workers=4 give identical results."""
+        specs = grid(
+            ["JapaneseVowels", "NATOPS"], ["MOMENT", "ViT"],
+            adapters=["pca"], seeds=(0, 1),
+        )
+        assert len(specs) >= 8
+
+        def values(results):
+            return [
+                (r.dataset, r.model, r.adapter, r.seed, r.status, r.accuracy)
+                for r in results
+            ]
+
+        serial_runner = ExperimentRunner(fast_config, cache_dir=str(tmp_path / "serial"))
+        serial = run_jobs(serial_runner, specs, workers=1)
+        parallel_runner = ExperimentRunner(fast_config, cache_dir=str(tmp_path / "par"))
+        parallel = run_jobs(parallel_runner, specs, workers=4)
+        assert values(serial) == values(parallel)
+
+    def test_pool_timeout_surfaces_as_to_without_killing_grid(
+        self, fast_config, tmp_path
+    ):
+        """Acceptance: a job over --job-timeout becomes a TO cell; the
+        rest of the grid still completes."""
+        runner = ExperimentRunner(fast_config, cache_dir=str(tmp_path))
+        quick = [
+            JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca", seed=s)
+            for s in (0, 1)
+        ]
+        slow = JobSpec(dataset="Heartbeat", model="MOMENT", adapter="lcomb")
+        # Warm the quick jobs so only the slow one reaches the pool —
+        # this keeps the timing assertion deterministic on 1 CPU.
+        run_jobs(runner, quick, workers=1)
+        results = run_jobs(runner, quick + [slow], workers=2, job_timeout=0.75)
+        assert [r.status for r in results[:2]] == [RunStatus.OK, RunStatus.OK]
+        assert results[2].status is RunStatus.TIMEOUT
+        assert results[2].cell == "TO"
+        # An executor timeout is not content-addressed state: the job
+        # must rerun (and can succeed) without the budget.
+        assert runner.cached_result(slow) is None
+
+    def test_serial_timeout_classifies_post_hoc(self, fast_config, tmp_path):
+        runner = ExperimentRunner(fast_config, cache_dir=str(tmp_path))
+        specs = [
+            JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca", seed=s)
+            for s in (0, 1)
+        ]
+        results = run_jobs(runner, specs, workers=1, job_timeout=1e-4)
+        # Both jobs ran to completion (serial cannot pre-empt) and both
+        # were classified TO after the fact; neither killed the other.
+        assert [r.status for r in results] == [RunStatus.TIMEOUT, RunStatus.TIMEOUT]
+
+    def test_memory_budget_maps_to_com_and_is_not_cached(self, fast_config):
+        runner = ExperimentRunner(fast_config)
+        spec = JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca")
+        budgeted = run_jobs(
+            runner, [spec], workers=1, policy=FaultPolicy(memory_budget_bytes=1.0)
+        )
+        assert budgeted[0].status is RunStatus.OUT_OF_MEMORY
+        assert budgeted[0].cell == "COM"
+        # The budget belongs to the executor invocation, not the job:
+        # without it the same spec runs OK.
+        clean = run_jobs(runner, [spec], workers=1)
+        assert clean[0].status is RunStatus.OK
+
+    def test_duplicates_deduplicated_but_returned_in_order(self, fast_config):
+        runner = ExperimentRunner(fast_config)
+        spec = JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca")
+        results = run_jobs(runner, [spec, spec, spec], workers=1)
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        assert runner.instrumentation.summary().counters.get("fit_runs") == 1
+
+    def test_permanent_failure_raised_after_grid_completes(self, fast_config, tmp_path):
+        runner = ExperimentRunner(fast_config, cache_dir=str(tmp_path))
+        good = JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca")
+        bad = JobSpec(
+            dataset="JapaneseVowels", model="MOMENT", adapter="pca",
+            adapter_kwargs={"bogus_option": 1},
+        )
+        with pytest.raises(JobFailedError) as excinfo:
+            run_jobs(runner, [bad, good], workers=2, policy=QUICK_POLICY)
+        assert len(excinfo.value.failures) == 1
+        # The good job finished (and was cached) despite the failure.
+        assert runner.cached_result(good) is not None
+
+    def test_degrades_inline_when_pool_is_broken(self, fast_config, monkeypatch):
+        from repro.exec.executor import JobOutcome
+
+        def broken_map(self, payloads, labels=None):
+            return [
+                JobOutcome(index=i, status="broken", error="pool died")
+                for i in range(len(payloads))
+            ]
+
+        monkeypatch.setattr(executor_module.WorkerPool, "map", broken_map)
+        runner = ExperimentRunner(fast_config)
+        spec = JobSpec(dataset="JapaneseVowels", model="MOMENT", adapter="pca")
+        results = run_jobs(runner, [spec], workers=2)
+        assert results[0].status is RunStatus.OK
+        assert results[0].accuracy is not None
+
+    def test_workers_share_disk_store_across_processes(self, fast_config, tmp_path):
+        spec = JobSpec(dataset="JapaneseVowels", model="ViT", adapter="var")
+        first = ExperimentRunner(fast_config, cache_dir=str(tmp_path))
+        run_jobs(first, [spec], workers=2)
+        # A fresh runner on the same cache dir sees the worker's result.
+        second = ExperimentRunner(fast_config, cache_dir=str(tmp_path))
+        assert second.cached_result(spec) is not None
+        assert second.instrumentation.summary().counters.get("fit_runs") is None
+
+    def test_simulation_gated_jobs_never_reach_workers(self, fast_config):
+        runner = ExperimentRunner(fast_config)
+        # Full fine-tuning of MOMENT on Heartbeat blows the V100 budget
+        # in the cost model, so the executor resolves it in-parent.
+        spec = JobSpec(
+            dataset="Heartbeat", model="MOMENT", adapter="none", strategy="full"
+        )
+        results = run_jobs(runner, [spec], workers=2)
+        assert results[0].status is not RunStatus.OK
+        assert results[0].accuracy is None

@@ -1,0 +1,82 @@
+"""Tests for the fault taxonomy and policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    FaultPolicy,
+    JobFailedError,
+    JobSpec,
+    TransientJobError,
+    is_transient,
+    memory_result,
+    timeout_result,
+)
+from repro.resources import RunStatus, simulate_finetuning
+from repro.data.metadata import dataset_info
+
+
+@pytest.fixture()
+def spec():
+    return JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca", seed=1)
+
+
+@pytest.fixture()
+def simulated():
+    return simulate_finetuning("moment-large", dataset_info("Heartbeat"), adapter="pca")
+
+
+class TestTransience:
+    def test_marker_and_os_errors_are_transient(self):
+        assert is_transient(TransientJobError("flaky"))
+        assert is_transient(OSError("pipe"))
+        assert is_transient(EOFError())
+
+    def test_value_errors_are_permanent(self):
+        assert not is_transient(ValueError("bad input"))
+        assert not is_transient(KeyError("missing"))
+
+
+class TestFaultPolicy:
+    def test_backoff_is_exponential(self):
+        policy = FaultPolicy(max_retries=3, backoff_s=0.5, backoff_factor=2.0)
+        assert policy.delays() == (0.5, 1.0, 2.0)
+
+    def test_zero_failures_means_no_delay(self):
+        assert FaultPolicy().backoff_delay(0) == 0.0
+
+
+class TestJobFailedError:
+    def test_message_lists_every_failure(self):
+        from repro.exec import JobFailure
+
+        error = JobFailedError([
+            JobFailure("a/MOMENT", "ValueError: x", 1),
+            JobFailure("b/ViT", "died", 3),
+        ])
+        text = str(error)
+        assert "2 job(s) failed" in text
+        assert "a/MOMENT" in text and "after 3 attempts" in text
+
+
+class TestCellMapping:
+    def test_timeout_result_is_a_to_cell(self, spec, simulated):
+        result = timeout_result(spec, simulated, 12.5)
+        assert result.status is RunStatus.TIMEOUT
+        assert result.accuracy is None
+        assert result.cell == "TO"
+        assert result.measured_seconds == 12.5
+        assert (result.dataset, result.model, result.seed) == ("Heartbeat", "MOMENT", 1)
+
+    def test_memory_result_is_a_com_cell(self, spec, simulated):
+        result = memory_result(spec, simulated)
+        assert result.status is RunStatus.OUT_OF_MEMORY
+        assert result.cell == "COM"
+        assert result.accuracy is None
+
+    def test_results_round_trip_to_meta(self, spec, simulated):
+        from repro.experiments import ExperimentResult
+
+        result = timeout_result(spec, simulated, 3.0)
+        assert ExperimentResult.from_meta(result.to_meta()) == result

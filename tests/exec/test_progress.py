@@ -1,0 +1,72 @@
+"""Tests for the progress tracker."""
+
+from __future__ import annotations
+
+import io
+
+from repro.exec import ProgressTracker
+from repro.runtime import Instrumentation
+
+
+def _summary(phase: str, seconds: float, **counters: int):
+    inst = Instrumentation()
+    inst.add_seconds(phase, seconds)
+    for name, value in counters.items():
+        inst.count(name, value)
+    return inst.summary()
+
+
+class TestProgressTracker:
+    def test_counts_done_cached_and_statuses(self):
+        tracker = ProgressTracker()
+        tracker.begin(3)
+        tracker.job_done("a", status="OK")
+        tracker.job_done("b", status="TO")
+        tracker.job_done("c", status="OK", cached=True)
+        snap = tracker.snapshot()
+        assert snap["total"] == 3
+        assert snap["done"] == 3
+        assert snap["cached"] == 1
+        assert snap["by_status"] == {"OK": 2, "TO": 1}
+
+    def test_begin_is_cumulative_across_batches(self):
+        tracker = ProgressTracker()
+        tracker.begin(2)
+        tracker.begin(3)
+        assert tracker.snapshot()["total"] == 5
+
+    def test_merges_run_summaries(self):
+        tracker = ProgressTracker()
+        tracker.job_done("a", summary=_summary("job", 1.5, fit_runs=1))
+        tracker.job_done("b", summary=_summary("job", 2.5, fit_runs=1))
+        merged = tracker.summary()
+        assert merged.phase_seconds["job"] == 4.0
+        assert merged.counters["fit_runs"] == 2
+
+    def test_render_mentions_failures_and_retries(self):
+        tracker = ProgressTracker()
+        tracker.begin(2)
+        tracker.job_retried("a")
+        tracker.job_failed("a", "boom")
+        tracker.job_done("b", status="TO")
+        line = tracker.render()
+        assert "jobs 2/2 done" in line
+        assert "1 TO" in line
+        assert "1 retried" in line
+        assert "1 failed" in line
+
+    def test_stream_gets_live_line_and_final_newline(self):
+        stream = io.StringIO()
+        tracker = ProgressTracker(stream=stream)
+        tracker.begin(1)
+        tracker.job_done("a")
+        tracker.close()
+        text = stream.getvalue()
+        assert "\r" in text
+        assert text.endswith("\n")
+
+    def test_silent_without_stream(self):
+        tracker = ProgressTracker()
+        tracker.begin(1)
+        tracker.job_done("a")
+        tracker.close()  # no stream: must not raise

@@ -1,0 +1,87 @@
+"""Tests for JobSpec and grid expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import JobSpec, grid
+from repro.experiments import FAST
+from repro.training import FineTuneStrategy
+
+
+class TestJobSpec:
+    def test_normalises_short_dataset_names(self):
+        short = JobSpec(dataset="Vowels", model="MOMENT")
+        full = JobSpec(dataset="JapaneseVowels", model="MOMENT")
+        assert short == full
+        assert hash(short) == hash(full)
+        assert short.dataset == "JapaneseVowels"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown paper model"):
+            JobSpec(dataset="Heartbeat", model="moment-tiny")
+
+    def test_kwargs_normalised_and_hashable(self):
+        a = JobSpec(dataset="Heartbeat", model="ViT", adapter="patch_pca",
+                    adapter_kwargs={"patch_window_size": 8})
+        b = JobSpec(dataset="Heartbeat", model="ViT", adapter="patch_pca",
+                    adapter_kwargs=(("patch_window_size", 8),))
+        assert a == b
+        assert a.adapter_options == {"patch_window_size": 8}
+        assert {a: 1}[b] == 1
+
+    def test_strategy_coerced_from_string(self):
+        spec = JobSpec(dataset="Heartbeat", model="MOMENT", strategy="full")
+        assert spec.strategy is FineTuneStrategy.FULL
+
+    def test_simulate_as_self_normalised_to_none(self):
+        spec = JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca",
+                       simulate_adapter_as="pca")
+        plain = JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca")
+        assert spec == plain
+        assert spec.simulate_adapter_as is None
+
+    def test_simulate_as_changes_result_key(self):
+        fingerprint = "cafe" * 16
+        base = JobSpec(dataset="Heartbeat", model="MOMENT", adapter="scaled_pca")
+        sim = base.replace(simulate_adapter_as="pca")
+        assert base.result_key(fingerprint) != sim.result_key(fingerprint)
+
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(dataset="NATOPS", model="ViT", adapter="patch_pca",
+                       adapter_kwargs={"patch_window_size": 16},
+                       strategy=FineTuneStrategy.FULL, seed=3,
+                       simulate_adapter_as="pca")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_label_is_compact_and_complete(self):
+        spec = JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca", seed=2)
+        assert spec.label == "Heartbeat/MOMENT/pca/adapter_head/s2"
+
+
+class TestGrid:
+    def test_scalar_axes_accepted(self):
+        specs = grid("Heartbeat", "MOMENT", adapters="pca", seeds=1)
+        assert specs == (JobSpec(dataset="Heartbeat", model="MOMENT",
+                                 adapter="pca", seed=1),)
+
+    def test_cross_product_order_is_dataset_major(self):
+        specs = grid(["Heartbeat", "NATOPS"], ["MOMENT"], adapters=["pca"],
+                     seeds=(0, 1))
+        assert [s.dataset for s in specs] == ["Heartbeat", "Heartbeat",
+                                              "NATOPS", "NATOPS"]
+        assert [s.seed for s in specs] == [0, 1, 0, 1]
+
+    def test_adapter_entries_with_kwargs_and_sim_as(self):
+        specs = grid("Heartbeat", "MOMENT",
+                     adapters=[("patch_pca", {"patch_window_size": 8}, "pca")])
+        assert specs[0].adapter_options == {"patch_window_size": 8}
+        assert specs[0].simulate_adapter_as == "pca"
+
+    def test_aliases_deduplicated(self):
+        specs = grid(["Vowels", "JapaneseVowels"], "MOMENT")
+        assert len(specs) == 1
+
+    def test_config_seeds_grid(self):
+        specs = grid(FAST.datasets[:2], FAST.models, seeds=FAST.seeds)
+        assert len(specs) == 2 * len(FAST.models) * len(FAST.seeds)

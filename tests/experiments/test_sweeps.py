@@ -36,9 +36,17 @@ class TestChannelSweep:
         )
         assert points[0].simulated.seconds < points[1].simulated.seconds
 
-    def test_rejects_too_many_channels(self, dataset, quick_config):
-        with pytest.raises(ValueError):
-            sweep_reduced_channels(dataset, channel_grid=(999,), config=quick_config)
+    def test_skips_too_many_channels(self, dataset, quick_config, caplog):
+        """An oversized D' is skipped and marked, not fatal mid-grid."""
+        with caplog.at_level("WARNING", logger="repro.experiments.sweeps"):
+            points = sweep_reduced_channels(
+                dataset, channel_grid=(2, 999), config=quick_config
+            )
+        assert [p.label for p in points] == ["D'=2", "D'=999"]
+        assert points[0].accuracy is not None and not points[0].skipped
+        assert points[1].skipped and points[1].accuracy is None
+        assert "999" in points[1].note
+        assert any("999" in record.message for record in caplog.records)
 
 
 class TestAdapterSweep:

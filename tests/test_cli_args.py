@@ -1,0 +1,96 @@
+"""Tests for the argv -> JobSpec / config mapping of the CLI.
+
+Covers ``repro run`` (argv to the canonical JobSpec), ``repro
+simulate`` (argv to cost-model inputs) and ``repro table`` / ``repro
+figure`` / ``repro report`` (argv to the ExperimentRunner, including
+the executor flags ``--workers`` and ``--job-timeout``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _make_runner, build_parser, spec_from_run_args
+from repro.exec import JobSpec
+from repro.training import FineTuneStrategy
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+class TestRunArgs:
+    def test_defaults_map_to_canonical_spec(self, parser):
+        args = parser.parse_args(["run", "--dataset", "Heartbeat"])
+        spec = spec_from_run_args(args)
+        assert spec == JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca")
+
+    def test_full_argv_round_trip(self, parser):
+        args = parser.parse_args(
+            ["run", "--dataset", "Vowels", "--model", "vit-tiny", "--adapter", "var",
+             "--strategy", "head", "--seed", "3"]
+        )
+        spec = spec_from_run_args(args)
+        assert spec.dataset == "JapaneseVowels"  # short name normalised
+        assert spec.model == "ViT"               # runnable name -> paper label
+        assert spec.adapter == "var"
+        assert spec.strategy is FineTuneStrategy.HEAD
+        assert spec.seed == 3
+
+    def test_rejects_unknown_adapter(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--dataset", "Heartbeat", "--adapter", "nope"])
+
+
+class TestSimulateArgs:
+    def test_defaults(self, parser):
+        args = parser.parse_args(["simulate", "--dataset", "Heartbeat"])
+        assert args.model == "moment-large"
+        assert args.adapter == "none"
+        assert args.channels == 5
+        assert args.full_finetune is False
+
+    def test_flags_parse(self, parser):
+        args = parser.parse_args(
+            ["simulate", "--dataset", "Vowels", "--model", "vit-base-ts",
+             "--adapter", "pca", "--channels", "7", "--full-finetune"]
+        )
+        assert (args.adapter, args.channels, args.full_finetune) == ("pca", 7, True)
+
+
+class TestGridCommandArgs:
+    def test_table_maps_to_runner_config(self, parser, tmp_path):
+        args = parser.parse_args(
+            ["table", "2", "--preset", "fast", "--datasets", "Vowels", "Heartbeat",
+             "--seeds", "0", "1", "--cache-dir", str(tmp_path),
+             "--workers", "3", "--job-timeout", "5.5"]
+        )
+        runner = _make_runner(args)
+        assert runner.config.datasets == ("JapaneseVowels", "Heartbeat")
+        assert runner.config.seeds == (0, 1)
+        assert runner.workers == 3
+        assert runner.job_timeout == 5.5
+        assert runner.store.cache_dir is not None
+        assert runner.tracker is not None  # live progress when parallel
+
+    def test_serial_default_has_no_tracker(self, parser):
+        args = parser.parse_args(["table", "1"])
+        runner = _make_runner(args)
+        assert runner.workers == 1
+        assert runner.job_timeout is None
+        assert runner.tracker is None
+
+    @pytest.mark.parametrize("command", ["table", "figure"])
+    def test_executor_flags_available(self, parser, command):
+        which = "1"
+        args = parser.parse_args([command, which, "--workers", "2",
+                                  "--job-timeout", "10"])
+        assert args.workers == 2
+        assert args.job_timeout == 10.0
+
+    def test_report_executor_flags(self, parser):
+        args = parser.parse_args(["report", "--workers", "4", "--job-timeout", "30"])
+        runner = _make_runner(args)
+        assert runner.workers == 4
+        assert runner.job_timeout == 30.0
