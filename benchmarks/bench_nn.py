@@ -1,0 +1,222 @@
+"""Float32 fast-numerics benchmark for the ``repro.nn`` stack.
+
+Runs identical encoder-in-the-loop trainer steps (forward, loss,
+backward, grad clip, AdamW) under the pre-PR float64 policy and the
+new float32 default, on calibrated MOMENT-small and ViT-small
+geometries, and records into ``BENCH_nn.json``:
+
+* **trainer-step throughput** (steps/s, timed without tracing), and
+* **peak allocation** of one trainer step (``tracemalloc``).
+
+The float32 core combines the dtype policy with the fused layer_norm,
+the in-place optimizers and the broadcasting attention bias, so the
+comparison measures the whole fast-numerics package the way training
+actually exercises it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_nn.py            # full run
+    PYTHONPATH=src python benchmarks/bench_nn.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.models import MomentModel, ViTModel
+from repro.models.config import ModelConfig
+from repro.nn import functional as F
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Calibrated bench geometries: large enough that BLAS kernels (not
+#: python dispatch) dominate a trainer step — that is the regime the
+#: float32 claim is about — while one full run stays under a minute.
+BENCH_CONFIGS = {
+    "moment-small": ModelConfig(
+        name="moment-small-bench",
+        family="moment",
+        d_model=128,
+        num_layers=3,
+        num_heads=8,
+        d_ff=512,
+        patch_length=8,
+        patch_stride=8,
+        max_sequence_length=512,
+        dropout=0.0,
+    ),
+    "vit-small": ModelConfig(
+        name="vit-small-bench",
+        family="vit",
+        d_model=128,
+        num_layers=3,
+        num_heads=8,
+        d_ff=512,
+        patch_length=16,
+        patch_stride=8,
+        max_sequence_length=512,
+        dropout=0.0,
+    ),
+}
+
+SMOKE_CONFIGS = {
+    "moment-smoke": ModelConfig(
+        name="moment-smoke-bench",
+        family="moment",
+        d_model=32,
+        num_layers=1,
+        num_heads=4,
+        d_ff=64,
+        patch_length=8,
+        patch_stride=8,
+        max_sequence_length=128,
+        dropout=0.0,
+    ),
+}
+
+
+def build(config: ModelConfig) -> nn.Module:
+    """Instantiate the family model for a bench config."""
+    cls = MomentModel if config.family == "moment" else ViTModel
+    return cls(config, seed=0)
+
+
+def run_trainer_steps(
+    config: ModelConfig,
+    dtype: str,
+    steps: int,
+    batch_size: int,
+    seq_len: int,
+    channels: int,
+    num_classes: int = 4,
+) -> dict:
+    """Time encoder-in-the-loop trainer steps under one dtype policy."""
+    with nn.default_dtype(dtype):
+        model = build(config)
+        model.train()
+        head = nn.Linear(config.d_model, num_classes, rng=np.random.default_rng(1))
+        params = model.trainable_parameters() + head.trainable_parameters()
+        optimizer = nn.AdamW(params, lr=1e-3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(batch_size, seq_len, channels))
+        y = rng.integers(0, num_classes, size=batch_size)
+
+        def one_step() -> float:
+            logits = head(model.encode(nn.Tensor(x)))
+            loss = F.cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, 1.0)
+            optimizer.step()
+            return float(loss.data)
+
+        one_step()  # warmup: page in buffers, settle BLAS threads
+        start = time.perf_counter()
+        last_loss = 0.0
+        for _ in range(steps):
+            last_loss = one_step()
+        wall = time.perf_counter() - start
+
+        # Peak allocation of a single step, traced separately so the
+        # tracemalloc overhead never contaminates the throughput number.
+        tracemalloc.start()
+        one_step()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    return {
+        "dtype": dtype,
+        "steps": steps,
+        "wall_s": round(wall, 4),
+        "steps_per_s": round(steps / wall, 3) if wall else float("inf"),
+        "peak_alloc_bytes": int(peak),
+        "final_loss": round(last_loss, 6),
+    }
+
+
+def bench_config(name: str, config: ModelConfig, steps: int, batch_size: int,
+                 seq_len: int, channels: int) -> dict:
+    """float64 baseline vs float32 fast path on one geometry."""
+    baseline = run_trainer_steps(config, "float64", steps, batch_size, seq_len, channels)
+    fast = run_trainer_steps(config, "float32", steps, batch_size, seq_len, channels)
+    speedup = fast["steps_per_s"] / baseline["steps_per_s"]
+    alloc_reduction = 1.0 - fast["peak_alloc_bytes"] / baseline["peak_alloc_bytes"]
+    return {
+        "model": name,
+        "geometry": {
+            "d_model": config.d_model,
+            "num_layers": config.num_layers,
+            "d_ff": config.d_ff,
+            "batch_size": batch_size,
+            "seq_len": seq_len,
+            "channels": channels,
+        },
+        "float64": baseline,
+        "float32": fast,
+        "throughput_speedup": round(speedup, 3),
+        "peak_alloc_reduction": round(alloc_reduction, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny geometry sanity run for CI; prints but does not write JSON",
+    )
+    parser.add_argument("--steps", type=int, default=None, help="timed steps per dtype")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_nn.json"),
+        help="where to write the JSON record (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        configs, steps, batch, seq_len, channels = SMOKE_CONFIGS, args.steps or 2, 4, 64, 2
+    else:
+        configs, steps, batch, seq_len, channels = BENCH_CONFIGS, args.steps or 15, 8, 256, 3
+
+    results = []
+    for name, config in configs.items():
+        entry = bench_config(name, config, steps, batch, seq_len, channels)
+        results.append(entry)
+        print(
+            f"{name:<14} {entry['float64']['steps_per_s']:>7.2f} -> "
+            f"{entry['float32']['steps_per_s']:>7.2f} steps/s "
+            f"({entry['throughput_speedup']:.2f}x), peak alloc "
+            f"{entry['float64']['peak_alloc_bytes'] / 1024**2:.1f} -> "
+            f"{entry['float32']['peak_alloc_bytes'] / 1024**2:.1f} MiB "
+            f"(-{entry['peak_alloc_reduction'] * 100:.0f}%)",
+            flush=True,
+        )
+
+    if args.smoke:
+        # The gate checks machinery, not hardware: both runs finished
+        # and float32 did not blow up allocation.
+        ok = all(e["float32"]["peak_alloc_bytes"] < e["float64"]["peak_alloc_bytes"]
+                 for e in results)
+        print(f"smoke   : {'ok' if ok else 'FAIL'}")
+        return 0 if ok else 1
+
+    record = {
+        "benchmark": "nn_float32_fast_numerics",
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "min_throughput_speedup": min(e["throughput_speedup"] for e in results),
+        "min_peak_alloc_reduction": min(e["peak_alloc_reduction"] for e in results),
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote   : {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The single pre-merge gate: ruff + the tier-1 pytest suite.
+# The single pre-merge gate: ruff + the tier-1 pytest suite + the
+# nn fast-numerics smoke (fused-op gradchecks and a tiny dtype bench).
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
@@ -13,18 +14,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "$#" -eq 0 ]; then
-    exec scripts/lint.sh
-fi
-
-if command -v ruff >/dev/null 2>&1; then
-    echo "== ruff =="
-    ruff check src tests benchmarks examples scripts
-elif python -c "import ruff" >/dev/null 2>&1; then
-    echo "== ruff (module) =="
-    python -m ruff check src tests benchmarks examples scripts
+    scripts/lint.sh
 else
-    echo "!! ruff not installed; skipping lint (pip install ruff)" >&2
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== ruff =="
+        ruff check src tests benchmarks examples scripts
+    elif python -c "import ruff" >/dev/null 2>&1; then
+        echo "== ruff (module) =="
+        python -m ruff check src tests benchmarks examples scripts
+    else
+        echo "!! ruff not installed; skipping lint (pip install ruff)" >&2
+    fi
+
+    echo "== tier-1 tests =="
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest "$@"
 fi
 
-echo "== tier-1 tests =="
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest "$@"
+# The numerics kernels back everything else, so they get an explicit
+# gate even when the pytest args above selected an unrelated subtree:
+# finite-difference gradchecks for the fused ops, then a tiny
+# float64-vs-float32 trainer-step bench that must run end to end.
+echo "== nn fast-numerics smoke =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest tests/nn/test_fused_ops.py -q
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_nn.py --smoke

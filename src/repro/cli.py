@@ -13,6 +13,10 @@ Subcommands
     Fine-tune one (dataset, model, adapter) combination on the
     surrogate data and report test accuracy; optionally save the
     fitted pipeline.
+``repro profile``
+    Same shape as ``run``, but with the op-level profiler active:
+    prints per-op call counts, forward/backward seconds and bytes
+    allocated for the training loop, under a chosen compute dtype.
 ``repro table`` / ``repro figure``
     Regenerate one of the paper's tables (1–5) or figures (1–6,
     ``claims``) and print it.
@@ -106,6 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-length", type=int, default=96)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--save", metavar="DIR", help="save the fitted pipeline to DIR")
+
+    prof = sub.add_parser("profile", help="op-level profile of one fine-tuning run")
+    prof.add_argument("--model", choices=_RUNNABLE_MODEL_CHOICES, default="moment-tiny")
+    prof.add_argument("--dataset", required=True)
+    prof.add_argument("--adapter", choices=_ALL_ADAPTERS, default="pca")
+    prof.add_argument("--channels", type=int, default=5)
+    prof.add_argument(
+        "--strategy", choices=[s.value for s in FineTuneStrategy], default="adapter_head"
+    )
+    prof.add_argument("--epochs", type=int, default=3)
+    prof.add_argument("--batch-size", type=int, default=32)
+    prof.add_argument("--learning-rate", type=float, default=3e-3)
+    prof.add_argument("--scale", type=float, default=0.1, help="surrogate dataset scale")
+    prof.add_argument("--max-length", type=int, default=96)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float32",
+        help="compute dtype the model is built and trained in",
+    )
+    prof.add_argument(
+        "--top", type=int, default=None, metavar="N", help="show only the N hottest ops"
+    )
 
     for name, choices in (("table", _TABLES), ("figure", _FIGURES)):
         cmd = sub.add_parser(name, help=f"regenerate a paper {name}")
@@ -268,6 +294,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .data import load_dataset
+    from .nn import default_dtype
+    from .nn.profiler import render_ops
+
+    dataset = load_dataset(
+        args.dataset, seed=args.seed, scale=args.scale, max_length=args.max_length,
+        normalize=False,
+    )
+    print(f"loaded  : {dataset.describe()}")
+    with default_dtype(args.dtype):
+        model = load_pretrained(args.model, seed=args.seed)
+    adapter = make_adapter(
+        args.adapter, args.channels if args.adapter != "none" else 1, seed=args.seed
+    )
+    pipeline = AdapterPipeline(model, adapter, dataset.num_classes, seed=args.seed)
+    config = TrainConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+        profile=True,
+    )
+    report = pipeline.fit(
+        dataset.x_train,
+        dataset.y_train,
+        strategy=FineTuneStrategy(args.strategy),
+        config=config,
+    )
+    summary = report.summary
+    print(f"model   : {args.model} ({args.dtype})")
+    print(f"adapter : {adapter.name} (cached embeddings: {report.used_embedding_cache})")
+    print(
+        "phases  : "
+        + "  ".join(
+            f"{name}={seconds:.2f}s"
+            for name, seconds in sorted(summary.phase_seconds.items())
+        )
+    )
+    print()
+    print(render_ops(summary.ops, top=args.top))
+    return 0
+
+
 #: ``repro run`` takes runnable (tiny) model names; specs use paper labels.
 _PAPER_LABEL_BY_RUNNABLE = {"moment-tiny": "MOMENT", "vit-tiny": "ViT"}
 
@@ -400,6 +470,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "table":
         return _cmd_table(args)
     if args.command == "figure":

@@ -64,7 +64,11 @@ class FoundationModel(nn.Module, abc.ABC):
         """
         if isinstance(x, nn.Tensor):
             return self._encode_tensor(x)
+        dtype = self.dtype
         flat, n, d = flatten_channels(np.asarray(x))
+        # Cast once at the model boundary: float64 data driving a
+        # float32 model would otherwise upcast every activation.
+        flat = flat.astype(dtype, copy=False)
         if channel_batch and channel_batch < len(flat):
             if nn.is_grad_enabled() and any(p.requires_grad for p in self.parameters()):
                 raise RuntimeError(
@@ -84,6 +88,7 @@ class FoundationModel(nn.Module, abc.ABC):
 
     def _encode_tensor(self, x: nn.Tensor) -> nn.Tensor:
         """Differentiable path for tensor inputs (adapter in the graph)."""
+        x = x.astype(self.dtype)
         n, t, d = x.shape
         flat = x.transpose(0, 2, 1).reshape(n * d, t)
         tokens = self.encode_univariate(flat)

@@ -33,6 +33,10 @@ class ModelConfig:
     patch_stride: int
     max_sequence_length: int
     dropout: float = 0.1
+    #: Compute dtype of the built model: "float32", "float64", or None
+    #: to follow the global ``repro.nn`` default (float32).  Weights,
+    #: activations and optimizer state all materialise in this dtype.
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         if self.family not in ("moment", "vit"):
@@ -43,6 +47,10 @@ class ModelConfig:
             )
         if self.patch_stride > self.patch_length:
             raise ValueError("patch_stride larger than patch_length leaves gaps")
+        if self.dtype not in (None, "float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32', 'float64' or None, got {self.dtype!r}"
+            )
 
     # ------------------------------------------------------------------
     # Analytic geometry (used by the resource cost model)

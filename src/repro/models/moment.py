@@ -31,20 +31,23 @@ class MomentModel(FoundationModel):
             raise ValueError(f"config {config.name!r} is not a moment-family config")
         super().__init__(config)
         rng = np.random.default_rng(seed)
-        self.patch_embed = nn.Linear(config.patch_length, config.d_model, rng=rng)
-        self.positional = nn.Parameter(
-            nn.init.normal((config.max_positions(), config.d_model), rng)
-        )
-        self.mask_token = nn.Parameter(nn.init.normal((config.d_model,), rng))
-        self.encoder = nn.TransformerEncoder(
-            d_model=config.d_model,
-            num_heads=config.num_heads,
-            d_ff=config.d_ff,
-            num_layers=config.num_layers,
-            dropout=config.dropout,
-            rng=rng,
-        )
-        self.reconstruction_head = nn.Linear(config.d_model, config.patch_length, rng=rng)
+        with nn.default_dtype(config.dtype):
+            self.patch_embed = nn.Linear(config.patch_length, config.d_model, rng=rng)
+            self.positional = nn.Parameter(
+                nn.init.normal((config.max_positions(), config.d_model), rng)
+            )
+            self.mask_token = nn.Parameter(nn.init.normal((config.d_model,), rng))
+            self.encoder = nn.TransformerEncoder(
+                d_model=config.d_model,
+                num_heads=config.num_heads,
+                d_ff=config.d_ff,
+                num_layers=config.num_layers,
+                dropout=config.dropout,
+                rng=rng,
+            )
+            self.reconstruction_head = nn.Linear(
+                config.d_model, config.patch_length, rng=rng
+            )
 
     # ------------------------------------------------------------------
     def _patch_index(self, length: int) -> np.ndarray:
@@ -64,7 +67,9 @@ class MomentModel(FoundationModel):
             x = x[:, : cfg.max_sequence_length]
             length = cfg.max_sequence_length
         if length < cfg.patch_length:
-            pad = nn.Tensor(np.zeros((batch, cfg.patch_length - length)))
+            pad = nn.Tensor(
+                np.zeros((batch, cfg.patch_length - length), dtype=x.data.dtype)
+            )
             x = nn.concatenate([x, pad], axis=1)
             length = cfg.patch_length
         return x[:, self._patch_index(length)]
@@ -77,8 +82,9 @@ class MomentModel(FoundationModel):
         """
         tokens = self.patch_embed(patches)  # (B, P, E)
         if mask is not None:
-            keep = nn.Tensor((~mask).astype(np.float64)[..., None])
-            masked = nn.Tensor(mask.astype(np.float64)[..., None])
+            dtype = tokens.data.dtype
+            keep = nn.Tensor((~mask).astype(dtype)[..., None])
+            masked = nn.Tensor(mask.astype(dtype)[..., None])
             tokens = tokens * keep + self.mask_token.reshape(1, 1, -1) * masked
         count = tokens.shape[1]
         return tokens + self.positional[:count].reshape(1, count, -1)

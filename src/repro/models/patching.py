@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.dtype import get_default_dtype
+
 __all__ = ["num_patches", "extract_patches", "patch_statistics", "flatten_channels"]
 
 
@@ -29,9 +31,10 @@ def extract_patches(x: np.ndarray, patch_length: int, stride: int) -> np.ndarray
 
     Series shorter than one patch are right-padded with zeros.  A
     ragged tail (final window not filling a full patch) is dropped,
-    mirroring the behaviour of standard TSFM tokenisers.
+    mirroring the behaviour of standard TSFM tokenisers.  Output is in
+    the framework's default dtype (float32 unless opted out).
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=get_default_dtype())
     if x.ndim != 2:
         raise ValueError(f"expected (B, T) input, got shape {x.shape}")
     batch, length = x.shape

@@ -111,7 +111,7 @@ def pretrain_moment(
     losses: list[float] = []
     for _ in range(steps):
         index = rng.choice(len(corpus), size=min(batch_size, len(corpus)), replace=False)
-        batch = nn.Tensor(corpus[index])
+        batch = nn.Tensor(corpus[index], dtype=model.dtype)
         patch_grid = model._patchify(batch).shape[:2]
         mask = rng.random(patch_grid) < mask_ratio
         # Guarantee at least one masked patch per series.
@@ -119,9 +119,7 @@ def pretrain_moment(
         if empty_rows.any():
             mask[empty_rows, rng.integers(0, patch_grid[1], size=empty_rows.sum())] = True
         reconstruction, target = model.reconstruct(batch, mask)
-        loss = F.masked_mse_loss(
-            reconstruction, target.data, mask[..., None].astype(np.float64)
-        )
+        loss = F.masked_mse_loss(reconstruction, target.data, mask[..., None])
         optimizer.zero_grad()
         loss.backward()
         nn.clip_grad_norm(model.parameters(), max_norm=1.0)
@@ -157,9 +155,13 @@ def pretrain_vit(
     for _ in range(steps):
         index = rng.choice(len(corpus), size=min(batch_size, len(corpus)), replace=False)
         batch = corpus[index]
-        queries = model.contrastive_embed(nn.Tensor(augment_series(batch, rng)))
+        queries = model.contrastive_embed(
+            nn.Tensor(augment_series(batch, rng), dtype=model.dtype)
+        )
         with nn.no_grad():
-            keys = key_encoder.contrastive_embed(nn.Tensor(augment_series(batch, rng)))
+            keys = key_encoder.contrastive_embed(
+                nn.Tensor(augment_series(batch, rng), dtype=model.dtype)
+            )
         loss = F.info_nce_loss(queries, keys.detach(), temperature=temperature)
         optimizer.zero_grad()
         loss.backward()

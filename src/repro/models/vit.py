@@ -37,19 +37,20 @@ class ViTModel(FoundationModel):
         super().__init__(config)
         rng = np.random.default_rng(seed)
         token_dim = config.patch_length + 2  # values + (mean, std)
-        self.patch_embed = nn.Linear(token_dim, config.d_model, rng=rng)
-        self.positional = nn.Parameter(
-            nn.init.normal((config.max_positions(), config.d_model), rng)
-        )
-        self.encoder = nn.TransformerEncoder(
-            d_model=config.d_model,
-            num_heads=config.num_heads,
-            d_ff=config.d_ff,
-            num_layers=config.num_layers,
-            dropout=config.dropout,
-            rng=rng,
-        )
-        self.projection_head = nn.Linear(config.d_model, config.d_model, rng=rng)
+        with nn.default_dtype(config.dtype):
+            self.patch_embed = nn.Linear(token_dim, config.d_model, rng=rng)
+            self.positional = nn.Parameter(
+                nn.init.normal((config.max_positions(), config.d_model), rng)
+            )
+            self.encoder = nn.TransformerEncoder(
+                d_model=config.d_model,
+                num_heads=config.num_heads,
+                d_ff=config.d_ff,
+                num_layers=config.num_layers,
+                dropout=config.dropout,
+                rng=rng,
+            )
+            self.projection_head = nn.Linear(config.d_model, config.d_model, rng=rng)
 
     # ------------------------------------------------------------------
     def _patch_index(self, length: int) -> np.ndarray:
@@ -67,7 +68,9 @@ class ViTModel(FoundationModel):
             x = x[:, : cfg.max_sequence_length]
             length = cfg.max_sequence_length
         if length < cfg.patch_length:
-            pad = nn.Tensor(np.zeros((batch, cfg.patch_length - length)))
+            pad = nn.Tensor(
+                np.zeros((batch, cfg.patch_length - length), dtype=x.data.dtype)
+            )
             x = nn.concatenate([x, pad], axis=1)
             length = cfg.patch_length
         return x[:, self._patch_index(length)]

@@ -5,9 +5,10 @@ reverse-mode autodiff :class:`Tensor`, layer/module system, multi-head
 attention and transformer encoder, optimizers, and data loading.
 """
 
-from . import functional, init
+from . import functional, init, profiler
 from .attention import MultiHeadSelfAttention
 from .data import ArrayDataset, DataLoader
+from .dtype import default_dtype, get_default_dtype, set_default_dtype
 from .layers import GELU, Conv1d, Dropout, Embedding, LayerNorm, Linear, ReLU
 from .module import Module, Parameter, Sequential
 from .optim import (
@@ -31,8 +32,12 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "functional",
     "init",
+    "profiler",
     "Module",
     "Parameter",
     "Sequential",

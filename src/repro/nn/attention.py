@@ -68,8 +68,11 @@ class MultiHeadSelfAttention(Module):
                 mask = mask[:, None, :, :]
             else:
                 raise ValueError(f"attn_mask must be 2D or 3D, got ndim={mask.ndim}")
-            bias = np.where(mask, 0.0, -1e9)
-            scores = scores + Tensor(np.broadcast_to(bias, scores.shape).copy())
+            # Additive bias, broadcast by numpy inside the add: the
+            # old explicit broadcast_to(...).copy() materialised an
+            # O(B*H*T*T) array per layer for a (1, 1, T, T) mask.
+            bias = np.where(mask, 0.0, -1e9).astype(scores.dtype, copy=False)
+            scores = scores + Tensor(bias)
 
         weights = F.softmax(scores, axis=-1)
         weights = self.attn_dropout(weights)

@@ -1,7 +1,10 @@
 """Weight initialisation schemes.
 
 All initialisers take an explicit ``numpy.random.Generator`` so model
-construction is fully reproducible from a seed.
+construction is fully reproducible from a seed.  Outputs materialise
+in the global default dtype (:mod:`repro.nn.dtype`); random draws
+happen in float64 and are then cast, so a given seed produces the
+same weights (up to rounding) under every dtype policy.
 """
 
 from __future__ import annotations
@@ -9,6 +12,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from .dtype import get_default_dtype
 
 __all__ = [
     "xavier_uniform",
@@ -33,33 +38,33 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float
     """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He uniform initialisation for ReLU-family activations."""
     fan_in, _ = _fan_in_out(shape)
     bound = math.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
     """Plain Gaussian initialisation (transformer embedding convention)."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zero array of the given shape (bias convention)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
     """All-one array of the given shape (LayerNorm weight convention)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())

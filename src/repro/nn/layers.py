@@ -179,7 +179,7 @@ def _pad_length(x: Tensor, padding: int) -> Tensor:
     from .tensor import concatenate
 
     batch, channels, _ = x.shape
-    zeros_block = Tensor(np.zeros((batch, channels, padding)))
+    zeros_block = Tensor(np.zeros((batch, channels, padding), dtype=x.data.dtype))
     return concatenate([zeros_block, x, zeros_block], axis=2)
 
 

@@ -11,6 +11,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .dtype import get_default_dtype
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential"]
@@ -76,6 +77,18 @@ class Module:
         """Total scalar parameter count."""
         params = self.trainable_parameters() if trainable_only else self.parameters()
         return int(sum(p.size for p in params))
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of this module's parameters.
+
+        Models cast their inputs to this at the encode boundary so a
+        float64 data array cannot silently upcast a float32 graph.
+        Parameter-free modules report the global default dtype.
+        """
+        for _, param in self.named_parameters():
+            return param.data.dtype
+        return get_default_dtype()
 
     # ------------------------------------------------------------------
     # Mode / freezing

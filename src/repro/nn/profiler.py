@@ -1,0 +1,210 @@
+"""Opt-in op-level profiler for the ``repro.nn`` autodiff stack.
+
+When a profile is active, :meth:`Tensor._make` reports every graph
+node it creates and :meth:`Tensor.backward` times every backward
+function it runs.  The profiler aggregates three things per op type
+(``matmul``, ``layer_norm``, ``softmax``, ...):
+
+* **calls** — how many nodes of that type were created;
+* **bytes** — output bytes allocated by those nodes;
+* **seconds** — wall time attributed to the op, split into forward
+  and backward.
+
+Backward timings are exact (each backward closure is timed directly).
+Forward timings are *gap-attributed*: the interval between two
+consecutive node creations is charged to the later op, because the op
+computes its output immediately before registering the node.  In the
+single-threaded numpy stack this is accurate to within python dispatch
+overhead; time spent outside tensor ops (data indexing, the optimizer)
+accrues to whatever op runs next, so callers that want clean phase
+boundaries call :meth:`OpProfiler.mark` between phases — the trainer
+does this around each step's non-graph work.
+
+Usage::
+
+    from repro.nn import profiler
+
+    with profiler.profile() as prof:
+        loss = model(x)          # any tensor code
+        loss.backward()
+    print(prof.render())
+
+Overhead when inactive is one module-attribute check per node; when
+active, a ``perf_counter`` pair and two dict updates per node.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["OpStats", "OpProfiler", "profile", "active_profiler", "render_ops"]
+
+#: The currently active profiler (module-global, like grad mode).
+_ACTIVE: "OpProfiler | None" = None
+
+
+def active_profiler() -> "OpProfiler | None":
+    """The profiler installed by :func:`profile`, if any."""
+    return _ACTIVE
+
+
+def _op_name(code) -> str:
+    """Derive the op name from a backward closure's code object.
+
+    ``Tensor.__matmul__.<locals>.backward`` -> ``matmul``;
+    ``layer_norm.<locals>.backward`` -> ``layer_norm``.
+    """
+    qualname = code.co_qualname if hasattr(code, "co_qualname") else code.co_name
+    head = qualname.split(".<locals>", 1)[0]
+    name = head.rsplit(".", 1)[-1]
+    return name.strip("_") or name
+
+
+@dataclass
+class OpStats:
+    """Aggregated statistics for one op type."""
+
+    calls: int = 0
+    bytes: int = 0
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+    backward_calls: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "calls": self.calls,
+            "bytes": self.bytes,
+            "forward_s": self.forward_s,
+            "backward_s": self.backward_s,
+            "backward_calls": self.backward_calls,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpStats":
+        """Rebuild stats from :meth:`to_dict` output (tolerant)."""
+        return cls(
+            calls=int(data.get("calls", 0)),
+            bytes=int(data.get("bytes", 0)),
+            forward_s=float(data.get("forward_s", 0.0)),
+            backward_s=float(data.get("backward_s", 0.0)),
+            backward_calls=int(data.get("backward_calls", 0)),
+        )
+
+
+class OpProfiler:
+    """Per-op-type call counts, output bytes and wall time."""
+
+    def __init__(self) -> None:
+        self.ops: dict[str, OpStats] = {}
+        self._names: dict[int, str] = {}  # id(code object) -> op name
+        self._last: float | None = None
+
+    # -- hooks (called from Tensor) ------------------------------------
+    def _resolve(self, code) -> str:
+        name = self._names.get(id(code))
+        if name is None:
+            name = _op_name(code)
+            self._names[id(code)] = name
+        return name
+
+    def _stats(self, name: str) -> OpStats:
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpStats()
+        return stats
+
+    def record_make(self, code, nbytes: int) -> None:
+        """Register a freshly created graph node (called by ``_make``)."""
+        now = time.perf_counter()
+        stats = self._stats(self._resolve(code))
+        stats.calls += 1
+        stats.bytes += int(nbytes)
+        if self._last is not None:
+            stats.forward_s += now - self._last
+        self._last = now
+
+    def record_backward(self, code, seconds: float) -> None:
+        """Register one timed backward-closure invocation."""
+        stats = self._stats(self._resolve(code))
+        stats.backward_calls += 1
+        stats.backward_s += seconds
+
+    def mark(self) -> None:
+        """Reset the forward gap clock at a phase boundary.
+
+        Call between graph-building phases so time spent in non-tensor
+        code (optimizer steps, data indexing) is not attributed to the
+        next op.
+        """
+        self._last = time.perf_counter()
+
+    # -- reporting -----------------------------------------------------
+    def summary(self) -> dict[str, dict]:
+        """JSON-able ``{op: {calls, bytes, forward_s, backward_s, ...}}``."""
+        return {name: stats.to_dict() for name, stats in sorted(self.ops.items())}
+
+    def total_bytes(self) -> int:
+        """Bytes allocated by all recorded graph-node outputs."""
+        return sum(stats.bytes for stats in self.ops.values())
+
+    def total_seconds(self) -> float:
+        """Forward + backward seconds over every recorded op."""
+        return sum(stats.total_s for stats in self.ops.values())
+
+    def render(self, top: int | None = None) -> str:
+        """Human-readable table, hottest ops (by total time) first."""
+        return render_ops(self.summary(), top=top)
+
+
+def render_ops(ops: dict[str, dict], top: int | None = None) -> str:
+    """Render a ``{op: stats-dict}`` table (from :meth:`OpProfiler.summary`,
+    ``TrainResult.op_profile`` or ``RunSummary.ops``), hottest first."""
+    stats_by_name = {name: OpStats.from_dict(data) for name, data in ops.items()}
+    rows = sorted(stats_by_name.items(), key=lambda kv: kv[1].total_s, reverse=True)
+    if top is not None:
+        rows = rows[:top]
+    header = f"{'op':<16} {'calls':>8} {'fwd_s':>9} {'bwd_s':>9} {'MiB':>9}"
+    lines = [header, "-" * len(header)]
+    for name, stats in rows:
+        lines.append(
+            f"{name:<16} {stats.calls:>8} {stats.forward_s:>9.4f} "
+            f"{stats.backward_s:>9.4f} {stats.bytes / 1024**2:>9.2f}"
+        )
+    lines.append(
+        f"{'total':<16} {sum(s.calls for _, s in rows):>8} "
+        f"{sum(s.forward_s for _, s in rows):>9.4f} "
+        f"{sum(s.backward_s for _, s in rows):>9.4f} "
+        f"{sum(s.bytes for _, s in rows) / 1024**2:>9.2f}"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class _ProfileHandle:
+    profiler: OpProfiler = field(default_factory=OpProfiler)
+
+
+@contextlib.contextmanager
+def profile():
+    """Activate op-level profiling for the enclosed block.
+
+    Yields the :class:`OpProfiler`; nesting reuses the outer profiler
+    so library code can profile unconditionally without clobbering a
+    caller's session.
+    """
+    global _ACTIVE
+    outer = _ACTIVE
+    prof = outer if outer is not None else OpProfiler()
+    _ACTIVE = prof
+    prof.mark()
+    try:
+        yield prof
+    finally:
+        _ACTIVE = outer

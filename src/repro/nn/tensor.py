@@ -21,9 +21,13 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from . import profiler as _profiler
+from .dtype import get_default_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -72,9 +76,12 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array (lists, scalars,
-        existing arrays).  Floating inputs keep their dtype; integer
-        inputs are converted to ``float64`` unless ``dtype`` is given.
+        Anything convertible to a numpy array (lists, scalars,
+        existing arrays).  Floating numpy arrays keep their dtype;
+        everything else (lists, python scalars, integer and boolean
+        arrays) materialises in the global default dtype
+        (:func:`repro.nn.get_default_dtype`, float32 unless opted
+        out) — unless an explicit ``dtype`` is given.
     requires_grad:
         When true, :meth:`backward` accumulates a gradient into
         ``self.grad``.
@@ -91,9 +98,18 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        array = np.asarray(data, dtype=dtype)
-        if array.dtype.kind in "iub":
-            array = array.astype(np.float64)
+        if dtype is not None:
+            array = np.asarray(data, dtype=dtype)
+        elif isinstance(data, np.ndarray):
+            # Existing arrays keep floating precision (detach(), state
+            # loading); only non-float kinds are promoted.
+            array = (
+                data.astype(get_default_dtype()) if data.dtype.kind in "iub" else data
+            )
+        else:
+            array = np.asarray(data)
+            if array.dtype.kind in "iubf":
+                array = array.astype(get_default_dtype(), copy=False)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
@@ -137,7 +153,12 @@ class Tensor:
 
     def item(self) -> float:
         """Return the single scalar value of a 1-element tensor."""
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, "
+                f"got shape {self.data.shape} ({self.data.size} elements)"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but cut from the graph."""
@@ -162,6 +183,9 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a graph node whose gradient flows to ``parents``."""
+        profiler = _profiler._ACTIVE
+        if profiler is not None:
+            profiler.record_make(backward.__code__, data.nbytes)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=False)
         out.requires_grad = requires
@@ -217,20 +241,46 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        profiler = _profiler._ACTIVE
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if profiler is not None:
+                    start = time.perf_counter()
+                    node._backward(node.grad)
+                    profiler.record_backward(
+                        node._backward.__code__, time.perf_counter() - start
+                    )
+                else:
+                    node._backward(node.grad)
                 # Free intermediate gradients and graph edges eagerly;
                 # leaves (no backward fn) keep their gradients.
                 node._backward = None
                 node._parents = ()
                 node.grad = None if node is not self else node.grad
+        if profiler is not None:
+            # Non-graph work follows a backward pass (optimizer step,
+            # batch assembly); do not charge it to the next op.
+            profiler.mark()
 
     # ------------------------------------------------------------------
     # Arithmetic ops
     # ------------------------------------------------------------------
+    def _operand(self, other) -> "Tensor":
+        """Coerce a binary-op operand to a Tensor.
+
+        Python/numpy scalars are *weak*: they adopt this tensor's
+        dtype, so ``x * 2.0`` or ``x + 1e-8`` never upcasts a float32
+        graph to the ambient default dtype.  Everything else follows
+        the normal creation policy.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if np.isscalar(other):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
+
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -248,13 +298,13 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-self._operand(other))
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return self._operand(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -266,7 +316,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._operand(other)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -276,7 +326,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return self._operand(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -311,8 +361,10 @@ class Tensor:
                 grad_a = grad_a.reshape(a.shape)
             if b.ndim == 1:
                 grad_b = grad_b.reshape(b.shape)
-            self._accumulate(_unbroadcast(grad_a, a.shape))
-            other._accumulate(_unbroadcast(grad_b, b.shape))
+            # _accumulate unbroadcasts; reducing here as well would do
+            # the same axis-sums twice on every broadcasted matmul.
+            self._accumulate(grad_a)
+            other._accumulate(grad_b)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -358,6 +410,22 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def astype(self, dtype) -> "Tensor":
+        """Cast to ``dtype`` (differentiable; grads cast back).
+
+        Returns ``self`` unchanged when the dtype already matches, so
+        boundary casts are free in the common single-dtype case.
+        """
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        out_data = self.data.astype(dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
 
         return Tensor._make(out_data, (self,), backward)
 

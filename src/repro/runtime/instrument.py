@@ -49,16 +49,25 @@ class RunSummary:
 
     ``phase_seconds`` maps phase name -> accumulated seconds;
     ``counters`` maps event name -> count (cache hits/misses, actual
-    pretraining runs, ...).  JSON-able by construction so it can ride
-    along inside store metadata.
+    pretraining runs, ...); ``ops`` maps autodiff op name -> per-op
+    stats (calls/bytes/seconds, see :class:`repro.nn.profiler.OpStats`)
+    when an op-level profile was captured, else ``{}``.  JSON-able by
+    construction so it can ride along inside store metadata.
     """
 
     phase_seconds: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    ops: dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-able snapshot (inverse of :meth:`from_dict`)."""
-        return {"phase_seconds": dict(self.phase_seconds), "counters": dict(self.counters)}
+        payload = {
+            "phase_seconds": dict(self.phase_seconds),
+            "counters": dict(self.counters),
+        }
+        if self.ops:
+            payload["ops"] = {name: dict(stats) for name, stats in self.ops.items()}
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSummary":
@@ -66,6 +75,7 @@ class RunSummary:
         return cls(
             phase_seconds={k: float(v) for k, v in (data.get("phase_seconds") or {}).items()},
             counters={k: int(v) for k, v in (data.get("counters") or {}).items()},
+            ops={k: dict(v) for k, v in (data.get("ops") or {}).items()},
         )
 
 
@@ -75,6 +85,7 @@ class Instrumentation:
     def __init__(self) -> None:
         self._phase_seconds: dict[str, float] = defaultdict(float)
         self._counters: dict[str, int] = defaultdict(int)
+        self._ops: dict[str, dict] = {}
 
     @contextmanager
     def span(self, name: str):
@@ -101,14 +112,28 @@ class Instrumentation:
         """Current value of one counter (0 if never incremented)."""
         return self._counters.get(name, 0)
 
+    def attach_ops(self, ops: dict[str, dict]) -> None:
+        """Fold an op-level profile (op name -> stats dict) into the run.
+
+        Stats from repeated captures accumulate field-wise, so a
+        multi-phase run (head fit + joint fit) reports one merged
+        table.
+        """
+        for name, stats in ops.items():
+            slot = self._ops.setdefault(name, {})
+            for key, value in stats.items():
+                slot[key] = slot.get(key, 0) + value
+
     def summary(self) -> RunSummary:
         """Freeze the current state into a :class:`RunSummary`."""
         return RunSummary(
             phase_seconds=dict(self._phase_seconds),
             counters=dict(self._counters),
+            ops={name: dict(stats) for name, stats in self._ops.items()},
         )
 
     def reset(self) -> None:
         """Zero every phase and counter."""
         self._phase_seconds.clear()
         self._counters.clear()
+        self._ops.clear()

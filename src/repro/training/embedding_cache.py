@@ -45,7 +45,7 @@ def compute_embeddings(
     if x.ndim != 3:
         raise ValueError(f"expected (N, T, D) input, got shape {x.shape}")
     if len(x) == 0:
-        return np.zeros((0, model.embed_dim), dtype=np.float64)
+        return np.zeros((0, model.embed_dim), dtype=model.dtype)
     was_training = model.training
     model.eval()
     outputs = []

@@ -198,6 +198,8 @@ class AdapterPipeline:
             after = self.store.stats.snapshot()
             inst.count("cache_hits", after["hits"] - stats_before["hits"])
             inst.count("cache_misses", after["misses"] - stats_before["misses"])
+        if report.train_result is not None and report.train_result.op_profile:
+            inst.attach_ops(report.train_result.op_profile)
         report.summary = inst.summary()
         report.adapter_fit_s = inst.seconds("adapter_fit")
         report.embedding_s = inst.seconds("embedding")

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn import profiler as nn_profiler
 from ..runtime import Stopwatch
 
 __all__ = ["TrainConfig", "TrainResult", "train_classifier_on_arrays"]
@@ -29,6 +31,7 @@ class TrainConfig:
     seed: int = 0
     patience: int | None = None  # early stop on train-loss plateau
     max_time_s: float | None = None
+    profile: bool = False  # capture an op-level profile into TrainResult
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -45,6 +48,9 @@ class TrainResult:
     epochs_run: int = 0
     seconds: float = 0.0
     timed_out: bool = False
+    #: op name -> stats dict (see nn.profiler.OpStats.to_dict); empty
+    #: unless the run was configured with ``TrainConfig.profile``.
+    op_profile: dict[str, dict] = field(default_factory=dict)
 
     @property
     def final_loss(self) -> float:
@@ -93,34 +99,42 @@ def train_classifier_on_arrays(
     best_loss = np.inf
     stale_epochs = 0
 
-    for epoch in range(config.epochs):
-        order = rng.permutation(len(x))
-        epoch_losses = []
-        for batch_start in range(0, len(x), config.batch_size):
-            index = order[batch_start : batch_start + config.batch_size]
-            logits = forward(x[index])
-            loss = F.cross_entropy(logits, y[index])
-            optimizer.zero_grad()
-            loss.backward()
-            if config.grad_clip:
-                nn.clip_grad_norm(parameters, config.grad_clip)
-            optimizer.step()
-            epoch_losses.append(float(loss.data))
-            if config.max_time_s is not None and watch.elapsed() > config.max_time_s:
-                result.timed_out = True
-                break
-        result.losses.append(float(np.mean(epoch_losses)))
-        result.epochs_run = epoch + 1
-        if result.timed_out:
-            break
-        if config.patience is not None:
-            if result.losses[-1] < best_loss - 1e-4:
-                best_loss = result.losses[-1]
-                stale_epochs = 0
-            else:
-                stale_epochs += 1
-                if stale_epochs >= config.patience:
+    with contextlib.ExitStack() as stack:
+        prof = stack.enter_context(nn_profiler.profile()) if config.profile else None
+        for epoch in range(config.epochs):
+            order = rng.permutation(len(x))
+            epoch_losses = []
+            for batch_start in range(0, len(x), config.batch_size):
+                index = order[batch_start : batch_start + config.batch_size]
+                if prof is not None:
+                    # Exclude batch assembly / optimizer time from the
+                    # gap-attributed forward cost of the first op.
+                    prof.mark()
+                logits = forward(x[index])
+                loss = F.cross_entropy(logits, y[index])
+                optimizer.zero_grad()
+                loss.backward()
+                if config.grad_clip:
+                    nn.clip_grad_norm(parameters, config.grad_clip)
+                optimizer.step()
+                epoch_losses.append(float(loss.data))
+                if config.max_time_s is not None and watch.elapsed() > config.max_time_s:
+                    result.timed_out = True
                     break
+            result.losses.append(float(np.mean(epoch_losses)))
+            result.epochs_run = epoch + 1
+            if result.timed_out:
+                break
+            if config.patience is not None:
+                if result.losses[-1] < best_loss - 1e-4:
+                    best_loss = result.losses[-1]
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= config.patience:
+                        break
+        if prof is not None:
+            result.op_profile = prof.summary()
 
     result.seconds = watch.elapsed()
     return result

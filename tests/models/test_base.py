@@ -41,7 +41,9 @@ class TestEncodePaths:
         perm = np.random.default_rng(1).permutation(6)
         a = model.encode(x).data
         b = model.encode(x[:, :, perm]).data
-        np.testing.assert_allclose(a, b, atol=1e-10)
+        # Permuting float32 summands reorders the reduction; bitwise
+        # equality is not guaranteed, only float32-level closeness.
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
 
     def test_repr_mentions_config_and_params(self, model):
         text = repr(model)

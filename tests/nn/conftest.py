@@ -1,0 +1,19 @@
+"""tests/nn runs under a float64 default dtype.
+
+The nn unit tests predate the float32 dtype policy and exercise the
+autodiff stack at full precision: finite-difference gradient checks
+use ``eps=1e-6`` (meaningless in float32) and several tests assert
+float64 dtypes directly.  Running them under ``default_dtype(float64)``
+keeps them what they are — precision tests of the math — while the
+dtype policy itself is covered explicitly in ``test_dtype.py``.
+"""
+
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture(autouse=True)
+def _float64_default():
+    with nn.default_dtype("float64"):
+        yield

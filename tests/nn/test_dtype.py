@@ -1,0 +1,162 @@
+"""Tests for the global dtype policy (float32 default, float64 opt-in).
+
+The ambient ``tests/nn`` fixture pins float64; every test here opens
+its own ``default_dtype`` context, so the policy under test is always
+explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.dtype import default_dtype, get_default_dtype, set_default_dtype
+
+
+class TestPolicyPlumbing:
+    def test_set_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert get_default_dtype() == np.float32
+        finally:
+            set_default_dtype(previous)
+
+    def test_rejects_non_float_dtypes(self):
+        for bad in ("int64", "float16", "complex128"):
+            with pytest.raises(ValueError, match="float32 or float64"):
+                set_default_dtype(bad)
+
+    def test_context_restores_on_exit(self):
+        before = get_default_dtype()
+        with default_dtype("float32"):
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == before
+
+    def test_context_restores_on_error(self):
+        before = get_default_dtype()
+        with pytest.raises(RuntimeError):
+            with default_dtype("float32"):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == before
+
+    def test_none_context_is_noop(self):
+        before = get_default_dtype()
+        with default_dtype(None) as active:
+            assert active == before
+            assert get_default_dtype() == before
+
+    def test_contexts_nest(self):
+        with default_dtype("float32"):
+            with default_dtype("float64"):
+                assert get_default_dtype() == np.float64
+            assert get_default_dtype() == np.float32
+
+
+class TestTensorCreation:
+    def test_lists_and_scalars_take_default(self):
+        with default_dtype("float32"):
+            assert nn.Tensor([1.0, 2.0]).dtype == np.float32
+            assert nn.Tensor(3.5).dtype == np.float32
+        with default_dtype("float64"):
+            assert nn.Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_floating_ndarray_dtype_preserved(self):
+        """detach()/checkpoint arrays never change precision silently."""
+        with default_dtype("float32"):
+            assert nn.Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+            assert nn.Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+        with default_dtype("float64"):
+            assert nn.Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+
+    def test_integer_and_bool_arrays_promoted(self):
+        with default_dtype("float32"):
+            assert nn.Tensor(np.arange(3)).dtype == np.float32
+            assert nn.Tensor(np.array([True, False])).dtype == np.float32
+
+    def test_explicit_dtype_wins(self):
+        with default_dtype("float32"):
+            assert nn.Tensor([1.0], dtype=np.float64).dtype == np.float64
+
+    def test_python_scalar_ops_do_not_upcast(self):
+        with default_dtype("float32"):
+            t = nn.Tensor([1.0, 2.0])
+            assert (t * 2.0).dtype == np.float32
+            assert (t + 1.0).dtype == np.float32
+            assert (t / 3.0).dtype == np.float32
+
+    def test_astype_is_differentiable(self):
+        with default_dtype("float64"):
+            x = nn.Tensor([1.0, 2.0, 3.0], requires_grad=True)
+            y = x.astype(np.float32)
+            assert y.dtype == np.float32
+            (y * y).sum().backward()
+            assert x.grad.dtype == np.float64
+            np.testing.assert_allclose(x.grad, 2.0 * x.data)
+
+    def test_astype_same_dtype_is_identity(self):
+        x = nn.Tensor([1.0], requires_grad=True)
+        assert x.astype(x.dtype) is x
+
+
+class TestInitAndModules:
+    def test_init_materialises_in_default_dtype(self):
+        rng32, rng64 = np.random.default_rng(0), np.random.default_rng(0)
+        with default_dtype("float32"):
+            w32 = nn.init.xavier_uniform((4, 3), rng32)
+        with default_dtype("float64"):
+            w64 = nn.init.xavier_uniform((4, 3), rng64)
+        assert w32.dtype == np.float32
+        assert w64.dtype == np.float64
+        # Same seed -> same weights up to float32 rounding: draws
+        # happen in float64 and are cast, so the policy never changes
+        # which random stream a model consumes.
+        np.testing.assert_allclose(w32, w64, rtol=1e-6)
+
+    def test_module_dtype_property(self):
+        with default_dtype("float32"):
+            layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        assert layer.dtype == np.float32
+        assert nn.Module().dtype == get_default_dtype()
+
+    def test_layer_forward_stays_float32(self):
+        with default_dtype("float32"):
+            layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+            out = layer(nn.Tensor(np.zeros((3, 4), dtype=np.float32)))
+        assert out.dtype == np.float32
+
+    def test_optimizer_state_matches_param_dtype(self):
+        with default_dtype("float32"):
+            param = nn.Parameter(np.ones(3, dtype=np.float32))
+            optimizer = nn.AdamW([param], lr=1e-2)
+            param.grad = np.ones(3, dtype=np.float32)
+            optimizer.step()
+        assert param.data.dtype == np.float32
+        assert optimizer._m[0].dtype == np.float32
+        assert optimizer._v[0].dtype == np.float32
+
+
+class TestModelBoundary:
+    def test_config_dtype_overrides_global_default(self):
+        from repro.models import MomentModel
+        from repro.models.config import get_config
+
+        with default_dtype("float32"):
+            model = MomentModel("moment-tiny")
+            wide = MomentModel(get_config("moment-tiny", dtype="float64"))
+        assert model.dtype == np.float32
+        assert wide.dtype == np.float64
+
+    def test_encode_casts_input_at_boundary(self):
+        from repro.models import MomentModel
+
+        with default_dtype("float32"):
+            model = MomentModel("moment-tiny")
+        out = model.encode(np.random.default_rng(0).normal(size=(2, 32, 3)))
+        assert out.dtype == np.float32
+
+    def test_config_rejects_unknown_dtype(self):
+        from repro.models.config import get_config
+
+        with pytest.raises(ValueError, match="dtype"):
+            get_config("moment-tiny", dtype="float16")

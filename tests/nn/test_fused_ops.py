@@ -1,0 +1,170 @@
+"""Gradient and equivalence checks for the fused/allocation-light ops.
+
+The fused ``layer_norm`` backward, the broadcasting attention-mask
+bias and the one-buffer dropout mask all replaced composite
+implementations; these tests pin them to finite differences and to
+naive reference forms so the optimisations cannot drift numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from .test_tensor import assert_grad_matches
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def reference_layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5):
+    """The pre-fusion composite form, kept as a differentiable oracle."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    x_hat = centered / (variance + eps).sqrt()
+    return x_hat * weight + bias
+
+
+class TestFusedLayerNorm:
+    def test_forward_matches_reference(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        weight = Tensor(rng.normal(size=6))
+        bias = Tensor(rng.normal(size=6))
+        fused = F.layer_norm(x, weight, bias)
+        reference = reference_layer_norm(x, weight, bias)
+        np.testing.assert_allclose(fused.data, reference.data, atol=1e-12)
+
+    def test_backward_matches_reference(self, rng):
+        data = rng.normal(size=(3, 5))
+        w_data = rng.normal(size=5)
+        b_data = rng.normal(size=5)
+        grads = {}
+        for form in (F.layer_norm, reference_layer_norm):
+            x = Tensor(data.copy(), requires_grad=True)
+            weight = Tensor(w_data.copy(), requires_grad=True)
+            bias = Tensor(b_data.copy(), requires_grad=True)
+            (form(x, weight, bias) * Tensor(np.arange(15.0).reshape(3, 5))).sum().backward()
+            grads[form] = (x.grad, weight.grad, bias.grad)
+        for fused_grad, ref_grad in zip(grads[F.layer_norm], grads[reference_layer_norm]):
+            np.testing.assert_allclose(fused_grad, ref_grad, atol=1e-10)
+
+    def test_gradcheck_x(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        weight = Tensor(rng.normal(size=4))
+        bias = Tensor(rng.normal(size=4))
+        assert_grad_matches(lambda: F.layer_norm(x, weight, bias).sum(), x)
+
+    def test_gradcheck_weight_and_bias(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)))
+        weight = Tensor(rng.normal(size=4), requires_grad=True)
+        bias = Tensor(rng.normal(size=4), requires_grad=True)
+        assert_grad_matches(lambda: (F.layer_norm(x, weight, bias) ** 2).sum(), weight)
+        assert_grad_matches(lambda: (F.layer_norm(x, weight, bias) ** 2).sum(), bias)
+
+    def test_gradcheck_3d(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        weight = Tensor(rng.normal(size=4), requires_grad=True)
+        bias = Tensor(rng.normal(size=4))
+        assert_grad_matches(lambda: (F.layer_norm(x, weight, bias) ** 3).sum(), x)
+        assert_grad_matches(lambda: (F.layer_norm(x, weight, bias) ** 3).sum(), weight)
+
+    def test_single_graph_node(self, rng):
+        """The op must stay fused: exactly one node between x and out."""
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        out = F.layer_norm(x, Tensor(np.ones(4)), Tensor(np.zeros(4)))
+        assert out._parents is not None
+        assert x in out._parents
+
+    def test_frozen_inputs_skip_grad_work(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        weight = Tensor(np.ones(4))  # frozen
+        bias = Tensor(np.zeros(4))  # frozen
+        F.layer_norm(x, weight, bias).sum().backward()
+        assert x.grad is not None
+        assert weight.grad is None and bias.grad is None
+
+
+class TestBroadcastedMatmul:
+    def test_vector_matrix_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        assert_grad_matches(lambda: (a @ b).sum(), a)
+        assert_grad_matches(lambda: (a @ b).sum(), b)
+
+    def test_batched_matmul_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), a)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), b)
+
+    def test_broadcast_batch_dims_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 3, 2)), requires_grad=True)
+        assert_grad_matches(lambda: (a @ b).sum(), a)
+        assert_grad_matches(lambda: (a @ b).sum(), b)
+
+
+class TestDropoutDtype:
+    def test_mask_stays_in_activation_dtype(self, rng):
+        with nn.default_dtype("float32"):
+            x = Tensor(rng.normal(size=(8, 8)).astype(np.float32), requires_grad=True)
+            out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(0))
+            assert out.dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32
+
+    def test_float64_path_unchanged(self, rng):
+        x = Tensor(rng.normal(size=(8, 8)), requires_grad=True)
+        out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(0))
+        assert out.dtype == np.float64
+        kept = out.data != 0
+        np.testing.assert_allclose(out.data[kept], x.data[kept] * 2.0)
+
+
+class TestAttentionMaskBias:
+    def test_all_true_mask_matches_no_mask(self, rng):
+        attn = nn.MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 8)))
+        mask = np.ones((2, 5, 5), dtype=bool)
+        np.testing.assert_allclose(attn(x).data, attn(x, attn_mask=mask).data, atol=1e-12)
+
+    def test_masked_keys_get_no_weight(self, rng):
+        """Keys masked out everywhere cannot influence any output row."""
+        attn = nn.MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        poisoned = x.copy()
+        poisoned[0, -1] = 1e3  # wildly different masked-out key
+        mask = np.ones((1, 4, 4), dtype=bool)
+        mask[:, :3, 3] = False  # rows 0-2 may not attend to key 3
+        a = attn(Tensor(x), attn_mask=mask).data
+        b = attn(Tensor(poisoned), attn_mask=mask).data
+        np.testing.assert_allclose(a[0, :3], b[0, :3], atol=1e-9)
+
+    def test_masked_attention_stays_float32(self, rng):
+        with nn.default_dtype("float32"):
+            attn = nn.MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+            x = Tensor(rng.normal(size=(1, 4, 8)).astype(np.float32))
+            mask = np.tril(np.ones((1, 4, 4), dtype=bool))
+            assert attn(x, attn_mask=mask).dtype == np.float32
+
+    def test_masked_attention_gradcheck(self, rng):
+        attn = nn.MultiHeadSelfAttention(d_model=4, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        mask = np.tril(np.ones((1, 3, 3), dtype=bool))
+        assert_grad_matches(lambda: (attn(x, attn_mask=mask) ** 2).sum(), x)
+
+
+class TestItemError:
+    def test_multi_element_item_names_shape(self):
+        with pytest.raises(ValueError, match=r"\(2, 3\)"):
+            Tensor(np.zeros((2, 3))).item()
+
+    def test_single_element_item_ok(self):
+        assert Tensor([[4.0]]).item() == 4.0

@@ -1,0 +1,202 @@
+"""Bit-for-bit equivalence of the in-place optimizers and grad clip.
+
+The ``out=``-ufunc rewrites of SGD/Adam/AdamW promise *exact* (not
+approximate) agreement with the textbook formulations they replaced:
+the operation order is identical, only the temporaries are gone.
+These tests run the pre-rewrite reference implementations side by side
+and assert ``array_equal`` — any reordering of floating-point ops
+would show up immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter
+
+
+def _clone_params(rng, shapes, dtype):
+    data = [rng.normal(size=shape).astype(dtype) for shape in shapes]
+    a = [Parameter(d.copy()) for d in data]
+    b = [Parameter(d.copy()) for d in data]
+    return a, b
+
+
+def _set_grads(rng, params_a, params_b, dtype):
+    for pa, pb in zip(params_a, params_b):
+        grad = rng.normal(size=pa.data.shape).astype(dtype)
+        pa.grad = grad.copy()
+        pb.grad = grad.copy()
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations: verbatim pre-rewrite update rules.
+# ---------------------------------------------------------------------------
+
+
+class _RefSGD:
+    def __init__(self, params, lr, momentum=0.0):
+        self.params, self.lr, self.momentum = list(params), lr, momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self):
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class _RefAdam:
+    def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        self.params = list(params)
+        self.lr, (self.beta1, self.beta2) = lr, betas
+        self.eps, self.weight_decay = eps, weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self):
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class _RefAdamW(_RefAdam):
+    def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.01):
+        super().__init__(params, lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self):
+        if self.decoupled_weight_decay:
+            for param in self.params:
+                if param.grad is not None:
+                    param.data -= self.lr * self.decoupled_weight_decay * param.data
+        super().step()
+
+
+SHAPES = [(7,), (3, 5), (2, 3, 4)]
+STEPS = 5
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestBitForBit:
+    def _run(self, dtype, make_fast, make_ref):
+        rng = np.random.default_rng(11)
+        fast_params, ref_params = _clone_params(rng, SHAPES, dtype)
+        fast, ref = make_fast(fast_params), make_ref(ref_params)
+        for _ in range(STEPS):
+            _set_grads(rng, fast_params, ref_params, dtype)
+            fast.step()
+            ref.step()
+            for pf, pr in zip(fast_params, ref_params):
+                np.testing.assert_array_equal(pf.data, pr.data)
+                assert pf.data.dtype == dtype
+
+    def test_sgd_plain(self, dtype):
+        self._run(dtype, lambda p: nn.SGD(p, lr=0.05), lambda p: _RefSGD(p, lr=0.05))
+
+    def test_sgd_momentum(self, dtype):
+        self._run(
+            dtype,
+            lambda p: nn.SGD(p, lr=0.05, momentum=0.9),
+            lambda p: _RefSGD(p, lr=0.05, momentum=0.9),
+        )
+
+    def test_adam(self, dtype):
+        self._run(dtype, lambda p: nn.Adam(p, lr=0.01), lambda p: _RefAdam(p, lr=0.01))
+
+    def test_adam_weight_decay(self, dtype):
+        self._run(
+            dtype,
+            lambda p: nn.Adam(p, lr=0.01, weight_decay=0.1),
+            lambda p: _RefAdam(p, lr=0.01, weight_decay=0.1),
+        )
+
+    def test_adamw(self, dtype):
+        self._run(
+            dtype,
+            lambda p: nn.AdamW(p, lr=0.01, weight_decay=0.05),
+            lambda p: _RefAdamW(p, lr=0.01, weight_decay=0.05),
+        )
+
+    def test_sparse_grads_skip_cleanly(self, dtype):
+        """Params with grad=None are untouched, as before."""
+        rng = np.random.default_rng(3)
+        fast_params, ref_params = _clone_params(rng, SHAPES, dtype)
+        fast, ref = nn.AdamW(fast_params, lr=0.01), _RefAdamW(ref_params, lr=0.01)
+        _set_grads(rng, fast_params, ref_params, dtype)
+        fast_params[1].grad = None
+        ref_params[1].grad = None
+        before = fast_params[1].data.copy()
+        fast.step()
+        ref.step()
+        np.testing.assert_array_equal(fast_params[1].data, before)
+        for pf, pr in zip(fast_params, ref_params):
+            np.testing.assert_array_equal(pf.data, pr.data)
+
+
+class TestClipGradNorm:
+    def test_matches_global_l2_norm(self):
+        rng = np.random.default_rng(5)
+        params = [Parameter(np.zeros(s)) for s in SHAPES]
+        grads = [rng.normal(size=s) for s in SHAPES]
+        for p, g in zip(params, grads):
+            p.grad = g.copy()
+        expected = float(np.sqrt(sum((g**2).sum() for g in grads)))
+        returned = nn.clip_grad_norm(params, max_norm=expected * 2)
+        assert returned == pytest.approx(expected, rel=1e-12)
+        # Below the cap: untouched.
+        for p, g in zip(params, grads):
+            np.testing.assert_array_equal(p.grad, g)
+
+    def test_clips_in_place_to_max_norm(self):
+        rng = np.random.default_rng(6)
+        params = [Parameter(np.zeros(s)) for s in SHAPES]
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape)
+        nn.clip_grad_norm(params, max_norm=1.0)
+        clipped = float(np.sqrt(sum((p.grad**2).sum() for p in params)))
+        assert clipped == pytest.approx(1.0, rel=1e-9)
+
+    def test_overflow_fallback_float64(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([1e200, -1e200, 0.0])
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.isfinite(norm)
+        assert norm == pytest.approx(np.sqrt(2) * 1e200, rel=1e-9)
+        assert np.isfinite(param.grad).all()
+        assert float(np.sqrt((param.grad**2).sum())) == pytest.approx(1.0, rel=1e-9)
+
+    def test_overflow_fallback_float32(self):
+        with nn.default_dtype("float32"):
+            param = Parameter(np.full(4, 1e25, dtype=np.float32))
+            param.grad = param.data.copy()
+            norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.isfinite(norm)
+        assert np.isfinite(param.grad).all()
+
+    def test_zero_and_empty(self):
+        param = Parameter(np.zeros(3))
+        assert nn.clip_grad_norm([param], max_norm=1.0) == 0.0
+        param.grad = np.zeros(3)
+        assert nn.clip_grad_norm([param], max_norm=1.0) == 0.0

@@ -1,0 +1,153 @@
+"""Tests for the opt-in op-level profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import profiler
+from repro.nn.tensor import Tensor
+
+
+def small_training_graph():
+    x = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+    w = Tensor(np.random.default_rng(1).normal(size=(3, 2)), requires_grad=True)
+    loss = (F.relu(x @ w) ** 2).sum()
+    loss.backward()
+    return x, w
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert profiler.active_profiler() is None
+        small_training_graph()  # must not record anywhere
+        assert profiler.active_profiler() is None
+
+    def test_active_inside_context_only(self):
+        with profiler.profile() as prof:
+            assert profiler.active_profiler() is prof
+        assert profiler.active_profiler() is None
+
+    def test_nesting_reuses_outer_profiler(self):
+        with profiler.profile() as outer:
+            with profiler.profile() as inner:
+                assert inner is outer
+            # Inner exit must not deactivate the outer session.
+            assert profiler.active_profiler() is outer
+        assert profiler.active_profiler() is None
+
+
+class TestRecording:
+    def test_op_names_calls_and_bytes(self):
+        with profiler.profile() as prof:
+            small_training_graph()
+        ops = prof.summary()
+        assert "matmul" in ops
+        assert "relu" in ops
+        assert ops["matmul"]["calls"] == 1
+        # (4, 2) float64 matmul output.
+        assert ops["matmul"]["bytes"] == 4 * 2 * 8
+        assert ops["matmul"]["backward_calls"] == 1
+        assert ops["relu"]["backward_calls"] == 1
+
+    def test_forward_and_backward_time_recorded(self):
+        with profiler.profile() as prof:
+            small_training_graph()
+        assert prof.total_seconds() >= 0.0
+        assert any(s.backward_s > 0.0 for s in prof.ops.values())
+
+    def test_no_grad_forward_still_counted(self):
+        with profiler.profile() as prof:
+            with nn.no_grad():
+                x = Tensor(np.ones((2, 2)))
+                _ = x @ x
+        assert prof.summary()["matmul"]["calls"] == 1
+
+    def test_layer_norm_is_one_node(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)), requires_grad=True)
+        with profiler.profile() as prof:
+            F.layer_norm(x, Tensor(np.ones(4)), Tensor(np.zeros(4))).sum().backward()
+        ops = prof.summary()
+        assert ops["layer_norm"]["calls"] == 1
+        assert ops["layer_norm"]["backward_calls"] == 1
+
+
+class TestReporting:
+    def test_render_lists_hottest_ops(self):
+        with profiler.profile() as prof:
+            small_training_graph()
+        table = prof.render()
+        assert "matmul" in table
+        assert "total" in table
+
+    def test_render_top_truncates(self):
+        with profiler.profile() as prof:
+            small_training_graph()
+        lines = prof.render(top=1).splitlines()
+        # header + rule + 1 op row + total row
+        assert len(lines) == 4
+
+    def test_render_ops_round_trips_dicts(self):
+        with profiler.profile() as prof:
+            small_training_graph()
+        assert profiler.render_ops(prof.summary()) == prof.render()
+
+    def test_stats_dict_round_trip(self):
+        stats = profiler.OpStats(calls=3, bytes=96, forward_s=0.5, backward_s=0.25, backward_calls=3)
+        assert profiler.OpStats.from_dict(stats.to_dict()) == stats
+
+
+class TestRunSummaryIntegration:
+    def test_instrumentation_attach_ops_accumulates(self):
+        from repro.runtime import Instrumentation, RunSummary
+
+        inst = Instrumentation()
+        inst.attach_ops({"matmul": {"calls": 2, "bytes": 64}})
+        inst.attach_ops({"matmul": {"calls": 1, "bytes": 32}, "relu": {"calls": 5}})
+        summary = inst.summary()
+        assert summary.ops["matmul"] == {"calls": 3, "bytes": 96}
+        assert summary.ops["relu"] == {"calls": 5}
+        rebuilt = RunSummary.from_dict(summary.to_dict())
+        assert rebuilt.ops == summary.ops
+
+    def test_summary_without_ops_stays_compact(self):
+        from repro.runtime import Instrumentation
+
+        payload = Instrumentation().summary().to_dict()
+        assert "ops" not in payload
+
+    def test_trainer_profile_flag(self):
+        from repro.training import TrainConfig
+        from repro.training.trainer import train_classifier_on_arrays
+
+        rng = np.random.default_rng(0)
+        head = nn.Linear(6, 2, rng=rng)
+        x = rng.normal(size=(16, 6))
+        y = rng.integers(0, 2, size=16)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            x,
+            y,
+            TrainConfig(epochs=2, batch_size=8, profile=True),
+        )
+        assert result.op_profile  # non-empty
+        assert "matmul" in result.op_profile
+        # Profiling session closed cleanly.
+        assert profiler.active_profiler() is None
+
+    def test_trainer_without_flag_records_nothing(self):
+        from repro.training import TrainConfig
+        from repro.training.trainer import train_classifier_on_arrays
+
+        rng = np.random.default_rng(0)
+        head = nn.Linear(6, 2, rng=rng)
+        result = train_classifier_on_arrays(
+            lambda batch: head(nn.Tensor(batch)),
+            head.trainable_parameters(),
+            rng.normal(size=(8, 6)),
+            rng.integers(0, 2, size=8),
+            TrainConfig(epochs=1, batch_size=8),
+        )
+        assert result.op_profile == {}

@@ -92,6 +92,47 @@ class TestRun:
         assert (tmp_path / "ckpt" / "pipeline.json").exists()
 
 
+class TestProfile:
+    def test_prints_op_table(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--dataset", "Vowels",
+                "--adapter", "pca",
+                "--epochs", "2",
+                "--scale", "0.05",
+                "--max-length", "32",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matmul" in out
+        assert "phases  :" in out
+        assert "float32" in out
+
+    def test_dtype_and_top_flags(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--dataset", "Vowels",
+                "--adapter", "none",
+                "--epochs", "1",
+                "--scale", "0.05",
+                "--max-length", "32",
+                "--dtype", "float64",
+                "--top", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "float64" in out
+        assert "total" in out
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--dataset", "Vowels", "--dtype", "float16"])
+
+
 class TestTableFigure:
     def test_table3_prints(self, capsys):
         assert main(["table", "3"]) == 0

@@ -1,0 +1,76 @@
+"""Float32-vs-float64 parity of the full fit pipeline.
+
+The fast-numerics core computes in float32 by default.  These tests
+pin the claim that the precision drop is free at the task level: the
+same pipeline fit under both dtype policies must produce comparable
+losses and identical test accuracy on the surrogate data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapters import make_adapter
+from repro.data import load_dataset
+from repro.models import build_model
+from repro.training import AdapterPipeline, FineTuneStrategy, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("JapaneseVowels", seed=0, scale=0.15, max_length=32, normalize=False)
+
+
+def fit_under(dtype, dataset, strategy=FineTuneStrategy.ADAPTER_HEAD, adapter="pca"):
+    with nn.default_dtype(dtype):
+        model = build_model("moment-tiny", seed=0)
+        model.eval()
+        pipeline = AdapterPipeline(
+            model, make_adapter(adapter, 4, seed=0), dataset.num_classes, seed=0
+        )
+        config = TrainConfig(epochs=4, batch_size=16, learning_rate=3e-3, seed=0)
+        report = pipeline.fit(dataset.x_train, dataset.y_train, strategy=strategy, config=config)
+        accuracy = pipeline.score(dataset.x_test, dataset.y_test)
+    return report, accuracy
+
+
+class TestFitParity:
+    def test_head_path_parity(self, dataset):
+        report32, acc32 = fit_under("float32", dataset)
+        report64, acc64 = fit_under("float64", dataset)
+        np.testing.assert_allclose(
+            report32.train_result.losses, report64.train_result.losses, rtol=1e-3, atol=1e-4
+        )
+        assert acc32 == pytest.approx(acc64, abs=0.05)
+
+    def test_joint_path_parity(self, dataset):
+        report32, acc32 = fit_under(
+            "float32", dataset, strategy=FineTuneStrategy.ADAPTER_HEAD, adapter="lcomb"
+        )
+        report64, acc64 = fit_under(
+            "float64", dataset, strategy=FineTuneStrategy.ADAPTER_HEAD, adapter="lcomb"
+        )
+        assert not report32.used_embedding_cache
+        np.testing.assert_allclose(
+            report32.train_result.losses, report64.train_result.losses, rtol=5e-2, atol=5e-3
+        )
+        assert acc32 == pytest.approx(acc64, abs=0.1)
+
+    def test_float32_is_the_default_policy(self, dataset):
+        model = build_model("moment-tiny", seed=0)
+        assert model.dtype == np.float32
+
+    def test_profile_flows_into_fit_report(self, dataset):
+        with nn.default_dtype("float32"):
+            model = build_model("moment-tiny", seed=0)
+            model.eval()
+            pipeline = AdapterPipeline(
+                model, make_adapter("pca", 4, seed=0), dataset.num_classes, seed=0
+            )
+            config = TrainConfig(epochs=2, batch_size=16, profile=True, seed=0)
+            report = pipeline.fit(dataset.x_train, dataset.y_train, config=config)
+        assert report.train_result.op_profile
+        assert report.summary.ops
+        assert "matmul" in report.summary.ops

@@ -54,7 +54,7 @@ class TestComputeEmbeddingsEmpty:
     def test_empty_batch_returns_well_shaped_array(self, model):
         emb = compute_embeddings(model, np.zeros((0, 32, 3)))
         assert emb.shape == (0, model.embed_dim)
-        assert emb.dtype == np.float64
+        assert emb.dtype == model.dtype
 
     def test_empty_batch_any_geometry(self, model):
         assert compute_embeddings(model, np.zeros((0, 7, 11))).shape == (0, 64)
