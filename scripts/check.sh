@@ -1,39 +1,55 @@
 #!/usr/bin/env bash
-# The single pre-merge gate: ruff + the tier-1 pytest suite + the
-# nn fast-numerics smoke (fused-op gradchecks and a tiny dtype bench).
+# The single pre-merge gate, in escalating tiers:
+#
+#   1. ruff         static lint over src (incl. repro.testing), tests,
+#                   benchmarks, examples, scripts; degrades when absent
+#   2. fast tests   tier-1 suite minus @pytest.mark.slow
+#   3. slow tests   the @slow end-to-end checks on their own
+#   4. selfcheck    repro selfcheck --smoke: invariants, the float32
+#                   op-coverage gradcheck sweep, and the smoke golden
+#                   scenario against ./goldens
+#   5. nn smoke     fused-op gradchecks + tiny dtype bench
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
-# Delegates to scripts/lint.sh (which degrades gracefully when ruff is
-# not installed) so there is exactly one definition of the gate; extra
-# arguments are forwarded to pytest, e.g.:
-#
-#     scripts/check.sh                 # full gate
-#     scripts/check.sh tests/exec -q   # one subtree
+# With arguments, tiers 2-3 collapse into one pytest run forwarding the
+# arguments (e.g. `scripts/check.sh tests/exec -q` for one subtree);
+# lint, selfcheck and the nn smoke always run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ "$#" -eq 0 ]; then
-    scripts/lint.sh
-else
-    if command -v ruff >/dev/null 2>&1; then
-        echo "== ruff =="
-        ruff check src tests benchmarks examples scripts
-    elif python -c "import ruff" >/dev/null 2>&1; then
-        echo "== ruff (module) =="
-        python -m ruff check src tests benchmarks examples scripts
-    else
-        echo "!! ruff not installed; skipping lint (pip install ruff)" >&2
-    fi
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
-    echo "== tier-1 tests =="
-    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest "$@"
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks examples scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests benchmarks examples scripts
+else
+    echo "!! ruff not installed; skipping lint (pip install ruff)" >&2
 fi
+
+if [ "$#" -eq 0 ]; then
+    echo "== fast tests (-m 'not slow') =="
+    python -m pytest -m "not slow" -q
+
+    # Exit code 5 means "no tests collected": an empty slow tier is
+    # not a gate failure, just an empty marker set.
+    echo "== slow tests (-m slow) =="
+    python -m pytest -m "slow" -q || { status=$?; [ "$status" -eq 5 ] || exit "$status"; }
+else
+    echo "== tier-1 tests =="
+    python -m pytest "$@"
+fi
+
+echo "== repro selfcheck (smoke) =="
+python -m repro.cli selfcheck --smoke
 
 # The numerics kernels back everything else, so they get an explicit
 # gate even when the pytest args above selected an unrelated subtree:
 # finite-difference gradchecks for the fused ops, then a tiny
 # float64-vs-float32 trainer-step bench that must run end to end.
 echo "== nn fast-numerics smoke =="
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest tests/nn/test_fused_ops.py -q
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/bench_nn.py --smoke
+python -m pytest tests/nn/test_fused_ops.py -q
+python benchmarks/bench_nn.py --smoke

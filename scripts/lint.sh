@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # One-command quality gate: ruff (when available) + the tier-1 suite.
+# The lint sweep spans every python tree — src (including the
+# repro.testing harness), tests, benchmarks, examples and scripts.
 #
 # Usage: scripts/lint.sh
 #

@@ -177,6 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
     baseline.add_argument("--max-length", type=int, default=64)
     baseline.add_argument("--seed", type=int, default=0)
 
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="verify numerics: invariants + op gradcheck sweep + golden regressions",
+    )
+    selfcheck.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast tier: float32-only gradchecks, one golden scenario",
+    )
+    selfcheck.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="re-record golden snapshots instead of comparing against them",
+    )
+    selfcheck.add_argument(
+        "--golden-dir",
+        metavar="DIR",
+        help="golden snapshot directory (default: $REPRO_GOLDEN_DIR or ./goldens)",
+    )
+
     report = sub.add_parser("report", help="full paper-vs-measured report (EXPERIMENTS.md)")
     report.add_argument("--preset", default="fast")
     report.add_argument("--datasets", nargs="*", help="restrict to these datasets")
@@ -448,6 +468,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .testing import (
+        SMOKE_SCENARIOS,
+        check_goldens,
+        run_invariants,
+        run_op_sweep,
+    )
+    from .testing.gradcheck import GradcheckFailure
+
+    failures = 0
+
+    invariant_results = run_invariants()
+    for result in invariant_results:
+        status = "ok" if result.passed else f"FAIL  {result.detail}"
+        print(f"invariant  {result.name:<42} {status}")
+    failures += sum(not r.passed for r in invariant_results)
+
+    dtypes = ("float32",) if args.smoke else ("float32", "float64")
+    try:
+        sweep = run_op_sweep(dtypes=dtypes)
+    except (GradcheckFailure, AssertionError) as failure:
+        print(f"gradcheck  op sweep                                   FAIL  {failure}")
+        failures += 1
+    else:
+        ops = len({r.op for r in sweep})
+        print(
+            f"gradcheck  {ops} ops / {len(sweep)} checks "
+            f"[{', '.join(dtypes)}]".ljust(53)
+            + " ok"
+        )
+
+    names = list(SMOKE_SCENARIOS) if args.smoke else None
+    golden_results = check_goldens(
+        golden_dir=args.golden_dir, names=names, update=args.update_golden
+    )
+    for result in golden_results:
+        label = f"golden     {result.name} [{result.dtype}]"
+        if result.passed:
+            print(f"{label:<53} {result.status}")
+        else:
+            print(f"{label:<53} FAIL  {result.status}: {result.detail}")
+    failures += sum(not r.passed for r in golden_results)
+
+    if failures:
+        print(f"selfcheck: {failures} failure(s)")
+        return 1
+    print("selfcheck: all checks passed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     try:
@@ -482,6 +552,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_cache(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "selfcheck":
+        return _cmd_selfcheck(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -12,7 +12,7 @@ import math
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, registered_op
 
 __all__ = [
     "relu",
@@ -31,6 +31,7 @@ __all__ = [
 _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
 
 
+@registered_op("relu")
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
     x = as_tensor(x)
@@ -42,6 +43,7 @@ def relu(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@registered_op("gelu")
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation, as in BERT/GPT)."""
     x = as_tensor(x)
@@ -59,6 +61,7 @@ def gelu(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@registered_op("sigmoid")
 def sigmoid(x: Tensor) -> Tensor:
     """Logistic sigmoid with a numerically stable forward pass."""
     x = as_tensor(x)
@@ -74,6 +77,7 @@ def sigmoid(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@registered_op("softmax")
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` with a fused, stable backward pass."""
     x = as_tensor(x)
@@ -88,6 +92,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@registered_op("log_softmax")
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis`` (stable log-sum-exp form)."""
     x = as_tensor(x)
@@ -102,6 +107,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@registered_op("dropout")
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
     """Inverted dropout: zero with probability ``p``, rescale by 1/(1-p)."""
     if not training or p <= 0.0:
@@ -124,6 +130,7 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     return Tensor._make(out_data, (x,), backward)
 
 
+@registered_op("layer_norm")
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the trailing dimension (fused).
 
@@ -160,6 +167,7 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     return Tensor._make(out_data, (x, weight, bias), backward)
 
 
+@registered_op("cross_entropy")
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean cross-entropy between ``logits`` (N, C) and integer targets (N,)."""
     logits = as_tensor(logits)
@@ -177,6 +185,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     return -picked.mean()
 
 
+@registered_op("mse_loss")
 def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     """Mean squared error over all elements."""
     prediction = as_tensor(prediction)
@@ -185,6 +194,7 @@ def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     return (diff * diff).mean()
 
 
+@registered_op("masked_mse_loss")
 def masked_mse_loss(
     prediction: Tensor, target: np.ndarray, mask: np.ndarray
 ) -> Tensor:
@@ -203,6 +213,7 @@ def masked_mse_loss(
     return (diff * diff).sum() / total
 
 
+@registered_op("info_nce_loss")
 def info_nce_loss(queries: Tensor, keys: Tensor, temperature: float = 0.07) -> Tensor:
     """InfoNCE contrastive loss (Oord et al., 2018; MoCo variant).
 

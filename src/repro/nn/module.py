@@ -127,11 +127,22 @@ class Module:
         """Return a name -> array snapshot of all parameters (copies)."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], preserve_dtype: bool = False
+    ) -> None:
         """Load a snapshot produced by :meth:`state_dict`.
 
         Raises ``KeyError`` on missing entries and ``ValueError`` on
         shape mismatches, so silent weight corruption is impossible.
+
+        ``preserve_dtype=False`` (the default) casts values into each
+        parameter's current dtype — the right behaviour when copying
+        weights between live models that must keep their compute
+        dtype.  ``preserve_dtype=True`` adopts the *stored* floating
+        dtype instead, so a float32 checkpoint restored under a
+        float64 default (or vice versa) round-trips per-parameter
+        precision exactly; non-float entries still follow the
+        parameter's dtype.
         """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
@@ -144,7 +155,10 @@ class Module:
                     f"shape mismatch for {name!r}: expected {param.data.shape}, "
                     f"got {value.shape}"
                 )
-            param.data = value.astype(param.data.dtype, copy=True)
+            if preserve_dtype and value.dtype.kind == "f":
+                param.data = value.copy()
+            else:
+                param.data = value.astype(param.data.dtype, copy=True)
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -76,5 +76,9 @@ def load_checkpoint(module: Module, path: str | Path) -> dict:
         metadata = {}
         if _META_KEY in archive.files:
             metadata = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
-    module.load_state_dict(state)
+    # Checkpoints carry each parameter's dtype on disk; restoring must
+    # not quantise a float64 checkpoint through a float32-built module
+    # (or silently upcast the converse) just because the process-wide
+    # default dtype changed between save and load.
+    module.load_state_dict(state, preserve_dtype=True)
     return metadata

@@ -29,9 +29,72 @@ import numpy as np
 from . import profiler as _profiler
 from .dtype import get_default_dtype
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "OpInfo",
+    "OP_REGISTRY",
+    "registered_op",
+]
 
 _GRAD_ENABLED = True
+
+
+# ----------------------------------------------------------------------
+# Op registry
+# ----------------------------------------------------------------------
+class OpInfo:
+    """Metadata for one registered tensor operation.
+
+    The registry exists for *verification*, not dispatch: the
+    property-based harness (:mod:`repro.testing.gradcheck`) enumerates
+    it and requires a passing finite-difference gradient check for
+    every differentiable op, so a new op cannot ship silently
+    unchecked.
+    """
+
+    __slots__ = ("name", "qualname", "module", "differentiable")
+
+    def __init__(self, name: str, qualname: str, module: str, differentiable: bool) -> None:
+        self.name = name
+        self.qualname = qualname
+        self.module = module
+        self.differentiable = differentiable
+
+    def __repr__(self) -> str:
+        flag = "" if self.differentiable else ", differentiable=False"
+        return f"OpInfo({self.name!r}, {self.module}.{self.qualname}{flag})"
+
+
+#: name -> :class:`OpInfo` for every op that creates autodiff graph
+#: nodes.  Populated by :func:`registered_op` at import time (here and
+#: in :mod:`repro.nn.functional`).
+OP_REGISTRY: dict[str, OpInfo] = {}
+
+
+def registered_op(name: str, differentiable: bool = True):
+    """Decorator registering a graph-node-creating op under ``name``.
+
+    Every function or method that calls :meth:`Tensor._make` must be
+    decorated (the harness cross-checks the source to enforce this);
+    ``differentiable=False`` marks ops recorded for completeness that
+    do not propagate gradients.
+    """
+
+    def decorate(fn):
+        if name in OP_REGISTRY:
+            raise ValueError(f"op {name!r} registered twice")
+        OP_REGISTRY[name] = OpInfo(
+            name=name,
+            qualname=fn.__qualname__,
+            module=fn.__module__,
+            differentiable=differentiable,
+        )
+        return fn
+
+    return decorate
 
 
 @contextlib.contextmanager
@@ -100,12 +163,16 @@ class Tensor:
             data = data.data
         if dtype is not None:
             array = np.asarray(data, dtype=dtype)
-        elif isinstance(data, np.ndarray):
-            # Existing arrays keep floating precision (detach(), state
-            # loading); only non-float kinds are promoted.
-            array = (
-                data.astype(get_default_dtype()) if data.dtype.kind in "iub" else data
-            )
+        elif isinstance(data, (np.ndarray, np.generic)):
+            # Existing arrays AND numpy scalars keep floating precision
+            # (detach(), state loading, full reductions like ``sum()``
+            # whose ndarray.sum(axis=None) returns an np.floating);
+            # only non-float kinds are promoted.  Without the
+            # np.generic case a float64 tensor's ``.sum()`` would
+            # silently downcast to the float32 default.
+            array = np.asarray(data)
+            if array.dtype.kind in "iub":
+                array = array.astype(get_default_dtype())
         else:
             array = np.asarray(data)
             if array.dtype.kind in "iubf":
@@ -279,6 +346,7 @@ class Tensor:
             return Tensor(np.asarray(other, dtype=self.data.dtype))
         return Tensor(other)
 
+    @registered_op("add")
     def __add__(self, other) -> "Tensor":
         other = self._operand(other)
         out_data = self.data + other.data
@@ -291,18 +359,21 @@ class Tensor:
 
     __radd__ = __add__
 
+    @registered_op("neg")
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
         return Tensor._make(-self.data, (self,), backward)
 
+    @registered_op("sub")
     def __sub__(self, other) -> "Tensor":
         return self + (-self._operand(other))
 
     def __rsub__(self, other) -> "Tensor":
         return self._operand(other) + (-self)
 
+    @registered_op("mul")
     def __mul__(self, other) -> "Tensor":
         other = self._operand(other)
         out_data = self.data * other.data
@@ -315,6 +386,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
+    @registered_op("truediv")
     def __truediv__(self, other) -> "Tensor":
         other = self._operand(other)
         out_data = self.data / other.data
@@ -328,6 +400,7 @@ class Tensor:
     def __rtruediv__(self, other) -> "Tensor":
         return self._operand(other) / self
 
+    @registered_op("pow")
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
@@ -338,6 +411,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("matmul")
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
@@ -387,6 +461,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Shape ops
     # ------------------------------------------------------------------
+    @registered_op("reshape")
     def reshape(self, *shape) -> "Tensor":
         """View the data under a new shape (differentiable)."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -399,6 +474,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("transpose")
     def transpose(self, *axes) -> "Tensor":
         """Permute axes (default: reverse them); differentiable."""
         if not axes:
@@ -413,6 +489,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("astype")
     def astype(self, dtype) -> "Tensor":
         """Cast to ``dtype`` (differentiable; grads cast back).
 
@@ -429,6 +506,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("swapaxes")
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         """Swap two axes; differentiable."""
         out_data = np.swapaxes(self.data, axis1, axis2)
@@ -438,6 +516,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("getitem")
     def __getitem__(self, index) -> "Tensor":
         if isinstance(index, Tensor):
             index = index.data.astype(np.int64)
@@ -453,6 +532,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
+    @registered_op("sum")
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Sum over ``axis`` (all axes by default); differentiable."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
@@ -466,6 +546,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("mean")
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over ``axis``; differentiable."""
         if axis is None:
@@ -475,11 +556,13 @@ class Tensor:
             count = int(np.prod([self.data.shape[a] for a in axes]))
         return self.sum(axis=axis, keepdims=keepdims) / count
 
+    @registered_op("var")
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Population variance over ``axis``; differentiable."""
         centered = self - self.mean(axis=axis, keepdims=True)
         return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
+    @registered_op("max")
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum over ``axis``; gradient splits evenly across ties."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
@@ -499,6 +582,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Elementwise math
     # ------------------------------------------------------------------
+    @registered_op("exp")
     def exp(self) -> "Tensor":
         """Elementwise exponential."""
         out_data = np.exp(self.data)
@@ -508,6 +592,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("log")
     def log(self) -> "Tensor":
         """Elementwise natural logarithm."""
         out_data = np.log(self.data)
@@ -517,6 +602,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("sqrt")
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
         out_data = np.sqrt(self.data)
@@ -526,6 +612,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("tanh")
     def tanh(self) -> "Tensor":
         """Elementwise hyperbolic tangent."""
         out_data = np.tanh(self.data)
@@ -535,6 +622,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("abs")
     def abs(self) -> "Tensor":
         """Elementwise absolute value (sign subgradient)."""
         out_data = np.abs(self.data)
@@ -544,6 +632,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @registered_op("clip")
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp to [low, high]; gradient passes only inside the range."""
         out_data = np.clip(self.data, low, high)
@@ -560,6 +649,7 @@ def as_tensor(value) -> Tensor:
     return value if isinstance(value, Tensor) else Tensor(value)
 
 
+@registered_op("concatenate")
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
@@ -576,6 +666,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tensors, backward)
 
 
+@registered_op("stack")
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
@@ -589,6 +680,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tensors, backward)
 
 
+@registered_op("where")
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select ``a`` where ``condition`` else ``b``."""
     a, b = as_tensor(a), as_tensor(b)

@@ -25,7 +25,14 @@ from .fingerprint import (
     fingerprint_state_dict,
 )
 from .instrument import Instrumentation, RunSummary, Stopwatch
-from .keys import NAMESPACES, dataset_key, embedding_key, pretrain_key, result_key
+from .keys import (
+    NAMESPACES,
+    dataset_key,
+    embedding_key,
+    golden_key,
+    pretrain_key,
+    result_key,
+)
 from .store import (
     CACHE_DIR_ENV,
     STORE_VERSION,
@@ -48,6 +55,7 @@ __all__ = [
     "pretrain_key",
     "dataset_key",
     "result_key",
+    "golden_key",
     "STORE_VERSION",
     "CACHE_DIR_ENV",
     "Artifact",

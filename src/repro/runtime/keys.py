@@ -18,10 +18,11 @@ __all__ = [
     "pretrain_key",
     "dataset_key",
     "result_key",
+    "golden_key",
 ]
 
 #: Known key namespaces (== disk subdirectories).
-NAMESPACES = ("embedding", "pretrain", "dataset", "result")
+NAMESPACES = ("embedding", "pretrain", "dataset", "result", "golden")
 
 
 def embedding_key(
@@ -92,3 +93,15 @@ def result_key(
         parts.append(f"sim_as={simulate_adapter_as}")
     digest = combine_fingerprints("result", *parts)
     return f"result/{digest}"
+
+
+def golden_key(scenario: str, dtype: str) -> str:
+    """Key for one golden-regression metric snapshot.
+
+    Keyed on (scenario name, compute dtype) only: the scenario name
+    already pins the full recipe (dataset, adapter, seeds, epochs), so
+    re-recording after an intentional scenario change reuses the key
+    and overwrites in place — exactly what ``--update-golden`` wants.
+    """
+    digest = combine_fingerprints("golden", scenario, dtype)
+    return f"golden/{digest}"

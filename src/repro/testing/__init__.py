@@ -1,0 +1,86 @@
+"""Property-based verification harness for the repro stack.
+
+Four layers, all dependency-free (see ``docs/testing.md``):
+
+* :mod:`repro.testing.strategies` — seeded value generators with
+  shrinking and a Hypothesis-style :func:`given` decorator;
+* :mod:`repro.testing.gradcheck` — a finite-difference engine plus the
+  op-coverage sweep over the ``Tensor`` op registry;
+* :mod:`repro.testing.invariants` — metamorphic/differential checks
+  for adapters and the fused `repro.nn` kernels;
+* :mod:`repro.testing.golden` — end-to-end metric snapshots with drift
+  detection, driven by ``repro selfcheck``.
+"""
+
+from .golden import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    GoldenResult,
+    GoldenScenario,
+    check_goldens,
+    compute_metrics,
+    golden_store,
+    resolve_golden_dir,
+)
+from .gradcheck import (
+    OP_CHECKS,
+    GradcheckFailure,
+    GradcheckResult,
+    OpCase,
+    assert_full_coverage,
+    gradcheck,
+    missing_checks,
+    run_op_sweep,
+    unregistered_ops,
+)
+from .invariants import INVARIANTS, InvariantResult, invariant, run_invariants
+from .strategies import (
+    Falsified,
+    Strategy,
+    arrays,
+    broadcastable_pairs,
+    floats,
+    given,
+    integers,
+    job_specs,
+    labeled_datasets,
+    sampled_from,
+    series_batches,
+    shapes,
+)
+
+__all__ = [
+    "Strategy",
+    "Falsified",
+    "given",
+    "integers",
+    "floats",
+    "sampled_from",
+    "shapes",
+    "arrays",
+    "broadcastable_pairs",
+    "series_batches",
+    "labeled_datasets",
+    "job_specs",
+    "GradcheckFailure",
+    "GradcheckResult",
+    "OpCase",
+    "OP_CHECKS",
+    "gradcheck",
+    "run_op_sweep",
+    "missing_checks",
+    "unregistered_ops",
+    "assert_full_coverage",
+    "INVARIANTS",
+    "InvariantResult",
+    "invariant",
+    "run_invariants",
+    "GoldenScenario",
+    "GoldenResult",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "check_goldens",
+    "compute_metrics",
+    "golden_store",
+    "resolve_golden_dir",
+]

@@ -1,0 +1,259 @@
+"""Golden regression store: snapshot end-to-end metrics, flag drift.
+
+Each :class:`GoldenScenario` pins a tiny but complete pipeline run —
+seeded synthetic data, a freshly-built runnable model, one adapter,
+a few training epochs — and reduces its :class:`FitReport` to a flat
+dict of scalar metrics.  Those metrics are recorded through the
+content-addressed :class:`repro.runtime.ArtifactStore` (namespace
+``golden``, committed under ``goldens/`` at the repo root) and every
+later run is compared against the snapshot under per-dtype
+tolerances.
+
+Drift beyond tolerance means the numerics changed: an optimizer
+rewrite, a kernel "optimisation", a dtype-policy slip.  Intentional
+changes are re-recorded with ``repro selfcheck --update-golden``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .. import nn
+from ..adapters import make_adapter
+from ..data import dataset_info, generate_split
+from ..models import build_model
+from ..runtime import ArtifactStore, golden_key
+from ..training import AdapterPipeline, FineTuneStrategy, TrainConfig
+
+__all__ = [
+    "GoldenScenario",
+    "GoldenResult",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "GOLDEN_DIR_ENV",
+    "resolve_golden_dir",
+    "golden_store",
+    "compute_metrics",
+    "check_goldens",
+]
+
+#: Environment override for the snapshot directory.
+GOLDEN_DIR_ENV = "REPRO_GOLDEN_DIR"
+
+#: Relative drift tolerance per compute dtype.  float32 end-to-end
+#: training accumulates rounding differences across BLAS builds, so
+#: its band is wider; float64 should reproduce almost exactly.
+_DRIFT_TOLERANCES = {
+    "float64": (1e-6, 1e-9),  # (rtol, atol)
+    "float32": (5e-3, 1e-4),
+}
+
+
+class GoldenScenario:
+    """One pinned end-to-end run reduced to scalar metrics."""
+
+    __slots__ = (
+        "name", "dtype", "dataset", "model", "adapter", "strategy",
+        "output_channels", "epochs", "seed", "scale", "max_length",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        dtype: str,
+        dataset: str = "JapaneseVowels",
+        model: str = "moment-tiny",
+        adapter: str = "pca",
+        strategy: FineTuneStrategy = FineTuneStrategy.ADAPTER_HEAD,
+        output_channels: int = 5,
+        epochs: int = 3,
+        seed: int = 0,
+        scale: float = 0.1,
+        max_length: int = 24,
+    ) -> None:
+        self.name = name
+        self.dtype = dtype
+        self.dataset = dataset
+        self.model = model
+        self.adapter = adapter
+        self.strategy = strategy
+        self.output_channels = output_channels
+        self.epochs = epochs
+        self.seed = seed
+        self.scale = scale
+        self.max_length = max_length
+
+    @property
+    def key(self) -> str:
+        return golden_key(self.name, self.dtype)
+
+    def __repr__(self) -> str:
+        return f"GoldenScenario({self.name} [{self.dtype}] {self.adapter}/{self.model})"
+
+
+#: The committed scenario set.  Kept tiny: each runs a full
+#: data -> adapter -> encoder -> head fit in a couple of seconds.
+SCENARIOS: tuple[GoldenScenario, ...] = (
+    GoldenScenario("pca_head_f32", "float32"),
+    GoldenScenario("pca_head_f64", "float64"),
+    GoldenScenario("lcomb_joint_f32", "float32", adapter="lcomb", epochs=2),
+    GoldenScenario("vit_rand_proj_f32", "float32", model="vit-tiny", adapter="rand_proj"),
+)
+
+#: Names run by ``repro selfcheck --smoke`` (single fastest scenario
+#: per dtype family).
+SMOKE_SCENARIOS: tuple[str, ...] = ("pca_head_f32",)
+
+
+class GoldenResult:
+    """Comparison outcome for one scenario."""
+
+    __slots__ = ("name", "dtype", "status", "detail", "metrics")
+
+    def __init__(self, name, dtype, status, detail="", metrics=None):
+        self.name = name
+        self.dtype = dtype
+        self.status = status  # "match" | "drift" | "missing" | "updated"
+        self.detail = detail
+        self.metrics = metrics or {}
+
+    @property
+    def passed(self) -> bool:
+        return self.status in ("match", "updated")
+
+    def __repr__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"GoldenResult({self.name} [{self.dtype}]: {self.status}{suffix})"
+
+
+def resolve_golden_dir(explicit: str | Path | None = None) -> Path:
+    """Snapshot directory: explicit > $REPRO_GOLDEN_DIR > ./goldens."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(GOLDEN_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path("goldens")
+
+
+def golden_store(golden_dir: str | Path | None = None) -> ArtifactStore:
+    """The artifact store backing the snapshots (tiny, disk-backed)."""
+    return ArtifactStore(cache_dir=resolve_golden_dir(golden_dir), max_memory_entries=16)
+
+
+def compute_metrics(scenario: GoldenScenario) -> dict[str, float]:
+    """Run the scenario end to end and reduce it to scalar metrics."""
+    with nn.default_dtype(scenario.dtype):
+        x_train, y_train, x_test, y_test = generate_split(
+            dataset_info(scenario.dataset),
+            seed=scenario.seed,
+            scale=scenario.scale,
+            max_length=scenario.max_length,
+        )
+        model = build_model(scenario.model, seed=scenario.seed)
+        adapter = make_adapter(
+            scenario.adapter, output_channels=scenario.output_channels, seed=scenario.seed
+        )
+        pipeline = AdapterPipeline(
+            model, adapter, num_classes=int(y_train.max()) + 1, seed=scenario.seed
+        )
+        config = TrainConfig(epochs=scenario.epochs, batch_size=16, seed=scenario.seed)
+        report = pipeline.fit(x_train, y_train, strategy=scenario.strategy, config=config)
+        losses = report.train_result.losses
+        return {
+            "first_loss": float(losses[0]),
+            "final_loss": float(report.train_result.final_loss),
+            "mean_loss": float(np.mean(losses)),
+            "train_accuracy": float(pipeline.score(x_train, y_train)),
+            "test_accuracy": float(pipeline.score(x_test, y_test)),
+        }
+
+
+def _compare(
+    stored: Mapping[str, float], fresh: Mapping[str, float], dtype: str
+) -> list[str]:
+    """Per-metric drift report; empty means within tolerance."""
+    rtol, atol = _DRIFT_TOLERANCES[dtype]
+    problems = []
+    for metric in sorted(set(stored) | set(fresh)):
+        if metric not in stored:
+            problems.append(f"{metric}: new metric with no snapshot")
+            continue
+        if metric not in fresh:
+            problems.append(f"{metric}: snapshot metric no longer produced")
+            continue
+        expected, actual = stored[metric], fresh[metric]
+        if not np.isclose(actual, expected, rtol=rtol, atol=atol):
+            problems.append(
+                f"{metric}: {actual:.8g} drifted from snapshot {expected:.8g} "
+                f"(rtol={rtol}, atol={atol})"
+            )
+    return problems
+
+
+def _select(names: Iterable[str] | None) -> list[GoldenScenario]:
+    if names is None:
+        return list(SCENARIOS)
+    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    unknown = sorted(set(names) - set(by_name))
+    if unknown:
+        raise KeyError(f"unknown golden scenarios {unknown}; known: {sorted(by_name)}")
+    return [by_name[name] for name in names]
+
+
+def check_goldens(
+    golden_dir: str | Path | None = None,
+    names: Iterable[str] | None = None,
+    update: bool = False,
+) -> list[GoldenResult]:
+    """Compare (or with ``update=True`` re-record) golden snapshots.
+
+    Never raises on drift — the caller (CLI / test) decides how to
+    escalate from the returned statuses.
+    """
+    store = golden_store(golden_dir)
+    results = []
+    for scenario in _select(names):
+        fresh = compute_metrics(scenario)
+        if update:
+            names_order = sorted(fresh)
+            store.put(
+                scenario.key,
+                arrays={"values": np.array([fresh[k] for k in names_order], dtype=np.float64)},
+                meta={
+                    "scenario": scenario.name,
+                    "dtype": scenario.dtype,
+                    "metrics": names_order,
+                },
+            )
+            results.append(GoldenResult(scenario.name, scenario.dtype, "updated", metrics=fresh))
+            continue
+        artifact = store.get(scenario.key)
+        if artifact is None:
+            results.append(
+                GoldenResult(
+                    scenario.name,
+                    scenario.dtype,
+                    "missing",
+                    "no snapshot recorded; run `repro selfcheck --update-golden`",
+                    metrics=fresh,
+                )
+            )
+            continue
+        stored = dict(
+            zip(artifact.meta["metrics"], (float(v) for v in artifact.arrays["values"]))
+        )
+        problems = _compare(stored, fresh, scenario.dtype)
+        if problems:
+            results.append(
+                GoldenResult(
+                    scenario.name, scenario.dtype, "drift", "; ".join(problems), fresh
+                )
+            )
+        else:
+            results.append(GoldenResult(scenario.name, scenario.dtype, "match", metrics=fresh))
+    return results

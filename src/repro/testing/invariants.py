@@ -1,0 +1,401 @@
+"""Metamorphic and differential invariants for adapters and kernels.
+
+Every check is a nullary function registered under a stable name via
+:func:`invariant`; :func:`run_invariants` executes them all and
+returns structured outcomes (the CLI's ``repro selfcheck`` renders
+those).  Each check is deterministic — data comes from fixed-seed
+generators — so a failure is reproducible by name:
+
+>>> from repro.testing import invariants
+>>> invariants.INVARIANTS["pca_orthonormality"]()
+
+Three families:
+
+* **adapter algebra** — PCA orthonormality + variance ordering,
+  TruncatedSVD == PCA on centered data, random-projection norm
+  preservation, lcomb_top_k row renormalization;
+* **metamorphic** — channel-permutation equivariance of the fitted
+  adapters;
+* **differential** — each fused/hand-written `repro.nn` kernel
+  (layer_norm, activations, in-place optimizers, clip_grad_norm,
+  additive attention-mask bias) against a plain numpy reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..adapters import make_adapter
+from ..adapters.linear_combiner import LinearCombinerModule
+from ..nn import functional as F
+from ..nn.optim import SGD, Adam, AdamW, clip_grad_norm
+
+__all__ = ["INVARIANTS", "InvariantResult", "invariant", "run_invariants"]
+
+INVARIANTS: dict[str, Callable[[], None]] = {}
+
+
+def invariant(name: str) -> Callable:
+    """Register a nullary invariant check under ``name``."""
+
+    def decorate(fn: Callable[[], None]) -> Callable[[], None]:
+        if name in INVARIANTS:
+            raise ValueError(f"invariant {name!r} registered twice")
+        INVARIANTS[name] = fn
+        return fn
+
+    return decorate
+
+
+class InvariantResult:
+    """Outcome of one invariant: name, pass/fail, failure detail."""
+
+    __slots__ = ("name", "passed", "detail")
+
+    def __init__(self, name: str, passed: bool, detail: str = "") -> None:
+        self.name = name
+        self.passed = passed
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        status = "ok" if self.passed else f"FAIL ({self.detail})"
+        return f"InvariantResult({self.name}: {status})"
+
+
+def run_invariants(names: list[str] | None = None) -> list[InvariantResult]:
+    """Run all (or the named) invariants; never raises, reports instead."""
+    selected = sorted(INVARIANTS) if names is None else list(names)
+    results = []
+    for name in selected:
+        try:
+            INVARIANTS[name]()
+        except AssertionError as failure:
+            results.append(InvariantResult(name, False, str(failure)))
+        except Exception as failure:  # noqa: BLE001 - a crash is a failure too
+            results.append(InvariantResult(name, False, f"{type(failure).__name__}: {failure}"))
+        else:
+            results.append(InvariantResult(name, True))
+    return results
+
+
+def _series(seed: int, n: int = 5, t: int = 12, d: int = 8) -> np.ndarray:
+    """A seeded (N, T, D) batch with per-channel scale differences."""
+    rng = np.random.default_rng(seed)
+    scales = rng.uniform(0.5, 3.0, size=d)
+    return rng.normal(size=(n, t, d)) * scales
+
+
+# ----------------------------------------------------------------------
+# Adapter algebra
+# ----------------------------------------------------------------------
+@invariant("pca_orthonormality")
+def _check_pca_orthonormality() -> None:
+    x = _series(101)
+    adapter = make_adapter("pca", output_channels=4).fit(x)
+    gram = adapter.projection_ @ adapter.projection_.T
+    assert np.allclose(gram, np.eye(4), atol=1e-8), (
+        f"PCA components are not orthonormal: max |P P^T - I| = "
+        f"{np.abs(gram - np.eye(4)).max():.3e}"
+    )
+
+
+@invariant("pca_variance_ordering")
+def _check_pca_variance_ordering() -> None:
+    x = _series(103)
+    adapter = make_adapter("pca", output_channels=5).fit(x)
+    ev = adapter.explained_variance_
+    assert ev is not None and np.all(np.diff(ev) <= 1e-12), (
+        f"explained variances are not non-increasing: {ev}"
+    )
+    # The stored spectrum must match the realized variance of the
+    # projected (centered) training rows, in the same order.
+    flat = x.reshape(-1, x.shape[-1])
+    centered = flat - flat.mean(axis=0)
+    realized = (centered @ adapter.projection_.T).var(axis=0)
+    assert np.allclose(np.sort(realized)[::-1], realized, atol=1e-8), (
+        f"projected variances are not ordered: {realized}"
+    )
+
+
+@invariant("svd_matches_pca_on_centered_data")
+def _check_svd_matches_pca() -> None:
+    x = _series(107)
+    flat = x.reshape(-1, x.shape[-1])
+    centered = (flat - flat.mean(axis=0)).reshape(x.shape)
+    pca_out = make_adapter("pca", output_channels=4).fit_transform(centered)
+    svd_out = make_adapter("svd", output_channels=4).fit_transform(centered)
+    assert np.allclose(pca_out, svd_out, atol=1e-8), (
+        "TruncatedSVD != PCA on centered data: max diff "
+        f"{np.abs(pca_out - svd_out).max():.3e}"
+    )
+
+
+@invariant("rand_proj_norm_preservation")
+def _check_rand_proj_norms() -> None:
+    # JL property: with 1/sqrt(k) scaling the projection preserves
+    # squared norms in expectation.  Average the ratio over several
+    # independent matrices and many vectors; the bound is generous
+    # because k is small, but a missing/incorrect scale factor (e.g.
+    # forgetting 1/sqrt(k)) lands far outside it.
+    rng = np.random.default_rng(109)
+    d, k = 16, 6
+    vectors = rng.normal(size=(300, d))
+    input_sq = (vectors**2).sum(axis=1)
+    ratios = []
+    for seed in range(8):
+        adapter = make_adapter("rand_proj", output_channels=k, seed=seed)
+        adapter.fit(vectors[None, :, :])
+        projected = vectors @ adapter.projection_.T
+        ratios.append(float(((projected**2).sum(axis=1) / input_sq).mean()))
+    mean_ratio = float(np.mean(ratios))
+    assert 0.6 < mean_ratio < 1.5, (
+        f"random projection does not preserve norms: mean squared-norm "
+        f"ratio {mean_ratio:.3f} outside (0.6, 1.5)"
+    )
+
+
+@invariant("lcomb_top_k_row_renormalization")
+def _check_lcomb_top_k_rows() -> None:
+    rng = np.random.default_rng(113)
+    module = LinearCombinerModule(in_channels=9, out_channels=4, top_k=3, rng=rng)
+    matrix = module.mixing_matrix().numpy()
+    assert np.all(matrix >= 0.0), "top-k mixing matrix has negative entries"
+    row_sums = matrix.sum(axis=1)
+    assert np.allclose(row_sums, 1.0, atol=1e-6), (
+        f"top-k rows are not renormalized to 1: sums {row_sums}"
+    )
+    nonzeros = (matrix > 0.0).sum(axis=1)
+    assert np.all(nonzeros <= 3), (
+        f"rows keep more than top_k entries: counts {nonzeros}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: channel-permutation equivariance
+# ----------------------------------------------------------------------
+@invariant("adapter_permutation_equivariance")
+def _check_permutation_equivariance() -> None:
+    """Fitted linear adapters must not care about channel order.
+
+    For pca/scaled_pca/svd the sign convention (largest-|coordinate|
+    component entry made positive) makes the projected output exactly
+    equal under any permutation of the input channels.
+    """
+    x = _series(127)
+    perm = np.random.default_rng(131).permutation(x.shape[-1])
+    for name in ("pca", "scaled_pca", "svd"):
+        original = make_adapter(name, output_channels=4).fit_transform(x)
+        permuted = make_adapter(name, output_channels=4).fit_transform(x[:, :, perm])
+        assert np.allclose(original, permuted, atol=1e-7), (
+            f"{name} output changed under channel permutation: max diff "
+            f"{np.abs(original - permuted).max():.3e}"
+        )
+
+
+@invariant("var_selector_permutation_invariance")
+def _check_var_permutation() -> None:
+    """VAR keeps the same *set* of channels under permutation.
+
+    Output column order follows original channel index, so the columns
+    may be reordered — but they must be the same series.
+    """
+    x = _series(137)
+    perm = np.random.default_rng(139).permutation(x.shape[-1])
+    original = make_adapter("var", output_channels=3).fit_transform(x)
+    permuted = make_adapter("var", output_channels=3).fit_transform(x[:, :, perm])
+    flat_orig = original.reshape(-1, 3)
+    flat_perm = permuted.reshape(-1, 3)
+    order_a = np.lexsort(flat_orig)
+    order_b = np.lexsort(flat_perm)
+    assert np.allclose(flat_orig[:, order_a], flat_perm[:, order_b], atol=1e-10), (
+        "VAR selected different channels under permutation"
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential: fused kernels vs numpy references
+# ----------------------------------------------------------------------
+def _reference_layer_norm(x: np.ndarray, w: np.ndarray, b: np.ndarray,
+                          eps: float = 1e-5) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * w + b
+
+
+@invariant("layer_norm_matches_reference")
+def _check_layer_norm() -> None:
+    rng = np.random.default_rng(149)
+    x = rng.normal(size=(3, 5, 6))
+    w = rng.uniform(0.5, 1.5, size=6)
+    b = rng.normal(size=6)
+    xt = nn.Tensor(x, requires_grad=True)
+    wt = nn.Tensor(w, requires_grad=True)
+    bt = nn.Tensor(b, requires_grad=True)
+    fused = F.layer_norm(xt, wt, bt)
+    assert np.allclose(fused.numpy(), _reference_layer_norm(x, w, b), atol=1e-10), (
+        "fused layer_norm forward differs from the numpy reference"
+    )
+    # Backward: compare the fused hand-written gradient against the
+    # gradient of the same function composed from primitive (already
+    # gradchecked) tensor ops.
+    weights = np.random.default_rng(151).normal(size=fused.shape)
+    (fused * nn.Tensor(weights)).sum().backward()
+    x2 = nn.Tensor(x, requires_grad=True)
+    w2 = nn.Tensor(w, requires_grad=True)
+    b2 = nn.Tensor(b, requires_grad=True)
+    mean = x2.mean(axis=-1, keepdims=True)
+    var = x2.var(axis=-1, keepdims=True)
+    composite = (x2 - mean) / (var + 1e-5).sqrt() * w2 + b2
+    (composite * nn.Tensor(weights)).sum().backward()
+    for fused_t, ref_t, label in ((xt, x2, "x"), (wt, w2, "weight"), (bt, b2, "bias")):
+        assert np.allclose(fused_t.grad, ref_t.grad, atol=1e-8), (
+            f"fused layer_norm backward differs from composite reference on {label}"
+        )
+
+
+@invariant("activations_match_numpy")
+def _check_activations() -> None:
+    x = np.random.default_rng(157).normal(size=(4, 7))
+    xt = nn.Tensor(x)
+    checks = {
+        "relu": (F.relu(xt).numpy(), np.maximum(x, 0.0)),
+        "sigmoid": (F.sigmoid(xt).numpy(), 1.0 / (1.0 + np.exp(-x))),
+        "gelu": (
+            F.gelu(xt).numpy(),
+            0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3))),
+        ),
+        "softmax": (
+            F.softmax(xt, axis=-1).numpy(),
+            np.exp(x - x.max(axis=-1, keepdims=True))
+            / np.exp(x - x.max(axis=-1, keepdims=True)).sum(axis=-1, keepdims=True),
+        ),
+    }
+    checks["log_softmax"] = (
+        F.log_softmax(xt, axis=-1).numpy(),
+        np.log(checks["softmax"][1]),
+    )
+    for name, (actual, expected) in checks.items():
+        assert np.allclose(actual, expected, atol=1e-8), (
+            f"{name} differs from numpy reference: max diff "
+            f"{np.abs(actual - expected).max():.3e}"
+        )
+
+
+def _fresh_params(seed: int, shapes=((3, 4), (5,))) -> tuple[list, list[np.ndarray]]:
+    """Parameters with fixed grads, plus float64 copies for references."""
+    rng = np.random.default_rng(seed)
+    params, copies = [], []
+    for shape in shapes:
+        param = nn.Parameter(rng.normal(size=shape))
+        param.grad = rng.normal(size=shape)
+        params.append(param)
+        copies.append((param.data.copy(), param.grad.copy()))
+    return params, copies
+
+
+@invariant("sgd_matches_reference")
+def _check_sgd() -> None:
+    momentum = 0.9
+    params, copies = _fresh_params(163)
+    optimizer = SGD(params, lr=0.1, momentum=momentum)
+    reference = [(p.copy(), g.copy()) for p, g in copies]
+    velocity = [np.zeros_like(p) for p, _ in reference]
+    for _ in range(3):
+        optimizer.step()
+        for index, (p, g) in enumerate(reference):
+            velocity[index] = momentum * velocity[index] + g
+            reference[index] = (p - 0.1 * velocity[index], g)
+    for param, (expected, _) in zip(params, reference):
+        assert np.allclose(param.data, expected, atol=1e-12), (
+            "in-place SGD diverged from the textbook update"
+        )
+
+
+@invariant("adam_matches_reference")
+def _check_adam() -> None:
+    lr, beta1, beta2, eps, wd = 1e-2, 0.9, 0.999, 1e-8, 0.01
+    params, copies = _fresh_params(167)
+    optimizer = Adam(params, lr=lr, betas=(beta1, beta2), eps=eps, weight_decay=wd)
+    reference = [p.copy() for p, _ in copies]
+    m = [np.zeros_like(p) for p in reference]
+    v = [np.zeros_like(p) for p in reference]
+    for step in range(1, 4):
+        optimizer.step()
+        for index, (_, g) in enumerate(copies):
+            grad = g + wd * reference[index]
+            m[index] = beta1 * m[index] + (1 - beta1) * grad
+            v[index] = beta2 * v[index] + (1 - beta2) * grad**2
+            m_hat = m[index] / (1 - beta1**step)
+            v_hat = v[index] / (1 - beta2**step)
+            reference[index] = reference[index] - lr * m_hat / (np.sqrt(v_hat) + eps)
+    for param, expected in zip(params, reference):
+        assert np.allclose(param.data, expected, atol=1e-12), (
+            "in-place Adam diverged from the textbook update"
+        )
+
+
+@invariant("adamw_matches_reference")
+def _check_adamw() -> None:
+    lr, beta1, beta2, eps, wd = 1e-2, 0.9, 0.999, 1e-8, 0.05
+    params, copies = _fresh_params(173)
+    optimizer = AdamW(params, lr=lr, betas=(beta1, beta2), eps=eps, weight_decay=wd)
+    reference = [p.copy() for p, _ in copies]
+    m = [np.zeros_like(p) for p in reference]
+    v = [np.zeros_like(p) for p in reference]
+    for step in range(1, 4):
+        optimizer.step()
+        for index, (_, g) in enumerate(copies):
+            reference[index] = reference[index] * (1 - lr * wd)
+            m[index] = beta1 * m[index] + (1 - beta1) * g
+            v[index] = beta2 * v[index] + (1 - beta2) * g**2
+            m_hat = m[index] / (1 - beta1**step)
+            v_hat = v[index] / (1 - beta2**step)
+            reference[index] = reference[index] - lr * m_hat / (np.sqrt(v_hat) + eps)
+    for param, expected in zip(params, reference):
+        assert np.allclose(param.data, expected, atol=1e-12), (
+            "in-place AdamW diverged from decoupled-decay reference"
+        )
+
+
+@invariant("clip_grad_norm_matches_reference")
+def _check_clip_grad_norm() -> None:
+    params, copies = _fresh_params(179)
+    expected_norm = float(np.sqrt(sum((g**2).sum() for _, g in copies)))
+    max_norm = expected_norm / 2.0
+    returned = clip_grad_norm(params, max_norm)
+    assert np.isclose(returned, expected_norm, rtol=1e-12), (
+        f"clip_grad_norm returned {returned}, reference norm {expected_norm}"
+    )
+    scale = max_norm / expected_norm
+    for param, (_, g) in zip(params, copies):
+        assert np.allclose(param.grad, g * scale, atol=1e-12), (
+            "clipped gradients differ from uniformly rescaled reference"
+        )
+    clipped_norm = float(np.sqrt(sum((p.grad**2).sum() for p in params)))
+    assert np.isclose(clipped_norm, max_norm, rtol=1e-9), (
+        f"post-clip norm {clipped_norm} != max_norm {max_norm}"
+    )
+
+
+@invariant("attention_mask_bias_matches_reference")
+def _check_attention_mask_bias() -> None:
+    """The additive -1e9 bias must reproduce hard masking of scores."""
+    rng = np.random.default_rng(181)
+    scores = rng.normal(size=(2, 2, 4, 4))
+    mask = rng.random((4, 4)) < 0.6
+    np.fill_diagonal(mask, True)  # keep every row attendable
+    bias = np.where(mask[None, None], 0.0, -1e9)
+    fused = F.softmax(nn.Tensor(scores) + nn.Tensor(bias), axis=-1).numpy()
+    # Reference: renormalise explicitly over the unmasked entries only.
+    exp = np.exp(scores - scores.max(axis=-1, keepdims=True))
+    exp = exp * mask[None, None]
+    reference = exp / exp.sum(axis=-1, keepdims=True)
+    assert np.allclose(fused, reference, atol=1e-8), (
+        "additive attention-mask bias differs from hard-masked softmax"
+    )
+    assert fused[..., ~mask].max(initial=0.0) < 1e-8, (
+        "masked positions received attention weight"
+    )

@@ -1,0 +1,477 @@
+"""Seeded value generators with shrinking, and a ``@given`` decorator.
+
+A tiny, dependency-free property-based testing core in the spirit of
+Hypothesis: a :class:`Strategy` draws a random value from a seeded
+``numpy.random.Generator`` and knows how to propose *simpler*
+candidates for a failing value (shrinking).  The :func:`given`
+decorator runs a test body over many drawn examples, and on failure
+shrinks the counterexample before reporting it — so a red property
+test shows a small, reproducible input instead of a 4-D noise blob.
+
+Everything is deterministic: the example stream is derived from the
+test function's qualified name (or an explicit ``seed=``), so reruns
+fail on the same example.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import zlib
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Strategy",
+    "Falsified",
+    "given",
+    "integers",
+    "floats",
+    "sampled_from",
+    "shapes",
+    "arrays",
+    "broadcastable_pairs",
+    "series_batches",
+    "labeled_datasets",
+    "job_specs",
+]
+
+
+class Falsified(AssertionError):
+    """A property failed; carries the (shrunk) counterexample."""
+
+
+def _describe(value: Any) -> str:
+    """Compact, reproduction-friendly rendering of a drawn value."""
+    if isinstance(value, np.ndarray):
+        if value.size <= 12:
+            return f"array({np.array2string(value, precision=4, separator=', ')})"
+        return f"ndarray(shape={value.shape}, dtype={value.dtype})"
+    if isinstance(value, tuple) and any(isinstance(v, np.ndarray) for v in value):
+        return "(" + ", ".join(_describe(v) for v in value) + ")"
+    return repr(value)
+
+
+class Strategy:
+    """A seeded value generator with optional shrinking.
+
+    Parameters
+    ----------
+    draw:
+        ``draw(rng) -> value``; must be a pure function of the
+        generator state so examples are reproducible.
+    shrink:
+        ``shrink(value) -> iterable of simpler candidates`` (may be
+        empty).  Candidates are tried in order; the first one that
+        still fails the property becomes the new counterexample.
+    label:
+        Human-readable name used in failure reports.
+    """
+
+    def __init__(
+        self,
+        draw: Callable[[np.random.Generator], Any],
+        shrink: Callable[[Any], Iterable[Any]] | None = None,
+        label: str = "strategy",
+    ) -> None:
+        self._draw = draw
+        self._shrink = shrink
+        self.label = label
+
+    def example(self, rng: np.random.Generator) -> Any:
+        """Draw one value."""
+        return self._draw(rng)
+
+    def shrink_candidates(self, value: Any) -> Iterator[Any]:
+        """Yield strictly simpler candidates for ``value`` (maybe none)."""
+        if self._shrink is None:
+            return
+        yield from self._shrink(value)
+
+    def map(self, fn: Callable[[Any], Any], label: str | None = None) -> "Strategy":
+        """A strategy drawing ``fn(value)``; shrinks through ``fn``."""
+
+        def draw(rng: np.random.Generator) -> Any:
+            return fn(self._draw(rng))
+
+        def shrink(value: Any) -> Iterator[Any]:
+            # The pre-image is unknown, so mapped strategies cannot
+            # shrink: the contract stays sound (no candidates) rather
+            # than guessing.
+            return iter(())
+
+        return Strategy(draw, shrink, label or f"{self.label}.map({fn!r})")
+
+    def __repr__(self) -> str:
+        return f"Strategy({self.label})"
+
+
+# ----------------------------------------------------------------------
+# Scalar strategies
+# ----------------------------------------------------------------------
+def integers(low: int, high: int) -> Strategy:
+    """Uniform integers in ``[low, high]``; shrinks toward ``low``."""
+    if low > high:
+        raise ValueError(f"empty range [{low}, {high}]")
+
+    def draw(rng: np.random.Generator) -> int:
+        return int(rng.integers(low, high + 1))
+
+    def shrink(value: int) -> Iterator[int]:
+        seen = {value}
+        for candidate in (low, (low + value) // 2, value - 1):
+            if low <= candidate <= high and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+    return Strategy(draw, shrink, f"integers({low}, {high})")
+
+
+def floats(low: float, high: float) -> Strategy:
+    """Uniform floats in ``[low, high]``; shrinks toward 0 / ``low``."""
+    if low > high:
+        raise ValueError(f"empty range [{low}, {high}]")
+    anchor = 0.0 if low <= 0.0 <= high else low
+
+    def draw(rng: np.random.Generator) -> float:
+        return float(rng.uniform(low, high))
+
+    def shrink(value: float) -> Iterator[float]:
+        seen = {value}
+        for candidate in (anchor, (anchor + value) / 2.0, round(value, 1)):
+            if low <= candidate <= high and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+    return Strategy(draw, shrink, f"floats({low}, {high})")
+
+
+def sampled_from(options: Sequence[Any]) -> Strategy:
+    """Uniform choice from ``options``; shrinks toward the first one."""
+    options = list(options)
+    if not options:
+        raise ValueError("sampled_from needs at least one option")
+
+    def draw(rng: np.random.Generator) -> Any:
+        return options[int(rng.integers(len(options)))]
+
+    def shrink(value: Any) -> Iterator[Any]:
+        try:
+            index = options.index(value)
+        except ValueError:
+            return
+        if index > 0:
+            yield options[0]
+
+    return Strategy(draw, shrink, f"sampled_from({len(options)} options)")
+
+
+# ----------------------------------------------------------------------
+# Shape / array strategies
+# ----------------------------------------------------------------------
+def shapes(
+    min_dims: int = 1, max_dims: int = 3, min_side: int = 1, max_side: int = 5
+) -> Strategy:
+    """Random array shapes; shrinks by dropping dims and halving sides."""
+    if not 0 <= min_dims <= max_dims:
+        raise ValueError(f"bad dims range [{min_dims}, {max_dims}]")
+
+    def draw(rng: np.random.Generator) -> tuple[int, ...]:
+        ndim = int(rng.integers(min_dims, max_dims + 1))
+        return tuple(int(rng.integers(min_side, max_side + 1)) for _ in range(ndim))
+
+    def shrink(value: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        if len(value) > min_dims:
+            yield value[1:]
+        halved = tuple(max(min_side, side // 2) for side in value)
+        if halved != value:
+            yield halved
+        floor = tuple(min_side for _ in value)
+        if floor != value and floor != halved:
+            yield floor
+
+    return Strategy(draw, shrink, f"shapes(dims {min_dims}-{max_dims})")
+
+
+def _shrink_array(value: np.ndarray) -> Iterator[np.ndarray]:
+    """Smaller / simpler versions of an array counterexample."""
+    # Halve the leading axis.
+    if value.ndim and value.shape[0] > 1:
+        yield np.ascontiguousarray(value[: max(1, value.shape[0] // 2)])
+    # Halve the trailing axis.
+    if value.ndim > 1 and value.shape[-1] > 1:
+        yield np.ascontiguousarray(value[..., : max(1, value.shape[-1] // 2)])
+    # Simplify the entries without changing the shape.
+    rounded = np.round(value, 1)
+    if not np.array_equal(rounded, value):
+        yield rounded
+    if np.any(value != 0):
+        yield np.zeros_like(value)
+
+
+def arrays(
+    shape: tuple[int, ...] | Strategy | None = None,
+    dtype: Any = np.float64,
+    scale: float = 1.0,
+) -> Strategy:
+    """Gaussian arrays of the given (or drawn) shape.
+
+    ``shape`` may be a concrete tuple, a strategy producing tuples, or
+    ``None`` for :func:`shapes`' default.  Shrinking halves axes,
+    rounds entries and finally zeroes the array.
+    """
+    shape_strategy: Strategy | None
+    if shape is None:
+        shape_strategy = shapes()
+        fixed_shape = None
+    elif isinstance(shape, Strategy):
+        shape_strategy = shape
+        fixed_shape = None
+    else:
+        shape_strategy = None
+        fixed_shape = tuple(shape)
+
+    def draw(rng: np.random.Generator) -> np.ndarray:
+        drawn = fixed_shape if fixed_shape is not None else shape_strategy.example(rng)
+        return (scale * rng.normal(size=drawn)).astype(dtype)
+
+    return Strategy(draw, _shrink_array, f"arrays(dtype={np.dtype(dtype).name})")
+
+
+def broadcastable_pairs(
+    max_dims: int = 3, max_side: int = 4, dtype: Any = np.float64
+) -> Strategy:
+    """Pairs ``(a, b)`` of arrays whose shapes numpy-broadcast together.
+
+    ``b``'s shape is derived from ``a``'s by dropping leading axes and
+    squashing random axes to one — the exact cases
+    :func:`repro.nn.tensor._unbroadcast` has to invert.
+    """
+    base = shapes(min_dims=1, max_dims=max_dims, min_side=2, max_side=max_side)
+
+    def draw(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        shape_a = base.example(rng)
+        keep_from = int(rng.integers(0, len(shape_a) + 1))
+        shape_b = tuple(
+            side if rng.random() < 0.5 else 1 for side in shape_a[keep_from:]
+        )
+        a = rng.normal(size=shape_a).astype(dtype)
+        b = rng.normal(size=shape_b).astype(dtype)
+        return a, b
+
+    def shrink(value: tuple[np.ndarray, np.ndarray]) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        a, b = value
+        if np.any(a != 0):
+            yield np.zeros_like(a), b
+        if np.any(b != 0):
+            yield a, np.zeros_like(b)
+        if b.ndim:
+            yield a, np.ascontiguousarray(b[(0,) * b.ndim].reshape(()))
+
+    return Strategy(draw, shrink, "broadcastable_pairs")
+
+
+# ----------------------------------------------------------------------
+# Domain strategies
+# ----------------------------------------------------------------------
+def series_batches(
+    max_n: int = 6, max_t: int = 16, max_d: int = 8, min_d: int = 1
+) -> Strategy:
+    """Multivariate series batches ``(N, T, D)`` (the adapter input)."""
+
+    def draw(rng: np.random.Generator) -> np.ndarray:
+        n = int(rng.integers(2, max_n + 1))
+        t = int(rng.integers(4, max_t + 1))
+        d = int(rng.integers(min_d, max_d + 1))
+        return rng.normal(size=(n, t, d))
+
+    return Strategy(draw, _shrink_array, "series_batches")
+
+
+def labeled_datasets(
+    max_classes: int = 3, max_per_class: int = 6, max_t: int = 16, max_d: int = 6
+) -> Strategy:
+    """Class-separable synthetic ``(x, y)`` pairs.
+
+    Each class is a distinct multi-channel sinusoid plus Gaussian
+    noise — enough structure that reasonable classifiers and adapters
+    have a signal to find, with geometry small enough for property
+    sweeps.
+    """
+
+    def draw(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        classes = int(rng.integers(2, max_classes + 1))
+        per_class = int(rng.integers(3, max_per_class + 1))
+        t = int(rng.integers(8, max_t + 1))
+        d = int(rng.integers(2, max_d + 1))
+        time = np.linspace(0.0, 1.0, t)
+        frequencies = rng.uniform(1.0, 5.0, size=classes)
+        mixing = rng.normal(size=(classes, d))
+        xs, ys = [], []
+        for label in range(classes):
+            wave = np.sin(2 * np.pi * frequencies[label] * time)  # (T,)
+            clean = wave[:, None] * mixing[label][None, :]  # (T, D)
+            noise = 0.2 * rng.normal(size=(per_class, t, d))
+            xs.append(clean[None, :, :] + noise)
+            ys.append(np.full(per_class, label, dtype=np.int64))
+        x = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys, axis=0)
+        order = rng.permutation(len(y))
+        return x[order], y[order]
+
+    def shrink(value: tuple[np.ndarray, np.ndarray]) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        x, y = value
+        if x.shape[1] > 4:
+            yield x[:, : x.shape[1] // 2, :], y
+        if x.shape[2] > 1:
+            yield x[:, :, : max(1, x.shape[2] // 2)], y
+
+    return Strategy(draw, shrink, "labeled_datasets")
+
+
+def job_specs(
+    datasets: Sequence[str] | None = None,
+    models: Sequence[str] = ("MOMENT", "ViT"),
+    adapters: Sequence[str] = ("none", "pca", "svd", "rand_proj", "var"),
+    max_seed: int = 3,
+) -> Strategy:
+    """Random :class:`repro.exec.JobSpec` instances over the real axes."""
+    from ..data import dataset_names
+    from ..exec import JobSpec
+    from ..training import FineTuneStrategy
+
+    dataset_pool = list(datasets) if datasets is not None else list(dataset_names())
+    strategy_pool = list(FineTuneStrategy)
+
+    def draw(rng: np.random.Generator) -> Any:
+        return JobSpec(
+            dataset=dataset_pool[int(rng.integers(len(dataset_pool)))],
+            model=models[int(rng.integers(len(models)))],
+            adapter=adapters[int(rng.integers(len(adapters)))],
+            strategy=strategy_pool[int(rng.integers(len(strategy_pool)))],
+            seed=int(rng.integers(0, max_seed + 1)),
+        )
+
+    def shrink(value: Any) -> Iterator[Any]:
+        if value.seed != 0:
+            yield value.replace(seed=0)
+        if value.adapter != adapters[0]:
+            yield value.replace(adapter=adapters[0], adapter_kwargs=())
+        if value.dataset != dataset_pool[0]:
+            yield value.replace(dataset=dataset_pool[0])
+
+    return Strategy(draw, shrink, "job_specs")
+
+
+# ----------------------------------------------------------------------
+# The @given decorator
+# ----------------------------------------------------------------------
+def _shrink_failure(
+    run: Callable[[dict[str, Any]], BaseException | None],
+    strategies: dict[str, Strategy],
+    failing: dict[str, Any],
+    budget: int = 200,
+) -> tuple[dict[str, Any], BaseException]:
+    """Greedy per-argument shrink of a failing example.
+
+    Repeatedly tries each argument's shrink candidates (other
+    arguments held fixed); adopts the first candidate that still
+    fails, restarting the scan, until a full pass produces no
+    progress or the attempt budget runs out.
+    """
+    error = run(failing)
+    assert error is not None, "shrink called on a passing example"
+    attempts = 0
+    progress = True
+    while progress and attempts < budget:
+        progress = False
+        for name, strategy in strategies.items():
+            for candidate in strategy.shrink_candidates(failing[name]):
+                attempts += 1
+                if attempts > budget:
+                    break
+                trial = dict(failing)
+                trial[name] = candidate
+                trial_error = run(trial)
+                if trial_error is not None:
+                    failing, error = trial, trial_error
+                    progress = True
+                    break
+            if progress:
+                break
+    return failing, error
+
+
+def given(
+    max_examples: int = 25,
+    seed: int | None = None,
+    **strategy_kwargs: Strategy,
+) -> Callable:
+    """Decorator: run the test over ``max_examples`` drawn examples.
+
+    Each keyword names a test parameter and supplies its
+    :class:`Strategy`.  The remaining parameters (pytest fixtures,
+    ``self``) pass through untouched.  On failure the counterexample
+    is shrunk and re-raised as :class:`Falsified`, chaining the
+    original assertion and embedding the example index + values so the
+    failure reproduces exactly.
+    """
+    if isinstance(seed, Strategy):
+        raise TypeError(
+            "'seed' is given()'s base-seed parameter, not a test argument; "
+            "name the drawn parameter differently (e.g. 'perm_seed')"
+        )
+    if not strategy_kwargs:
+        raise TypeError("given() needs at least one named strategy")
+    for name, strategy in strategy_kwargs.items():
+        if not isinstance(strategy, Strategy):
+            raise TypeError(f"argument {name!r} is not a Strategy: {strategy!r}")
+
+    def decorate(test_fn: Callable) -> Callable:
+        base_seed = (
+            seed if seed is not None else zlib.crc32(test_fn.__qualname__.encode("utf-8"))
+        )
+
+        @functools.wraps(test_fn)
+        def wrapper(*args: Any, **kwargs: Any) -> None:
+            for example_index in range(max_examples):
+                rng = np.random.default_rng((base_seed, example_index))
+                drawn = {
+                    name: strategy.example(rng)
+                    for name, strategy in strategy_kwargs.items()
+                }
+
+                def run(example: dict[str, Any]) -> BaseException | None:
+                    try:
+                        test_fn(*args, **kwargs, **example)
+                    except AssertionError as failure:
+                        return failure
+                    return None
+
+                first_error = run(drawn)
+                if first_error is None:
+                    continue
+                shrunk, error = _shrink_failure(run, strategy_kwargs, drawn)
+                rendered = "\n".join(
+                    f"    {name}={_describe(value)}" for name, value in shrunk.items()
+                )
+                raise Falsified(
+                    f"{test_fn.__qualname__} falsified on example "
+                    f"{example_index} (seed={base_seed}):\n{rendered}\n"
+                    f"  underlying failure: {error}"
+                ) from error
+
+        # Hide the strategy-driven parameters from pytest's fixture
+        # resolution: the wrapper's visible signature keeps only the
+        # pass-through parameters (self, fixtures).
+        original = inspect.signature(test_fn)
+        remaining = [
+            parameter
+            for name, parameter in original.parameters.items()
+            if name not in strategy_kwargs
+        ]
+        wrapper.__signature__ = original.replace(parameters=remaining)
+        return wrapper
+
+    return decorate

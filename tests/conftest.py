@@ -2,8 +2,23 @@
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_numpy_rng(request) -> None:
+    """Seed numpy's legacy global RNG per test, from the test's node id.
+
+    Code under test that falls back to ``np.random.*`` (e.g. a module
+    constructed without an explicit generator) becomes deterministic
+    and independent of test execution order: every test starts from
+    the same, test-specific state on every run, so no individual test
+    needs an ad-hoc ``np.random.seed`` call.
+    """
+    np.random.seed(zlib.crc32(request.node.nodeid.encode("utf-8")) % 2**32)
 
 
 @pytest.fixture

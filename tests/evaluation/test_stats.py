@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import math
+import warnings
+
 import numpy as np
 import pytest
 from scipy import stats as scipy_stats
 
 from repro.evaluation import average_ranks, pairwise_pvalue_matrix, rank_scores, welch_ttest
+from repro.evaluation.stats import mean_pairwise_pvalues
 
 
 class TestWelch:
@@ -44,6 +48,67 @@ class TestWelch:
         _, p_ab = welch_ttest(a, b)
         _, p_ba = welch_ttest(b, a)
         assert p_ab == pytest.approx(p_ba)
+
+
+class TestWelchEdgeCases:
+    """Degenerate inputs: zero variance, tiny samples, identical means.
+
+    Every case runs with warnings escalated to errors — the t-test
+    must handle degenerate variances explicitly, not by emitting
+    divide-by-zero RuntimeWarnings and hoping.
+    """
+
+    def test_one_constant_group_finite(self, rng):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            t_stat, p_value = welch_ttest(np.full(5, 0.7), rng.normal(size=5))
+        assert math.isfinite(t_stat)
+        assert math.isfinite(p_value) and 0.0 <= p_value <= 1.0
+
+    def test_both_constant_same_mean(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            t_stat, p_value = welch_ttest(np.full(4, 0.9), np.full(6, 0.9))
+        assert (t_stat, p_value) == (0.0, 1.0)
+
+    def test_both_constant_different_means(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            t_stat, p_value = welch_ttest(np.full(4, 0.9), np.full(4, 0.1))
+        assert math.isinf(t_stat)
+        assert p_value == 0.0
+
+    def test_n1_sample_raises_cleanly(self):
+        """A single observation has no variance estimate: a clear
+        ValueError, never a numerics warning or a NaN p-value."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError, match="at least 2"):
+                welch_ttest(np.array([0.5]), np.array([0.4, 0.6, 0.5]))
+
+    def test_identical_means_different_variance(self, rng):
+        noise = rng.normal(size=10)
+        a = 0.5 + 0.01 * (noise - noise.mean())
+        b = np.full(10, 0.5) + 2.0 * (rng.normal(size=10) - 0.0)
+        b = b - b.mean() + a.mean()  # force exactly equal means
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            t_stat, p_value = welch_ttest(a, b)
+        assert t_stat == pytest.approx(0.0)
+        assert p_value == pytest.approx(1.0)
+
+    def test_mean_pairwise_skips_undersized_groups(self):
+        """Figure-5 aggregation silently skips n<2 groups (TO/COM runs)
+        instead of propagating the welch ValueError."""
+        per_dataset = [
+            {"pca": np.array([0.8, 0.82, 0.81]), "svd": np.array([0.79])},
+            {"pca": np.array([0.7, 0.72, 0.71]), "svd": np.array([0.69, 0.7, 0.71])},
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            matrix = mean_pairwise_pvalues(per_dataset, ["pca", "svd"])
+        assert matrix.shape == (2, 2)
+        assert math.isfinite(matrix[0, 1]) and 0.0 <= matrix[0, 1] <= 1.0
 
 
 class TestPairwiseMatrix:

@@ -50,3 +50,43 @@ class TestCheckpoint:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             nn.load_checkpoint(build_model(), tmp_path / "nope.npz")
+
+
+class TestDtypeRoundTrip:
+    """Checkpoints preserve per-parameter dtype across default-dtype changes."""
+
+    def _dtypes(self, module: nn.Module) -> set[str]:
+        return {param.data.dtype.name for _, param in module.named_parameters()}
+
+    def test_float32_checkpoint_survives_float64_default(self, tmp_path):
+        with nn.default_dtype("float32"):
+            src = build_model(0)
+        assert self._dtypes(src) == {"float32"}
+        path = nn.save_checkpoint(src, tmp_path / "f32.npz")
+        with nn.default_dtype("float64"):
+            dst = build_model(1)
+            assert self._dtypes(dst) == {"float64"}
+            nn.load_checkpoint(dst, path)
+        assert self._dtypes(dst) == {"float32"}
+        for (_, a), (_, b) in zip(src.named_parameters(), dst.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_float64_checkpoint_survives_float32_default(self, tmp_path):
+        with nn.default_dtype("float64"):
+            src = build_model(0)
+        path = nn.save_checkpoint(src, tmp_path / "f64.npz")
+        with nn.default_dtype("float32"):
+            dst = build_model(1)
+            nn.load_checkpoint(dst, path)
+        assert self._dtypes(dst) == {"float64"}
+        for (_, a), (_, b) in zip(src.named_parameters(), dst.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_load_state_dict_default_still_casts(self):
+        """Direct load_state_dict keeps the receiving model's dtype."""
+        with nn.default_dtype("float64"):
+            src = build_model(0)
+        with nn.default_dtype("float32"):
+            dst = build_model(1)
+        dst.load_state_dict(src.state_dict())
+        assert self._dtypes(dst) == {"float32"}

@@ -1,0 +1,1 @@
+"""Property sweeps: registry-wide gradchecks and @given-based properties."""

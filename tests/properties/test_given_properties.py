@@ -1,0 +1,105 @@
+"""``@given``-driven properties of adapters and the autodiff core.
+
+These complement the fixed-seed invariants in
+``repro.testing.invariants`` by sweeping randomly drawn shapes and
+values: each property runs over many seeded examples and shrinks any
+counterexample before reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import make_adapter
+from repro.nn import Tensor
+from repro.testing import arrays, broadcastable_pairs, given, integers, series_batches
+
+#: Adapters that are deterministic functions of their input statistics
+#: (no RNG beyond the seed) and reduce channels D -> D'.
+_REDUCING_ADAPTERS = ("pca", "scaled_pca", "svd", "var", "rand_proj")
+
+
+class TestAdapterProperties:
+    @pytest.mark.parametrize("name", _REDUCING_ADAPTERS)
+    def test_output_shape_contract(self, name):
+        @given(max_examples=10, x=series_batches(min_d=2))
+        def property_shape(x):
+            k = min(2, x.shape[-1])
+            adapter = make_adapter(name, output_channels=k, seed=0)
+            out = adapter.fit_transform(x)
+            assert out.shape == (x.shape[0], x.shape[1], k)
+
+        property_shape()
+
+    @pytest.mark.parametrize("name", ("pca", "scaled_pca", "svd"))
+    def test_permutation_equivariance(self, name):
+        """Channel order must not matter for spectral adapters."""
+
+        @given(max_examples=10, x=series_batches(min_d=3), perm_seed=integers(0, 50))
+        def property_equivariant(x, perm_seed):
+            perm = np.random.default_rng(perm_seed).permutation(x.shape[-1])
+            adapter = make_adapter(name, output_channels=2, seed=0)
+            permuted = make_adapter(name, output_channels=2, seed=0)
+            np.testing.assert_allclose(
+                adapter.fit_transform(x),
+                permuted.fit_transform(x[:, :, perm]),
+                atol=1e-8,
+            )
+
+        property_equivariant()
+
+    def test_transform_is_deterministic_after_fit(self):
+        @given(max_examples=10, x=series_batches(min_d=2))
+        def property_deterministic(x):
+            adapter = make_adapter("pca", output_channels=2, seed=0).fit(x)
+            np.testing.assert_array_equal(adapter.transform(x), adapter.transform(x))
+
+        property_deterministic()
+
+
+class TestTensorProperties:
+    def test_add_matches_numpy_broadcasting(self):
+        @given(max_examples=20, pair=broadcastable_pairs())
+        def property_add(pair):
+            a, b = pair
+            out = Tensor(a) + Tensor(b)
+            np.testing.assert_allclose(out.data, a + b)
+
+        property_add()
+
+    def test_mul_gradient_unbroadcasts_to_input_shape(self):
+        """Backward must return gradients with each input's own shape,
+        whatever numpy broadcast the forward pass performed."""
+
+        @given(max_examples=20, pair=broadcastable_pairs())
+        def property_grad_shape(pair):
+            a, b = pair
+            ta = Tensor(a, requires_grad=True)
+            tb = Tensor(b, requires_grad=True)
+            (ta * tb).sum().backward()
+            assert ta.grad.shape == a.shape
+            assert tb.grad.shape == b.shape
+
+        property_grad_shape()
+
+    def test_sum_then_mean_consistency(self):
+        @given(max_examples=20, x=arrays())
+        def property_reduce(x):
+            tensor = Tensor(x)
+            np.testing.assert_allclose(
+                tensor.mean().data, tensor.sum().data / x.size, rtol=1e-10
+            )
+
+        property_reduce()
+
+    def test_softmax_rows_normalised(self):
+        from repro.nn import functional as F
+
+        @given(max_examples=15, x=arrays(shape=(4, 6), scale=3.0))
+        def property_softmax(x):
+            out = F.softmax(Tensor(x), axis=-1)
+            np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-8)
+            assert (out.data >= 0).all()
+
+        property_softmax()

@@ -1,0 +1,36 @@
+"""Registry-wide gradient verification: every differentiable op, both dtypes.
+
+This is the enforcement point for the op registry contract: adding a
+differentiable op to ``repro.nn`` without a gradcheck case makes this
+module fail *by the op's name* (see
+``tests/testing/test_gradcheck.py`` for the negative-path demos).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.tensor import OP_REGISTRY
+from repro.testing import assert_full_coverage, missing_checks, run_op_sweep, unregistered_ops
+
+
+def test_registry_is_fully_covered():
+    """No registered op lacks a case; no graph-builder lacks registration."""
+    assert missing_checks() == []
+    assert unregistered_ops() == []
+    assert_full_coverage()
+
+
+def test_registry_has_not_shrunk():
+    """The op count only grows; shrinking means ops were deregistered."""
+    assert len(OP_REGISTRY) >= 36
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+def test_full_op_sweep(dtype):
+    """All cases of every covered op pass finite-difference checks."""
+    results = run_op_sweep(dtypes=(dtype,))
+    assert all(result.passed for result in results)
+    assert {result.op for result in results} == set(
+        name for name, info in OP_REGISTRY.items() if info.differentiable
+    )

@@ -1,0 +1,1 @@
+"""Tests for the property-based verification harness (repro.testing)."""

@@ -1,0 +1,141 @@
+"""Tests for the finite-difference engine and op-coverage enforcement."""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+import pytest
+
+# The package re-exports the `gradcheck` *function* under the submodule's
+# name, so module-level attributes are patched via the module object.
+gradcheck_module = importlib.import_module("repro.testing.gradcheck")
+
+from repro.nn.tensor import OP_REGISTRY, Tensor, registered_op
+from repro.testing import (
+    OP_CHECKS,
+    GradcheckFailure,
+    OpCase,
+    assert_full_coverage,
+    gradcheck,
+    missing_checks,
+    run_op_sweep,
+    unregistered_ops,
+)
+
+
+class TestEngine:
+    def test_correct_gradient_passes(self):
+        result = gradcheck(
+            lambda t: (t["x"] * t["x"]).sum(),
+            {"x": np.array([0.3, -1.2, 0.7])},
+            op="square",
+            case="basic",
+        )
+        assert result.passed
+        assert result.max_abs_err < 1e-6
+
+    def test_wrong_gradient_caught(self):
+        """Detaching one factor halves the analytic gradient of x**2 —
+        the engine must flag the mismatch against finite differences."""
+        with pytest.raises(GradcheckFailure, match="gradient mismatch"):
+            gradcheck(
+                lambda t: (t["x"] * Tensor(t["x"].data)).sum(),
+                {"x": np.array([0.4, 1.1, -0.8])},
+                op="detached_square",
+                case="wrong",
+            )
+
+    def test_missing_gradient_caught(self):
+        with pytest.raises(GradcheckFailure, match="received no gradient"):
+            gradcheck(
+                lambda t: t["x"].sum(),
+                {"x": np.array([1.0, 2.0]), "unused": np.array([3.0])},
+                op="partial",
+                case="unused_input",
+            )
+
+    def test_float32_uses_looser_tolerances(self):
+        result = gradcheck(
+            lambda t: (t["x"].exp() * t["y"]).sum(),
+            {"x": np.array([0.1, -0.4]), "y": np.array([0.9, 1.3])},
+            dtype="float32",
+            op="expmul",
+            case="f32",
+        )
+        assert result.passed
+
+    def test_result_repr(self):
+        result = gradcheck(
+            lambda t: t["x"].sum(), {"x": np.array([1.0])}, op="sum", case="repr"
+        )
+        assert "sum/repr" in repr(result)
+        assert "ok" in repr(result)
+
+
+class TestCoverage:
+    def test_registry_enumerates_core_ops(self):
+        for name in ("add", "matmul", "softmax", "layer_norm", "cross_entropy"):
+            assert name in OP_REGISTRY, f"core op {name!r} missing from registry"
+
+    def test_current_coverage_is_complete(self):
+        assert missing_checks() == []
+        assert unregistered_ops() == []
+        assert_full_coverage()
+
+    def test_new_op_without_case_fails_by_name(self):
+        """Registering an op with no gradcheck case must fail the sweep
+        and name the offender — the issue's core acceptance criterion."""
+
+        @registered_op("totally_new_op")
+        def totally_new_op(x):
+            """Fake op for the coverage test."""
+            return x
+
+        try:
+            assert "totally_new_op" in missing_checks()
+            with pytest.raises(AssertionError, match="totally_new_op"):
+                assert_full_coverage()
+            with pytest.raises(AssertionError, match="totally_new_op"):
+                run_op_sweep(dtypes=("float64",), ops=["add"])
+        finally:
+            OP_REGISTRY.pop("totally_new_op")
+
+    def test_stale_case_fails_by_name(self, monkeypatch):
+        bogus = dict(OP_CHECKS)
+        bogus["retired_op"] = []
+        monkeypatch.setattr(gradcheck_module, "OP_CHECKS", bogus)
+        with pytest.raises(AssertionError, match="retired_op"):
+            assert_full_coverage()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            registered_op("add")(lambda x: x)
+
+    def test_non_differentiable_ops_exempt_from_checks(self):
+        non_diff = [n for n, info in OP_REGISTRY.items() if not info.differentiable]
+        assert not set(non_diff) & set(missing_checks())
+
+
+class TestSweep:
+    def test_sweep_subset_passes_and_labels_ops(self):
+        results = run_op_sweep(dtypes=("float64",), ops=["add", "matmul"])
+        assert results
+        assert {r.op for r in results} == {"add", "matmul"}
+        assert all(r.passed for r in results)
+
+    def test_sweep_failure_carries_op_name(self, monkeypatch):
+        broken = OpCase(
+            "broken",
+            lambda t: t["x"] * Tensor(t["x"].data),
+            {"x": np.array([0.5, -0.9])},
+        )
+        cases = dict(OP_CHECKS)
+        cases["add"] = [broken]
+        monkeypatch.setattr(gradcheck_module, "OP_CHECKS", cases)
+        with pytest.raises(GradcheckFailure, match=r"\[op=add\]"):
+            run_op_sweep(dtypes=("float64",), ops=["add"])
+
+    def test_every_case_runs_in_both_dtypes_for_one_op(self):
+        results = run_op_sweep(ops=["sigmoid"])
+        assert {r.dtype for r in results} == {"float32", "float64"}

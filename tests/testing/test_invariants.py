@@ -1,0 +1,56 @@
+"""Tests for the metamorphic/differential invariant registry."""
+
+from __future__ import annotations
+
+from repro.testing import INVARIANTS, InvariantResult, invariant, run_invariants
+
+
+class TestRegistry:
+    def test_expected_invariants_registered(self):
+        for name in (
+            "pca_orthonormality",
+            "svd_matches_pca_on_centered_data",
+            "rand_proj_norm_preservation",
+            "lcomb_top_k_row_renormalization",
+            "adapter_permutation_equivariance",
+            "layer_norm_matches_reference",
+        ):
+            assert name in INVARIANTS, f"invariant {name!r} missing"
+
+    def test_all_current_invariants_pass(self):
+        results = run_invariants()
+        assert len(results) == len(INVARIANTS)
+        failures = [r for r in results if not r.passed]
+        assert not failures, f"invariant failures: {failures}"
+
+    def test_failure_captured_not_raised(self):
+        @invariant("deliberately_failing")
+        def deliberately_failing():
+            """Test-only invariant that always fails."""
+            assert 1 == 2, "intentional failure"
+
+        try:
+            results = {r.name: r for r in run_invariants(names=["deliberately_failing"])}
+            result = results["deliberately_failing"]
+            assert not result.passed
+            assert "intentional failure" in result.detail
+        finally:
+            INVARIANTS.pop("deliberately_failing")
+
+    def test_error_captured_as_failure(self):
+        @invariant("deliberately_crashing")
+        def deliberately_crashing():
+            """Test-only invariant that raises a non-assertion error."""
+            raise RuntimeError("boom")
+
+        try:
+            results = {r.name: r for r in run_invariants(names=["deliberately_crashing"])}
+            result = results["deliberately_crashing"]
+            assert not result.passed
+            assert "boom" in result.detail
+        finally:
+            INVARIANTS.pop("deliberately_crashing")
+
+    def test_result_repr(self):
+        result = InvariantResult("sample", True, "")
+        assert "sample" in repr(result)

@@ -1,0 +1,191 @@
+"""Tests for the seeded strategies and the ``given`` decorator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    Falsified,
+    Strategy,
+    arrays,
+    broadcastable_pairs,
+    floats,
+    given,
+    integers,
+    job_specs,
+    labeled_datasets,
+    sampled_from,
+    series_batches,
+    shapes,
+)
+
+
+class TestBasicStrategies:
+    def test_integers_bounds_and_determinism(self):
+        strategy = integers(-3, 9)
+        first = [strategy.example(np.random.default_rng(5)) for _ in range(20)]
+        second = [strategy.example(np.random.default_rng(5)) for _ in range(20)]
+        assert first == second
+        assert all(-3 <= value <= 9 for value in first)
+
+    def test_integers_shrink_moves_toward_low(self):
+        strategy = integers(0, 100)
+        candidates = list(strategy.shrink_candidates(64))
+        assert candidates
+        assert all(abs(c) < 64 for c in candidates)
+
+    def test_floats_bounds(self):
+        strategy = floats(-1.5, 2.5)
+        rng = np.random.default_rng(0)
+        assert all(-1.5 <= strategy.example(rng) <= 2.5 for _ in range(50))
+
+    def test_sampled_from_membership(self):
+        options = ["pca", "svd", "var"]
+        strategy = sampled_from(options)
+        rng = np.random.default_rng(1)
+        assert all(strategy.example(rng) in options for _ in range(20))
+
+    def test_shapes_respects_limits(self):
+        strategy = shapes(min_dims=2, max_dims=4, min_side=1, max_side=3)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            shape = strategy.example(rng)
+            assert 2 <= len(shape) <= 4
+            assert all(1 <= side <= 3 for side in shape)
+
+    def test_map_transforms_examples(self):
+        doubled = integers(1, 5).map(lambda v: v * 2)
+        rng = np.random.default_rng(3)
+        assert all(doubled.example(rng) % 2 == 0 for _ in range(20))
+
+
+class TestArrayStrategies:
+    def test_arrays_fixed_shape_and_dtype(self):
+        strategy = arrays(shape=(2, 3), dtype=np.float32)
+        value = strategy.example(np.random.default_rng(4))
+        assert value.shape == (2, 3)
+        assert value.dtype == np.float32
+
+    def test_arrays_drawn_shape(self):
+        strategy = arrays(shape=shapes(min_dims=1, max_dims=2, max_side=3))
+        value = strategy.example(np.random.default_rng(5))
+        assert 1 <= value.ndim <= 2
+
+    def test_arrays_shrink_reaches_zero(self):
+        strategy = arrays(shape=(2, 2))
+        value = strategy.example(np.random.default_rng(6))
+        chain = list(strategy.shrink_candidates(value))
+        assert any(np.all(candidate == 0) for candidate in chain if candidate.size)
+
+    def test_broadcastable_pairs_actually_broadcast(self):
+        strategy = broadcastable_pairs()
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            a, b = strategy.example(rng)
+            np.broadcast_shapes(a.shape, b.shape)  # must not raise
+
+    def test_series_batches_are_3d(self):
+        strategy = series_batches(max_n=4, max_t=8, max_d=5)
+        value = strategy.example(np.random.default_rng(8))
+        assert value.ndim == 3
+
+    def test_labeled_datasets_consistent(self):
+        x, y = labeled_datasets().example(np.random.default_rng(9))
+        assert x.ndim == 3
+        assert len(x) == len(y)
+        assert y.min() == 0
+        assert len(np.unique(y)) == y.max() + 1
+
+    def test_job_specs_draw_valid_specs(self):
+        from repro.exec import JobSpec
+
+        spec = job_specs().example(np.random.default_rng(10))
+        assert isinstance(spec, JobSpec)
+        shrunk = list(job_specs().shrink_candidates(spec))
+        assert all(isinstance(s, JobSpec) for s in shrunk)
+
+
+class TestGiven:
+    def test_runs_requested_number_of_examples(self):
+        calls = []
+
+        @given(max_examples=7, value=integers(0, 10))
+        def property_test(value):
+            calls.append(value)
+
+        property_test()
+        assert len(calls) == 7
+
+    def test_falsified_raised_with_shrunk_example(self):
+        @given(max_examples=25, value=integers(0, 1000))
+        def always_small(value):
+            assert value < 50
+
+        with pytest.raises(Falsified) as excinfo:
+            always_small()
+        message = str(excinfo.value)
+        assert "falsified" in message
+        assert "value=" in message
+        # The original assertion is chained for debugging.
+        assert isinstance(excinfo.value.__cause__, AssertionError)
+
+    def test_shrinking_minimises_integer_counterexample(self):
+        seen = []
+
+        @given(max_examples=25, value=integers(0, 1000))
+        def always_small(value):
+            seen.append(value)
+            assert value < 50
+
+        with pytest.raises(Falsified) as excinfo:
+            always_small()
+        # Greedy shrink should land at (or very near) the boundary.
+        assert f"value={min(v for v in seen if v >= 50)}" in str(excinfo.value)
+
+    def test_same_seed_reproduces_failure(self):
+        def make():
+            @given(max_examples=10, seed=99, value=integers(0, 10**6))
+            def flaky(value):
+                assert value % 2 == 0
+
+            return flaky
+
+        first = pytest.raises(Falsified, make()).value
+        second = pytest.raises(Falsified, make()).value
+        assert str(first) == str(second)
+
+    def test_fixtures_pass_through(self, rng):
+        @given(max_examples=3, value=integers(0, 5))
+        def uses_fixture(rng, value):
+            assert isinstance(rng, np.random.Generator)
+            assert 0 <= value <= 5
+
+        uses_fixture(rng)
+
+    def test_rejects_non_strategy_kwargs(self):
+        with pytest.raises(TypeError):
+            given(value=42)
+
+    def test_requires_at_least_one_strategy(self):
+        with pytest.raises(TypeError):
+            given(max_examples=5)
+
+    def test_seed_parameter_cannot_be_a_strategy(self):
+        """``seed`` is the decorator's own base seed; a Strategy there
+        is a naming collision, rejected with guidance."""
+        with pytest.raises(TypeError, match="base-seed"):
+            given(seed=integers(0, 5), value=integers(0, 1))
+
+    def test_signature_hides_drawn_parameters(self):
+        import inspect
+
+        @given(value=integers(0, 1))
+        def prop(self, rng, value):
+            pass
+
+        assert list(inspect.signature(prop).parameters) == ["self", "rng"]
+
+    def test_strategy_repr_mentions_label(self):
+        assert "integers" in repr(integers(0, 1))
+        assert isinstance(integers(0, 1), Strategy)
