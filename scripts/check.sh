@@ -8,7 +8,9 @@
 #   4. selfcheck    repro selfcheck --smoke: invariants, the float32
 #                   op-coverage gradcheck sweep, and the smoke golden
 #                   scenario against ./goldens
-#   5. nn smoke     fused-op gradchecks + tiny dtype bench
+#   5. nn smoke     fused-op gradchecks, the replay-parity sweep
+#                   (eager vs compiled bit-identity for every
+#                   registered op), and the tiny dtype/replay bench
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
@@ -48,8 +50,11 @@ python -m repro.cli selfcheck --smoke
 
 # The numerics kernels back everything else, so they get an explicit
 # gate even when the pytest args above selected an unrelated subtree:
-# finite-difference gradchecks for the fused ops, then a tiny
-# float64-vs-float32 trainer-step bench that must run end to end.
+# finite-difference gradchecks for the fused ops, the replay-parity
+# sweep (every registered op must replay bit-identically through the
+# compiled graph engine or be declared eager-only by name), then a tiny
+# float64-vs-float32 trainer-step + eager-vs-compiled inference bench
+# that must run end to end.
 echo "== nn fast-numerics smoke =="
-python -m pytest tests/nn/test_fused_ops.py -q
+python -m pytest tests/nn/test_fused_ops.py tests/properties/test_replay_parity.py -q
 python benchmarks/bench_nn.py --smoke

@@ -132,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--top", type=int, default=None, metavar="N", help="show only the N hottest ops"
     )
+    prof.add_argument(
+        "--compiled", action="store_true",
+        help="also show the compiled-graph replay table (frozen-encoder "
+        "inference replays recorded during the profiled run)",
+    )
 
     for name, choices in (("table", _TABLES), ("figure", _FIGURES)):
         cmd = sub.add_parser(name, help=f"regenerate a paper {name}")
@@ -317,7 +322,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .data import load_dataset
     from .nn import default_dtype
-    from .nn.profiler import render_ops
+    from .nn.profiler import render_ops, render_replay_ops
 
     dataset = load_dataset(
         args.dataset, seed=args.seed, scale=args.scale, max_length=args.max_length,
@@ -355,6 +360,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     print()
     print(render_ops(summary.ops, top=args.top))
+    if args.compiled:
+        print()
+        replay = report.train_result.replay_profile if report.train_result else {}
+        if replay:
+            print(render_replay_ops(replay, top=args.top))
+        else:
+            print(
+                "no graph replays recorded: compiled replay only serves "
+                "frozen-encoder inference (the embedding phase); this "
+                "run kept the encoder in the training loop or "
+                "compilation is disabled (REPRO_NN_COMPILE=0)"
+            )
     return 0
 
 

@@ -27,6 +27,11 @@ class FoundationModel(nn.Module, abc.ABC):
     def __init__(self, config: ModelConfig) -> None:
         super().__init__()
         self.config = config
+        #: Compiled inference graphs for the pooled univariate encode,
+        #: keyed per (shape, dtype) bucket of the flattened channel
+        #: batch.  Invisible to parameter discovery/state_dict; cleared
+        #: by ``load_state_dict`` via ``Module.invalidate_graphs``.
+        self._graph_cache = nn.graph.GraphCache()
 
     # ------------------------------------------------------------------
     @property
@@ -52,12 +57,19 @@ class FoundationModel(nn.Module, abc.ABC):
     def encode(self, x: np.ndarray | nn.Tensor, channel_batch: int = 0) -> nn.Tensor:
         """Encode (N, T, D) multivariate series to (N, d_model).
 
-        Each channel is encoded independently; token embeddings are
-        mean-pooled over patches, then over channels.  ``channel_batch``
-        optionally chunks the flattened (N*D) sequence batch to bound
-        peak memory (0 = single pass); chunking is only valid outside
-        the autodiff graph (inference), so it is rejected when any
-        parameter requires grad and grad mode is on.
+        Channels are folded into the batch axis (``flatten_channels``:
+        ``(N, T, D) -> (N*D, T)``), encoded in one univariate pass,
+        mean-pooled over patches, then over channels.
+        ``channel_batch`` optionally chunks the flattened (N*D)
+        sequence batch to bound peak memory (0 = single pass);
+        chunking is only valid outside the autodiff graph (inference),
+        so it is rejected when any parameter requires grad and grad
+        mode is on.
+
+        Inference passes route through a compiled replay graph per
+        (shape, dtype) bucket (see :mod:`repro.nn.graph`), falling back
+        to the eager tensor path whenever replay is unavailable; the
+        two are validated bit-identical at capture time.
 
         Accepts a :class:`nn.Tensor` input so trainable adapters
         (lcomb) can backpropagate through the channel mixing.
@@ -75,13 +87,15 @@ class FoundationModel(nn.Module, abc.ABC):
                     "channel_batch chunking is inference-only; wrap in nn.no_grad()"
                 )
             chunks = [
-                self.encode_univariate(nn.Tensor(flat[i : i + channel_batch]))
-                .mean(axis=1)
-                .data
+                self._pooled_univariate(flat[i : i + channel_batch])
                 for i in range(0, len(flat), channel_batch)
             ]
             pooled = np.concatenate(chunks, axis=0)
             return nn.Tensor(pooled.reshape(n, d, self.embed_dim).mean(axis=1))
+        if self._replay_ready():
+            pooled = self._graph_cache.run(self._pooled_eager, flat)
+            if pooled is not None:
+                return nn.Tensor(pooled.reshape(n, d, self.embed_dim).mean(axis=1))
         tokens = self.encode_univariate(nn.Tensor(flat))  # (N*D, P, E)
         pooled = tokens.mean(axis=1)  # (N*D, E)
         return pooled.reshape(n, d, self.embed_dim).mean(axis=1)
@@ -91,9 +105,40 @@ class FoundationModel(nn.Module, abc.ABC):
         x = x.astype(self.dtype)
         n, t, d = x.shape
         flat = x.transpose(0, 2, 1).reshape(n * d, t)
+        if not flat.requires_grad and self._replay_ready():
+            pooled = self._graph_cache.run(self._pooled_eager, flat.data)
+            if pooled is not None:
+                return nn.Tensor(pooled.reshape(n, d, self.embed_dim).mean(axis=1))
         tokens = self.encode_univariate(flat)
         pooled = tokens.mean(axis=1)
         return pooled.reshape(n, d, self.embed_dim).mean(axis=1)
+
+    # ------------------------------------------------------------------
+    def _replay_ready(self) -> bool:
+        """Whether a compiled-graph replay may stand in for eager encode.
+
+        Only pure inference qualifies: eval mode, compilation enabled,
+        and no gradient can be requested from the encoder (grad mode
+        off, or every parameter frozen so the eager result would be
+        detached anyway).
+        """
+        if self.training or not nn.graph.compile_enabled():
+            return False
+        if not nn.is_grad_enabled():
+            return True
+        return not any(p.requires_grad for p in self.parameters())
+
+    def _pooled_eager(self, flat: nn.Tensor) -> nn.Tensor:
+        """Eager (B, T) -> (B, E): encode one flattened channel batch."""
+        return self.encode_univariate(flat).mean(axis=1)
+
+    def _pooled_univariate(self, flat: np.ndarray) -> np.ndarray:
+        """(B, T) -> (B, E) pooled embeddings, compiled when possible."""
+        if self._replay_ready():
+            pooled = self._graph_cache.run(self._pooled_eager, flat)
+            if pooled is not None:
+                return pooled
+        return self._pooled_eager(nn.Tensor(flat)).data
 
     def __repr__(self) -> str:
         return (

@@ -5,7 +5,7 @@ reverse-mode autodiff :class:`Tensor`, layer/module system, multi-head
 attention and transformer encoder, optimizers, and data loading.
 """
 
-from . import functional, init, profiler
+from . import functional, graph, init, profiler
 from .attention import MultiHeadSelfAttention
 from .data import ArrayDataset, DataLoader
 from .dtype import default_dtype, get_default_dtype, set_default_dtype
@@ -36,6 +36,7 @@ __all__ = [
     "get_default_dtype",
     "set_default_dtype",
     "functional",
+    "graph",
     "init",
     "profiler",
     "Module",

@@ -159,6 +159,24 @@ class Module:
                 param.data = value.copy()
             else:
                 param.data = value.astype(param.data.dtype, copy=True)
+        # Compiled replay graphs hold parameters by object reference;
+        # swapping .data arrays is picked up automatically, but dtype
+        # or shape drift must not serve a stale program.
+        self.invalidate_graphs()
+
+    def invalidate_graphs(self) -> None:
+        """Drop compiled replay graphs cached anywhere in this module tree.
+
+        Modules that route inference through :mod:`repro.nn.graph`
+        store a :class:`~repro.nn.graph.GraphCache` under a
+        ``_graph_cache`` attribute (invisible to parameter discovery
+        and ``state_dict``); this clears every such cache so the next
+        inference call re-captures against the current weights.
+        """
+        for module in self.modules():
+            cache = getattr(module, "_graph_cache", None)
+            if cache is not None:
+                cache.clear()
 
     # ------------------------------------------------------------------
     # Call protocol

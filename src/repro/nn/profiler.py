@@ -39,7 +39,14 @@ import contextlib
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["OpStats", "OpProfiler", "profile", "active_profiler", "render_ops"]
+__all__ = [
+    "OpStats",
+    "OpProfiler",
+    "profile",
+    "active_profiler",
+    "render_ops",
+    "render_replay_ops",
+]
 
 #: The currently active profiler (module-global, like grad mode).
 _ACTIVE: "OpProfiler | None" = None
@@ -103,6 +110,12 @@ class OpProfiler:
 
     def __init__(self) -> None:
         self.ops: dict[str, OpStats] = {}
+        #: per-op stats of compiled-graph replays (repro.nn.graph);
+        #: kept separate from the eager tape stats so the two execution
+        #: modes can be compared side by side.
+        self.replay_ops: dict[str, OpStats] = {}
+        self.replay_runs = 0
+        self.replay_bytes_saved = 0
         self._names: dict[int, str] = {}  # id(code object) -> op name
         self._last: float | None = None
 
@@ -136,6 +149,20 @@ class OpProfiler:
         stats.backward_calls += 1
         stats.backward_s += seconds
 
+    def record_replay(self, name: str, seconds: float, nbytes: int) -> None:
+        """Register one compiled-graph op execution (CompiledGraph.run)."""
+        stats = self.replay_ops.get(name)
+        if stats is None:
+            stats = self.replay_ops[name] = OpStats()
+        stats.calls += 1
+        stats.bytes += int(nbytes)
+        stats.forward_s += seconds
+
+    def record_replay_run(self, eager_bytes: int, arena_bytes: int) -> None:
+        """Register one full graph replay and its allocation savings."""
+        self.replay_runs += 1
+        self.replay_bytes_saved += max(0, int(eager_bytes) - int(arena_bytes))
+
     def mark(self) -> None:
         """Reset the forward gap clock at a phase boundary.
 
@@ -149,6 +176,20 @@ class OpProfiler:
     def summary(self) -> dict[str, dict]:
         """JSON-able ``{op: {calls, bytes, forward_s, backward_s, ...}}``."""
         return {name: stats.to_dict() for name, stats in sorted(self.ops.items())}
+
+    def replay_summary(self) -> dict:
+        """JSON-able replay view: per-op stats, run count and bytes saved.
+
+        ``ops`` uses the same per-op dict shape as :meth:`summary`
+        (``backward_s`` is always zero — replays are inference-only);
+        ``bytes_saved`` accumulates, per replay, how many intermediate
+        output bytes the arena plan avoided allocating versus eager.
+        """
+        return {
+            "ops": {name: s.to_dict() for name, s in sorted(self.replay_ops.items())},
+            "runs": self.replay_runs,
+            "bytes_saved": self.replay_bytes_saved,
+        }
 
     def total_bytes(self) -> int:
         """Bytes allocated by all recorded graph-node outputs."""
@@ -182,6 +223,36 @@ def render_ops(ops: dict[str, dict], top: int | None = None) -> str:
         f"{sum(s.forward_s for _, s in rows):>9.4f} "
         f"{sum(s.backward_s for _, s in rows):>9.4f} "
         f"{sum(s.bytes for _, s in rows) / 1024**2:>9.2f}"
+    )
+    return "\n".join(lines)
+
+
+def render_replay_ops(replay: dict, top: int | None = None) -> str:
+    """Render a replay summary (from :meth:`OpProfiler.replay_summary`).
+
+    Shows the per-op table of compiled-graph executions followed by the
+    run count and the intermediate bytes the arena plan saved.
+    """
+    ops = replay.get("ops", {})
+    stats_by_name = {name: OpStats.from_dict(data) for name, data in ops.items()}
+    rows = sorted(stats_by_name.items(), key=lambda kv: kv[1].forward_s, reverse=True)
+    if top is not None:
+        rows = rows[:top]
+    header = f"{'replayed op':<16} {'calls':>8} {'time_s':>9} {'MiB':>9}"
+    lines = [header, "-" * len(header)]
+    for name, stats in rows:
+        lines.append(
+            f"{name:<16} {stats.calls:>8} {stats.forward_s:>9.4f} "
+            f"{stats.bytes / 1024**2:>9.2f}"
+        )
+    lines.append(
+        f"{'total':<16} {sum(s.calls for _, s in rows):>8} "
+        f"{sum(s.forward_s for _, s in rows):>9.4f} "
+        f"{sum(s.bytes for _, s in rows) / 1024**2:>9.2f}"
+    )
+    lines.append(
+        f"graph replays: {replay.get('runs', 0)}   "
+        f"arena bytes saved: {replay.get('bytes_saved', 0) / 1024**2:.2f} MiB"
     )
     return "\n".join(lines)
 

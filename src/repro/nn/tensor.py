@@ -21,6 +21,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import functools
 import time
 from typing import Callable, Iterable, Sequence
 
@@ -40,6 +41,19 @@ __all__ = [
 ]
 
 _GRAD_ENABLED = True
+
+#: The active graph tracer installed by :mod:`repro.nn.graph` during a
+#: capture (one at a time, like the profiler's ``_ACTIVE``).  ``None``
+#: keeps every op wrapper on the zero-overhead fast path.
+_TRACER = None
+
+
+def _set_tracer(tracer):
+    """Install ``tracer`` as the active capture hook; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
 
 
 # ----------------------------------------------------------------------
@@ -92,7 +106,22 @@ def registered_op(name: str, differentiable: bool = True):
             module=fn.__module__,
             differentiable=differentiable,
         )
-        return fn
+
+        # The wrapper is the capture hook of repro.nn.graph: when a
+        # tracer is installed it records the *outermost* registered op
+        # (name, arguments, output) and lets composites (sub, mean,
+        # cross_entropy, ...) execute their inner ops unrecorded, so a
+        # trace step maps 1:1 to a replay kernel.  functools.wraps
+        # keeps __qualname__/__wrapped__ intact for the coverage scans
+        # in repro.testing.gradcheck.
+        @functools.wraps(fn)
+        def op_wrapper(*args, **kwargs):
+            tracer = _TRACER
+            if tracer is None or tracer._depth:
+                return fn(*args, **kwargs)
+            return tracer._traced_call(name, fn, args, kwargs)
+
+        return op_wrapper
 
     return decorate
 
@@ -150,7 +179,7 @@ class Tensor:
         ``self.grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_freed", "name")
 
     def __init__(
         self,
@@ -182,7 +211,13 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._freed = False
         self.name = name
+        if _TRACER is not None:
+            # Leaves born mid-capture are constants of the trace (their
+            # data is baked by value); pre-existing tensors are recorded
+            # by reference instead.  See repro.nn.graph.Tracer.
+            _TRACER._note_leaf(self)
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -271,7 +306,7 @@ class Tensor:
         else:
             self.grad += grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None, retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
         Parameters
@@ -279,9 +314,21 @@ class Tensor:
         grad:
             Upstream gradient.  Defaults to ones, which for a scalar
             loss is the conventional seed.
+        retain_graph:
+            Keep the backward closures and graph edges alive after the
+            pass so ``backward`` can run again (gradients accumulate as
+            in torch).  By default the graph is freed in place and a
+            second call raises instead of silently yielding wrong
+            gradients.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        if self._freed:
+            raise RuntimeError(
+                "backward() through a graph that has already been freed; "
+                "intermediate closures are released after the first backward() "
+                "call — pass retain_graph=True to backpropagate more than once"
+            )
         if grad is None:
             grad = np.ones_like(self.data)
         else:
@@ -301,13 +348,27 @@ class Tensor:
                 continue
             if id(node) in visited:
                 continue
+            if node._freed:
+                raise RuntimeError(
+                    "backward() reached a subgraph that has already been freed "
+                    "by an earlier backward() call — pass retain_graph=True to "
+                    "that call to backpropagate through shared nodes again"
+                )
             visited.add(id(node))
             stack.append((node, True))
             for parent in node._parents:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate(grad)
+        if self._backward is None:
+            # Leaf root: accumulate, matching per-op leaf semantics.
+            self._accumulate(grad)
+        else:
+            # Non-leaf root: each pass seeds fresh.  A retained grad
+            # from an earlier retain_graph pass must not compound into
+            # this pass's seed (torch likewise does not retain non-leaf
+            # grads at all).
+            self.grad = grad.astype(self.data.dtype, copy=True)
         profiler = _profiler._ACTIVE
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
@@ -321,8 +382,10 @@ class Tensor:
                     node._backward(node.grad)
                 # Free intermediate gradients and graph edges eagerly;
                 # leaves (no backward fn) keep their gradients.
-                node._backward = None
-                node._parents = ()
+                if not retain_graph:
+                    node._backward = None
+                    node._parents = ()
+                    node._freed = True
                 node.grad = None if node is not self else node.grad
         if profiler is not None:
             # Non-graph work follows a backward pass (optimizer step,

@@ -231,8 +231,13 @@ def peak_training_memory_bytes(job: TrainingJob) -> float:
 def inference_memory_bytes(job: TrainingJob) -> float:
     """Activation footprint of the chunked embedding pass.
 
-    Inference processes one layer at a time and chunks the flattened
-    channel batch, so memory stays modest even for D ~ 1000.
+    Mirrors how :meth:`repro.models.base.FoundationModel.encode`
+    actually runs: ``flatten_channels`` folds all D channels into the
+    batch axis (one ``(N*D, T)`` univariate batch through the encoder,
+    not a per-channel Python loop), and ``channel_batch`` chunks that
+    flattened axis — so the live activation set is one chunk of
+    ``batch * min(D, chunk) * tokens_per_channel`` token rows at a
+    time, modest even for D ~ 1000.
     """
     cfg = job.config
     params = job.params

@@ -1,11 +1,14 @@
 """Property-based verification harness for the repro stack.
 
-Four layers, all dependency-free (see ``docs/testing.md``):
+Five layers, all dependency-free (see ``docs/testing.md``):
 
 * :mod:`repro.testing.strategies` — seeded value generators with
   shrinking and a Hypothesis-style :func:`given` decorator;
 * :mod:`repro.testing.gradcheck` — a finite-difference engine plus the
   op-coverage sweep over the ``Tensor`` op registry;
+* :mod:`repro.testing.replay` — the compiled-replay parity sweep:
+  every registered op captured, compiled and replayed bit-identically
+  against eager (see ``docs/graph.md``);
 * :mod:`repro.testing.invariants` — metamorphic/differential checks
   for adapters and the fused `repro.nn` kernels;
 * :mod:`repro.testing.golden` — end-to-end metric snapshots with drift
@@ -34,6 +37,13 @@ from .gradcheck import (
     unregistered_ops,
 )
 from .invariants import INVARIANTS, InvariantResult, invariant, run_invariants
+from .replay import (
+    ReplayParityFailure,
+    ReplayResult,
+    assert_replay_coverage,
+    replay_coverage_problems,
+    run_replay_sweep,
+)
 from .strategies import (
     Falsified,
     Strategy,
@@ -71,6 +81,11 @@ __all__ = [
     "missing_checks",
     "unregistered_ops",
     "assert_full_coverage",
+    "ReplayParityFailure",
+    "ReplayResult",
+    "replay_coverage_problems",
+    "assert_replay_coverage",
+    "run_replay_sweep",
     "INVARIANTS",
     "InvariantResult",
     "invariant",

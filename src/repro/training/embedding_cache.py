@@ -20,6 +20,8 @@ a disk-backed store makes the reuse survive process restarts.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from .. import nn
@@ -34,12 +36,21 @@ def compute_embeddings(
     x: np.ndarray,
     batch_size: int = 64,
     channel_batch: int = 4096,
+    compiled: bool = True,
 ) -> np.ndarray:
     """Encode (N, T, D) data to (N, embed_dim) without building a graph.
 
     Batches over samples and chunks the flattened channel dimension so
     peak memory stays bounded even for very wide inputs.  An empty
     batch (N == 0) returns a well-shaped ``(0, embed_dim)`` array.
+
+    Since every batch repeats the same (shape, dtype) encoder pass,
+    this is the prime consumer of :mod:`repro.nn.graph`: the first
+    batch of each shape bucket captures and compiles the frozen
+    encoder, every later batch replays it with arena-allocated
+    intermediates.  ``compiled=False`` forces the eager tensor path
+    (benchmark baselines, parity checks); results are bit-identical
+    either way.
     """
     x = np.asarray(x)
     if x.ndim != 3:
@@ -49,7 +60,10 @@ def compute_embeddings(
     was_training = model.training
     model.eval()
     outputs = []
-    with nn.no_grad():
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(nn.no_grad())
+        if not compiled:
+            stack.enter_context(nn.graph.compile_disabled())
         for start in range(0, len(x), batch_size):
             chunk = x[start : start + batch_size]
             outputs.append(model.encode(chunk, channel_batch=channel_batch).data)
@@ -101,7 +115,13 @@ class EmbeddingCache:
         )
 
     def get(self, x: np.ndarray) -> np.ndarray:
-        """Return (computing once) the embeddings of this array content."""
+        """Return (computing once) the embeddings of this array content.
+
+        A store miss runs :func:`compute_embeddings`, which replays the
+        compiled frozen-encoder graph per shape bucket — so even the
+        first fit on a dataset pays eager capture cost once per bucket,
+        not once per batch.
+        """
         key = self.key_for(x)
         artifact = self.store.get(key)
         if artifact is not None:

@@ -15,11 +15,13 @@ with a disk-backed store, in a fresh one.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from .. import nn
+from ..nn import profiler as nn_profiler
 from ..adapters.base import Adapter
 from ..models.base import FoundationModel
 from ..models.heads import ClassificationHead
@@ -183,16 +185,23 @@ class AdapterPipeline:
             else:
                 self.model.freeze()
 
-            if encoder_in_loop:
-                with inst.span("train"):
-                    report.train_result = self._fit_joint(x_train, y_train, strategy, config)
-            else:
-                report.used_embedding_cache = True
-                reduced = self._normalize_array(self.adapter.transform(x_train))
-                with inst.span("embedding"):
-                    embeddings = self._encode_reduced(reduced, config.batch_size)
-                with inst.span("train"):
-                    report.train_result = self._fit_head(embeddings, y_train, config)
+            # When profiling, open the profiler here (the trainer's own
+            # profile() nests and reuses it) so the frozen-encoder
+            # embedding phase — including compiled-graph replays — is
+            # part of the recorded op profile, not just the train loop.
+            with contextlib.ExitStack() as profile_scope:
+                if config.profile:
+                    profile_scope.enter_context(nn_profiler.profile())
+                if encoder_in_loop:
+                    with inst.span("train"):
+                        report.train_result = self._fit_joint(x_train, y_train, strategy, config)
+                else:
+                    report.used_embedding_cache = True
+                    reduced = self._normalize_array(self.adapter.transform(x_train))
+                    with inst.span("embedding"):
+                        embeddings = self._encode_reduced(reduced, config.batch_size)
+                    with inst.span("train"):
+                        report.train_result = self._fit_head(embeddings, y_train, config)
 
         if stats_before is not None:
             after = self.store.stats.snapshot()

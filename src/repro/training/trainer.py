@@ -51,6 +51,11 @@ class TrainResult:
     #: op name -> stats dict (see nn.profiler.OpStats.to_dict); empty
     #: unless the run was configured with ``TrainConfig.profile``.
     op_profile: dict[str, dict] = field(default_factory=dict)
+    #: Compiled-graph replay stats observed while the profile was
+    #: active (``{"ops": {...}, "runs": n, "bytes_saved": n}``, see
+    #: nn.profiler.OpProfiler.replay_summary).  Non-empty only when a
+    #: frozen-encoder phase replayed graphs inside the profiled region.
+    replay_profile: dict = field(default_factory=dict)
 
     @property
     def final_loss(self) -> float:
@@ -135,6 +140,9 @@ def train_classifier_on_arrays(
                         break
         if prof is not None:
             result.op_profile = prof.summary()
+            replay = prof.replay_summary()
+            if replay["runs"]:
+                result.replay_profile = replay
 
     result.seconds = watch.elapsed()
     return result

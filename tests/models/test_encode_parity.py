@@ -1,0 +1,82 @@
+"""Three-way encode parity: ndarray vs Tensor vs channel-batched.
+
+``FoundationModel.encode`` has three entry shapes — a raw ndarray
+(single pass), an ``nn.Tensor`` (the differentiable path), and a
+``channel_batch``-chunked inference pass — plus a compiled-replay
+fast path under each.  All of them must agree on the same data, and
+the compiled path must agree *bitwise* with eager.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+
+
+def _data(n=6, t=64, d=3, seed=3):
+    return np.random.default_rng(seed).standard_normal((n, t, d))
+
+
+@pytest.fixture(params=["moment-tiny", "vit-tiny"])
+def model(request):
+    m = build_model(request.param, seed=0)
+    m.eval()
+    m.freeze()
+    return m
+
+
+class TestThreeWayParity:
+    def test_ndarray_tensor_and_chunked_agree(self, model):
+        x = _data()
+        with nn.no_grad():
+            from_array = model.encode(x).data
+            from_tensor = model.encode(nn.Tensor(x)).data
+            chunked = model.encode(x, channel_batch=5).data
+        # ndarray and Tensor paths traverse identical op sequences on
+        # identically-prepared inputs: exact agreement.
+        np.testing.assert_array_equal(from_array, from_tensor)
+        # Chunking changes the pooling association order; agreement is
+        # to dtype tolerance, not bitwise.
+        rtol = 1e-5 if model.dtype == np.float32 else 1e-12
+        np.testing.assert_allclose(chunked, from_array, rtol=rtol, atol=rtol)
+
+    def test_compiled_replay_is_bit_identical_to_eager(self, model):
+        x = _data()
+        with nn.no_grad(), nn.graph.compile_disabled():
+            eager = model.encode(x).data
+        with nn.no_grad():
+            compiled = model.encode(x).data
+        stats = model._graph_cache.stats()
+        assert stats["compiled"] >= 1 and stats["fallbacks"] == 0
+        np.testing.assert_array_equal(compiled, eager)
+
+    def test_chunked_compiled_matches_chunked_eager(self, model):
+        x = _data()
+        with nn.no_grad(), nn.graph.compile_disabled():
+            eager = model.encode(x, channel_batch=6).data
+        with nn.no_grad():
+            compiled = model.encode(x, channel_batch=6).data
+        np.testing.assert_array_equal(compiled, eager)
+
+    def test_training_mode_never_replays(self, model):
+        model.train()
+        x = _data()
+        with nn.no_grad():
+            model.encode(x)
+        assert model._graph_cache.stats()["misses"] == 0
+
+    def test_trainable_encoder_never_replays(self, model):
+        model.unfreeze()
+        model.encode(nn.Tensor(_data()))
+        assert model._graph_cache.stats()["misses"] == 0
+
+    def test_load_state_dict_invalidates_graphs(self, model):
+        x = _data()
+        with nn.no_grad():
+            model.encode(x)
+        assert len(model._graph_cache) > 0
+        model.load_state_dict(model.state_dict())
+        assert len(model._graph_cache) == 0

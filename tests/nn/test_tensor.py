@@ -302,6 +302,35 @@ class TestGraphMechanics:
         (a * 2).sum().backward()
         np.testing.assert_allclose(a.grad, 2 * first)
 
+    def test_double_backward_raises_graph_freed(self):
+        # A second backward() through a freed graph used to silently
+        # produce wrong (partial) gradients; now it must raise.
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        loss = (a * 3).sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="already been freed"):
+            loss.backward()
+
+    def test_backward_through_freed_subgraph_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        hidden = a * 3
+        (hidden * 2).sum().backward()
+        # A new graph hanging off the freed intermediate cannot silently
+        # stop gradient flow at the freed node.
+        with pytest.raises(RuntimeError, match="freed"):
+            (hidden * 5).sum().backward()
+
+    def test_retain_graph_allows_second_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        loss = (a * 3).sum()
+        loss.backward(retain_graph=True)
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])
+        loss.backward()  # second pass accumulates
+        np.testing.assert_allclose(a.grad, [6.0, 6.0])
+        # the final non-retaining pass freed the graph
+        with pytest.raises(RuntimeError, match="already been freed"):
+            loss.backward()
+
 
 class TestCombinators:
     def test_as_tensor_idempotent(self):

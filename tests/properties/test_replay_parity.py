@@ -1,0 +1,94 @@
+"""Registry-wide replay parity: compiled replay is bit-identical to eager.
+
+This is the enforcement point for the compiled-engine contract
+(:mod:`repro.nn.graph`): every registered op must either replay
+bit-identically through capture → compile → run, or be declared
+eager-only and *refuse* capture.  An op added to the registry without
+a replay kernel makes this module fail **by the op's name** — exactly
+mirroring the gradcheck coverage sweep in ``test_op_coverage.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import graph
+from repro.nn.tensor import OP_REGISTRY, OpInfo
+from repro.testing import (
+    assert_replay_coverage,
+    replay_coverage_problems,
+    run_replay_sweep,
+)
+
+
+def test_replay_contract_is_fully_covered():
+    """Every registered op has a kernel or an eager-only declaration."""
+    assert graph.missing_replay_kernels() == []
+    assert graph.stale_replay_kernels() == []
+    assert replay_coverage_problems() == []
+    assert_replay_coverage()
+    graph.assert_replay_coverage()
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+def test_full_replay_sweep(dtype):
+    """All cases of every op replay bit-identically (or refuse capture)."""
+    results = run_replay_sweep(dtypes=(dtype,))
+    assert {result.op for result in results} == set(OP_REGISTRY)
+    for result in results:
+        if result.op in graph.EAGER_ONLY_OPS:
+            assert result.eager_only
+        else:
+            assert result.steps >= 1
+
+
+def test_unknown_op_fails_by_name():
+    """A new op without a replay kernel is reported by its own name."""
+    fake = OpInfo(
+        name="frobnicate",
+        qualname="Tensor.frobnicate",
+        module="repro.nn.tensor",
+        differentiable=True,
+    )
+    OP_REGISTRY["frobnicate"] = fake
+    try:
+        assert "frobnicate" in graph.missing_replay_kernels()
+        problems = replay_coverage_problems()
+        assert any("frobnicate" in p for p in problems)
+        with pytest.raises(AssertionError, match="frobnicate"):
+            run_replay_sweep()
+    finally:
+        del OP_REGISTRY["frobnicate"]
+
+
+def test_stale_kernel_fails_by_name():
+    """A kernel for a deregistered op is reported by name."""
+
+    @graph.replay_kernel("vanished_op")
+    def _k(a, *, out=None):  # pragma: no cover - never executed
+        return a
+
+    try:
+        assert "vanished_op" in graph.stale_replay_kernels()
+        with pytest.raises(AssertionError, match="vanished_op"):
+            graph.assert_replay_coverage()
+    finally:
+        del graph.REPLAY_KERNELS["vanished_op"]
+
+
+def test_dropout_refuses_capture_in_training_mode():
+    """The one nondeterministic op cannot enter a compiled graph."""
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(0)
+    x = np.linspace(-1, 1, 12).reshape(3, 4).astype(np.float32)
+    with pytest.raises(graph.TraceError, match="dropout"):
+        graph.capture(lambda t: F.dropout(t, 0.5, True, rng), [x])
+    # Eval-mode dropout is the identity: nothing is recorded, so a
+    # graph made of only dropout has no traced output and must refuse.
+    with pytest.raises(graph.TraceError):
+        graph.capture(lambda t: F.dropout(t, 0.5, False, rng), [x])
+    # ... but inside a larger graph it simply disappears.
+    trace = graph.capture(lambda t: F.dropout(F.relu(t), 0.5, False, rng), [x])
+    assert [s.op for s in trace.steps] == ["relu"]

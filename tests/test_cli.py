@@ -132,6 +132,41 @@ class TestProfile:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "--dataset", "Vowels", "--dtype", "float16"])
 
+    def test_compiled_flag_prints_replay_table(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--dataset", "Vowels",
+                "--adapter", "pca",
+                "--epochs", "2",
+                "--scale", "0.05",
+                "--max-length", "32",
+                "--compiled",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed op" in out
+        assert "graph replays:" in out
+        assert "arena bytes saved:" in out
+
+    def test_compiled_flag_explains_encoder_in_loop(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--dataset", "Vowels",
+                "--adapter", "pca",
+                "--strategy", "full",
+                "--epochs", "1",
+                "--scale", "0.05",
+                "--max-length", "32",
+                "--compiled",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no graph replays recorded" in out
+
 
 class TestTableFigure:
     def test_table3_prints(self, capsys):

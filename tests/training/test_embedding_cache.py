@@ -49,6 +49,26 @@ class TestComputeEmbeddings:
         emb = compute_embeddings(model, rng.normal(size=(3, 32, 2)))
         assert isinstance(emb, np.ndarray)
 
+    def test_compiled_replay_is_bit_identical(self, model, rng):
+        """compiled=True replays the frozen encoder to the same bits."""
+        model.freeze()
+        x = rng.normal(size=(9, 32, 3))
+        eager = compute_embeddings(model, x, batch_size=4, compiled=False)
+        compiled = compute_embeddings(model, x, batch_size=4, compiled=True)
+        np.testing.assert_array_equal(compiled, eager)
+        assert model._graph_cache.stats()["compiled"] >= 1
+
+    def test_repeated_batches_replay_one_graph_per_bucket(self, model, rng):
+        model.freeze()
+        model._graph_cache.clear()
+        before = model._graph_cache.stats()["misses"]
+        compute_embeddings(model, rng.normal(size=(12, 32, 3)), batch_size=4)
+        stats = model._graph_cache.stats()
+        # Three equal batches share one (shape, dtype) bucket: a single
+        # capture, then replays.
+        assert stats["misses"] - before == 1
+        assert stats["hits"] >= 2
+
 
 class TestComputeEmbeddingsEmpty:
     def test_empty_batch_returns_well_shaped_array(self, model):
