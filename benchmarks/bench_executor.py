@@ -1,7 +1,7 @@
-"""Serial vs parallel executor benchmark.
+"""Serial vs parallel executor benchmark, plus crash-resume overhead.
 
-Runs the same cold-cache experiment grid twice — ``workers=1`` and
-``workers=N`` — and records both wall clocks into
+Part one runs the same cold-cache experiment grid twice —
+``workers=1`` and ``workers=N`` — and records both wall clocks into
 ``BENCH_executor.json``.
 
 The grid mixes quick fit-once jobs (pca) with slow trainable-adapter
@@ -14,6 +14,13 @@ That pre-emption is where the parallel wall-clock win comes from —
 it holds even on a single-CPU container, where parallelism buys no
 raw compute.
 
+Part two measures the durability layer: a scripted grid run against a
+grid directory is SIGKILLed at 50% (via the ``repro.exec.chaos``
+driver), resumed to completion, and resumed once more over a fully
+terminal journal.  Recorded: the recomputed-done-job count (**must be
+0** — that is the whole point of the journal), the resume wall clock,
+and the pure journal-replay overhead of the final no-op resume.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_executor.py [--workers N]
@@ -24,12 +31,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import tempfile
 import time
 from pathlib import Path
 
-from repro.exec import JobSpec, grid, run_jobs
+from repro.exec import ChaosPlan, GridJournal, JobSpec, grid, plans_to_env, run_jobs
 from repro.experiments import FAST, ExperimentRunner
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -80,6 +88,91 @@ def run_mode(specs, *, workers: int, job_timeout: float) -> dict:
     }
 
 
+#: Resume-benchmark grid size (scripted jobs; see repro.exec.chaos).
+RESUME_JOBS = 40
+
+#: Per-job sleep for the scripted grid, so execution time dominates
+#: journal bookkeeping and "half the grid survived" is visible in the
+#: resume wall clock.
+RESUME_SECONDS_PER_JOB = 0.02
+
+
+def _drive_chaos(grid_dir, cache_dir, exec_log, *, plans=(), expect_kill=False) -> dict | None:
+    """One chaos-driver subprocess run; returns its JSON summary + wall."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    if plans:
+        env["REPRO_CHAOS"] = plans_to_env(plans)
+    else:
+        env.pop("REPRO_CHAOS", None)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.exec.chaos",
+            "--grid-dir", str(grid_dir), "--cache-dir", str(cache_dir),
+            "--exec-log", str(exec_log), "--jobs", str(RESUME_JOBS),
+            "--seconds-per-job", str(RESUME_SECONDS_PER_JOB),
+            "--stale-after", "2.0",
+        ],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    wall = time.perf_counter() - start
+    if expect_kill:
+        if proc.returncode != -9:
+            raise RuntimeError(f"expected SIGKILL, got {proc.returncode}: {proc.stderr}")
+        return {"wall_s": round(wall, 3)}
+    if proc.returncode != 0:
+        raise RuntimeError(f"chaos driver failed: {proc.stderr}")
+    summary = json.loads(proc.stdout)
+    summary["wall_s"] = round(wall, 3)
+    return summary
+
+
+def bench_resume() -> dict:
+    """Kill a scripted grid at 50%, resume, and price the journal replay."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        grid_dir, cache_dir, exec_log = tmp / "grid", tmp / "cache", tmp / "exec.log"
+        # journal.committed fires once per lease claim (visits 1..N)
+        # and once per terminal verdict (N+1..2N): N + N/2 is the
+        # commit of the N/2-th result — the 50% point.
+        kill_at = RESUME_JOBS + RESUME_JOBS // 2
+        _drive_chaos(
+            grid_dir, cache_dir, exec_log,
+            plans=[ChaosPlan("kill", "journal.committed", after=kill_at)],
+            expect_kill=True,
+        )
+        executed_before = len(exec_log.read_text().splitlines())
+
+        resume = _drive_chaos(grid_dir, cache_dir, exec_log)
+        labels = exec_log.read_text().splitlines()
+        journal = GridJournal.open(grid_dir)
+        recomputed = journal.progress()["re_executed"]
+
+        replay = _drive_chaos(grid_dir, cache_dir, exec_log)
+        assert len(exec_log.read_text().splitlines()) == len(labels)
+
+    return {
+        "jobs": RESUME_JOBS,
+        "seconds_per_job": RESUME_SECONDS_PER_JOB,
+        "killed_after_jobs": executed_before,
+        "resume": {
+            "wall_s": resume["wall_s"],
+            "executed": len(labels) - executed_before,
+            "resumed": resume["progress"]["resumed"],
+            "stolen_leases": resume["progress"]["stolen"],
+        },
+        "recomputed_done_jobs": recomputed,
+        "total_executions": len(labels),
+        "journal_replay": {
+            "wall_s": replay["wall_s"],
+            "resumed": replay["progress"]["resumed"],
+            "executed": 0,
+            "per_job_overhead_ms": round(1000.0 * replay["wall_s"] / RESUME_JOBS, 3),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=2, help="parallel worker count")
@@ -87,7 +180,29 @@ def main(argv=None) -> int:
         "--output", default=str(REPO_ROOT / "BENCH_executor.json"),
         help="where to write the JSON record",
     )
+    parser.add_argument(
+        "--resume-only", action="store_true",
+        help="run only the kill-at-50%% resume benchmark (merged into the record)",
+    )
     args = parser.parse_args(argv)
+
+    output = Path(args.output)
+    if args.resume_only:
+        resume = bench_resume()
+        print(f"resume   : killed after {resume['killed_after_jobs']}/{resume['jobs']} "
+              f"jobs, recomputed {resume['recomputed_done_jobs']}, "
+              f"resume {resume['resume']['wall_s']:.2f}s, "
+              f"replay {resume['journal_replay']['wall_s']:.2f}s", flush=True)
+        if resume["recomputed_done_jobs"] != 0:
+            print("FAIL: resume recomputed finished jobs", file=sys.stderr)
+            return 1
+        record = json.loads(output.read_text()) if output.exists() else {
+            "benchmark": "executor_serial_vs_parallel"
+        }
+        record["resume"] = resume
+        output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"-> {output}")
+        return 0
 
     specs = bench_grid()
     calibration = calibrate()
@@ -102,6 +217,15 @@ def main(argv=None) -> int:
     parallel = run_mode(specs, workers=args.workers, job_timeout=job_timeout)
     print(f"parallel : {parallel['wall_s']:.2f}s  {parallel['cells']}", flush=True)
 
+    resume = bench_resume()
+    print(f"resume   : killed after {resume['killed_after_jobs']}/{resume['jobs']} "
+          f"jobs, recomputed {resume['recomputed_done_jobs']}, "
+          f"resume {resume['resume']['wall_s']:.2f}s, "
+          f"replay {resume['journal_replay']['wall_s']:.2f}s", flush=True)
+    if resume["recomputed_done_jobs"] != 0:
+        print("FAIL: resume recomputed finished jobs", file=sys.stderr)
+        return 1
+
     speedup = serial["wall_s"] / parallel["wall_s"] if parallel["wall_s"] else float("inf")
     record = {
         "benchmark": "executor_serial_vs_parallel",
@@ -112,9 +236,10 @@ def main(argv=None) -> int:
         "serial": serial,
         "parallel": parallel,
         "speedup": round(speedup, 3),
+        "resume": resume,
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"speedup  : {speedup:.2f}x  -> {args.output}")
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"speedup  : {speedup:.2f}x  -> {output}")
     return 0
 
 

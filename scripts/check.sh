@@ -11,6 +11,10 @@
 #   5. nn smoke     fused-op gradchecks, the replay-parity sweep
 #                   (eager vs compiled bit-identity for every
 #                   registered op), and the tiny dtype/replay bench
+#   6. chaos smoke  seeded SIGKILL-at-a-point + resume over a scripted
+#                   grid: the journal/lease layer must converge to the
+#                   reference results with zero re-executed done jobs
+#                   (deterministic, well under a minute)
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
@@ -58,3 +62,12 @@ python -m repro.cli selfcheck --smoke
 echo "== nn fast-numerics smoke =="
 python -m pytest tests/nn/test_fused_ops.py tests/properties/test_replay_parity.py -q
 python benchmarks/bench_nn.py --smoke
+
+# Crash-safety gate: one seeded kill/resume scenario plus the shard
+# double-claim race, end to end through real SIGKILLed subprocesses.
+# The full kill-point sweep lives in tests/exec/test_chaos.py (tier 2);
+# this tier pins the deepest scenario even when pytest args above
+# selected an unrelated subtree.
+echo "== chaos smoke (kill/resume) =="
+python -m pytest "tests/exec/test_chaos.py::TestKillResumeConvergence::test_kill_anywhere_resume_converges[journal.committed-15]" \
+                 "tests/exec/test_chaos.py::TestConcurrentShards::test_two_shards_share_a_grid_without_duplicate_execution" -q

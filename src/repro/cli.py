@@ -24,6 +24,14 @@ Subcommands
     Inspect (``stats``) or empty (``clear``) the content-addressed
     artifact cache that ``table``/``figure``/``report`` reuse across
     processes when ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) is set.
+``repro sweep``
+    Run an experiment grid against a *grid directory*: every verdict
+    is journaled crash-safely, interrupted sweeps resume without
+    recomputation, and several ``--shard`` processes can work-steal
+    one grid concurrently (see ``docs/exec.md``).
+``repro grid``
+    Inspect a grid directory: per-state job counts, active shard
+    leases and a naive ETA (``status``).
 
 Invoke as ``python -m repro.cli ...`` or the installed ``repro``
 script.
@@ -39,7 +47,7 @@ from .adapters import make_adapter
 from .adapters.registry import ADAPTER_NAMES
 from .data import dataset_info, dataset_names
 from .evaluation import render_table
-from .exec import JobSpec, ProgressTracker
+from .exec import DEFAULT_STALE_AFTER, JobSpec, ProgressTracker
 from .experiments import (
     ExperimentRunner,
     figure1,
@@ -171,6 +179,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--namespace",
         choices=NAMESPACES,
         help="restrict `clear` to one artifact kind",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a resumable experiment grid (journal + shard leases)"
+    )
+    sweep.add_argument(
+        "--grid-dir", required=True, metavar="DIR",
+        help="grid directory holding the journal, leases and (by default) the cache",
+    )
+    sweep.add_argument("--preset", default="fast", help="experiment preset (fast|standard)")
+    sweep.add_argument("--datasets", nargs="*", help="restrict to these datasets")
+    sweep.add_argument(
+        "--models", nargs="*", choices=("MOMENT", "ViT"), default=None,
+        help="paper models to run (default: both)",
+    )
+    sweep.add_argument("--adapters", nargs="*", help="adapters to run (default: none pca)")
+    sweep.add_argument(
+        "--strategies", nargs="*", choices=[s.value for s in FineTuneStrategy],
+        help="fine-tuning strategies (default: adapter_head)",
+    )
+    sweep.add_argument("--seeds", nargs="*", type=int, help="restrict to these seeds")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the experiment grid (1 = in-process)",
+    )
+    sweep.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; jobs over it surface as TO cells",
+    )
+    sweep.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache (default: <grid-dir>/cache, shared by all shards)",
+    )
+    sweep.add_argument(
+        "--shard", action="store_true",
+        help="contribute what this process can claim and exit without "
+        "waiting for jobs other shards hold",
+    )
+    sweep.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore journaled verdicts and re-execute everything",
+    )
+    sweep.add_argument(
+        "--retry-budget", type=int, default=1,
+        help="extra attempts granted to journaled TO/COM verdicts across resumes",
+    )
+    sweep.add_argument(
+        "--stale-after", type=float, default=DEFAULT_STALE_AFTER, metavar="SECONDS",
+        help="heartbeat age after which a peer's lease is stolen",
+    )
+    sweep.add_argument(
+        "--owner", default=None,
+        help="shard owner id for leases (default: host:pid:nonce)",
+    )
+
+    grid_cmd = sub.add_parser("grid", help="inspect a resumable grid directory")
+    grid_cmd.add_argument("action", choices=("status",))
+    grid_cmd.add_argument("grid_dir", metavar="DIR", help="grid directory to inspect")
+    grid_cmd.add_argument(
+        "--stale-after", type=float, default=DEFAULT_STALE_AFTER, metavar="SECONDS",
+        help="heartbeat age after which a lease counts as stale",
     )
 
     baseline = sub.add_parser("baseline", help="run a classical baseline (ROCKET / 1-NN DTW)")
@@ -473,6 +542,96 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .exec import grid
+
+    config = get_preset(args.preset)
+    if args.seeds:
+        config = config.with_(seeds=tuple(args.seeds))
+    datasets = tuple(
+        dataset_info(d).name for d in (args.datasets or config.datasets)
+    )
+    specs = grid(
+        datasets=datasets,
+        models=tuple(args.models) if args.models else ("MOMENT", "ViT"),
+        adapters=tuple(args.adapters) if args.adapters else ("none", "pca"),
+        strategies=tuple(args.strategies) if args.strategies else ("adapter_head",),
+        seeds=config.seeds,
+    )
+    cache_dir = args.cache_dir or str(Path(args.grid_dir) / "cache")
+    runner = ExperimentRunner(
+        config,
+        cache_dir=cache_dir,
+        workers=max(1, int(args.workers)),
+        job_timeout=args.job_timeout,
+    )
+    tracker = ProgressTracker(stream=sys.stderr)
+    results = runner.run_specs(
+        specs,
+        tracker=tracker,
+        grid_dir=args.grid_dir,
+        resume=not args.no_resume,
+        retry_budget=args.retry_budget,
+        stale_after=args.stale_after,
+        owner=args.owner,
+        wait_for_peers=not args.shard,
+    )
+    finished = [r for r in results if r is not None]
+    snapshot = tracker.snapshot()
+    print(f"grid    : {args.grid_dir}")
+    print(f"jobs    : {len(specs)} total, {len(finished)} finished this process")
+    print(
+        "resume  : "
+        f"{snapshot['resumed']} resumed, {snapshot['cached']} cached, "
+        f"{snapshot['stolen']} leases stolen"
+    )
+    if len(finished) < len(results):
+        print(f"pending : {len(results) - len(finished)} jobs held by other shards")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .exec import GridJournal, LeaseBoard
+
+    grid_dir = Path(args.grid_dir)
+    journal = GridJournal.open(grid_dir)
+    if not journal.manifest_path.exists():
+        print(f"no grid journal at {grid_dir} (run `repro sweep --grid-dir {grid_dir}` first)")
+        return 1
+    progress = journal.progress()
+    counts = progress["counts"]
+    print(f"grid    : {grid_dir}")
+    print(f"jobs    : {progress['total']} total, {progress['remaining']} remaining")
+    rows = [[state, str(counts[state])] for state in counts if counts[state]]
+    if rows:
+        print(render_table(["state", "jobs"], rows))
+    if progress["re_executed"]:
+        print(f"re-run  : {progress['re_executed']} duplicate executions recorded")
+    if progress["mean_job_seconds"] is not None:
+        print(f"mean    : {progress['mean_job_seconds']:.2f} s/job")
+    if progress["eta_seconds"] is not None:
+        print(f"eta     : {progress['eta_seconds']:.0f} s")
+    leases = LeaseBoard(grid_dir, stale_after=args.stale_after).active()
+    if leases:
+        lease_rows = [
+            [
+                row["digest"][:12],
+                row["owner"],
+                f"{row['heartbeat_age_s']:.1f}s",
+                "stale" if row["stale"] else "live",
+            ]
+            for row in leases
+        ]
+        print(render_table(["lease", "owner", "heartbeat", "state"], lease_rows))
+    else:
+        print("leases  : none active")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import build_report
 
@@ -567,6 +726,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_baseline(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "grid":
+        return _cmd_grid(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "selfcheck":

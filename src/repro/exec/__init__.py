@@ -1,6 +1,6 @@
 """Spec-driven experiment API and fault-tolerant parallel executor.
 
-The subsystem has four parts:
+The subsystem has seven parts:
 
 * :mod:`repro.exec.spec` — :class:`JobSpec`, the frozen hashable
   description of one experiment job, and :func:`grid` to expand
@@ -14,11 +14,31 @@ The subsystem has four parts:
   knobs, and the mapping of executor faults onto the paper's TO/COM
   table cells;
 * :mod:`repro.exec.progress` — :class:`ProgressTracker`, aggregating
-  per-job ``RunSummary`` events into one live report line.
+  per-job ``RunSummary`` events into one live report line;
+* :mod:`repro.exec.journal` — :class:`GridJournal`, the persistent
+  per-grid ledger (atomic per-spec state records, crash-safe resume,
+  journaled TO/COM verdicts with a bounded retry budget);
+* :mod:`repro.exec.lease` — :class:`LeaseBoard` file-lock shard
+  leases with heartbeats and race-free stale-lease stealing, so N
+  processes share one grid with no coordinator;
+* :mod:`repro.exec.chaos` — the seeded fault-injection harness
+  (:class:`ChaosPlan` / :func:`chaos_point`) plus the deterministic
+  :class:`ScriptedRunner` used by the kill/resume test scenarios.
 
 Usage and design notes: ``docs/exec.md``.
 """
 
+from .chaos import (
+    CHAOS_ENV,
+    ChaosError,
+    ChaosInjector,
+    ChaosPlan,
+    ScriptedRunner,
+    chaos_point,
+    corrupt_store_entry,
+    plans_to_env,
+    scripted_grid,
+)
 from .executor import JobOutcome, ParallelExecutor, WorkerPool, run_jobs
 from .faults import (
     TRANSIENT_EXCEPTIONS,
@@ -32,6 +52,8 @@ from .faults import (
     memory_result,
     timeout_result,
 )
+from .journal import GridJournal, JournalEntry, JournalRecord
+from .lease import DEFAULT_STALE_AFTER, Lease, LeaseBoard, default_owner
 from .progress import ProgressTracker
 from .spec import JobSpec, config_from_meta, config_to_meta, grid
 
@@ -55,4 +77,20 @@ __all__ = [
     "ProgressTracker",
     "config_to_meta",
     "config_from_meta",
+    "GridJournal",
+    "JournalEntry",
+    "JournalRecord",
+    "LeaseBoard",
+    "Lease",
+    "DEFAULT_STALE_AFTER",
+    "default_owner",
+    "ChaosPlan",
+    "ChaosInjector",
+    "ChaosError",
+    "CHAOS_ENV",
+    "chaos_point",
+    "plans_to_env",
+    "corrupt_store_entry",
+    "ScriptedRunner",
+    "scripted_grid",
 ]

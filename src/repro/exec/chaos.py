@@ -1,0 +1,402 @@
+"""Seeded, deterministic fault injection for grid orchestration.
+
+The single-pool fault machinery (``repro.exec.faults`` + the property
+harness from ``repro.testing``) proves that one *worker* can die
+without taking a grid down.  This module scales the adversary up to
+the whole orchestration: kill the parent process between a store write
+and a journal append, SIGKILL a worker mid-job, corrupt a store entry
+on disk, or freeze a shard's lease heartbeat so a peer steals its
+work.  Every fault fires at a *deterministic, seeded* point, so a
+failing scenario replays exactly.
+
+Three pieces:
+
+* :class:`ChaosPlan` / :class:`ChaosInjector` — a plan names a fault
+  ``kind`` and an instrumented ``site`` (e.g. ``journal.committed``)
+  plus the 1-based visit count ``after`` at which it fires.  Code
+  under test calls :func:`chaos_point` at its instrumented sites; with
+  no injector installed that is a near-free no-op.  The injector can
+  be installed programmatically (:func:`install`) or — because chaos
+  scenarios SIGKILL real processes — through the ``REPRO_CHAOS``
+  environment variable, which spawned workers inherit.
+* :class:`ScriptedRunner` — a minimal, fast stand-in honouring the
+  ``ParallelExecutor`` runner contract: deterministic fake accuracies,
+  results persisted through a real :class:`~repro.runtime.ArtifactStore`,
+  and an append-only execution log so tests can count *actual*
+  executions across killed/resumed/concurrent processes.
+* ``python -m repro.exec.chaos`` — a subprocess driver that runs a
+  scripted grid against a grid directory (journal + leases), printing
+  a one-line JSON summary.  Tests and the resume benchmark launch it,
+  kill it mid-grid via ``REPRO_CHAOS``, relaunch it with resume, and
+  assert the invariant: *kill anywhere, resume, converge to the same
+  grid result with zero re-executed done jobs*.
+
+Instrumented sites (grep for ``chaos_point(`` to audit):
+
+========================  ====================================================
+``journal.record``        before a journal state record is persisted
+``journal.committed``     after the record's atomic rename (between the
+                          store write and the journal append for results)
+``exec.job``              parent side, before a job is executed inline
+``worker.job``            worker side, before a pooled job body runs
+``lease.heartbeat``       a shard refreshing one of its lease heartbeats
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosInjector",
+    "chaos_point",
+    "install",
+    "uninstall",
+    "active_injector",
+    "corrupt_store_entry",
+    "ScriptedRunner",
+    "scripted_grid",
+]
+
+#: Environment variable carrying a JSON list of plans (see ChaosPlan).
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Fault kinds a plan may name.
+KINDS = ("kill", "exception", "freeze_heartbeat")
+
+
+class ChaosError(RuntimeError):
+    """Raised by an ``exception``-kind plan at its trigger point."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One scheduled fault: fire ``kind`` at visit ``after`` of ``site``.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill"`` — SIGKILL the *current* process (parent or worker,
+        whichever visits the site); ``"exception"`` — raise
+        :class:`ChaosError`; ``"freeze_heartbeat"`` — from this point
+        on, lease heartbeats in this process silently stop refreshing
+        (the lease goes stale and peers may steal it).
+    site:
+        Instrumented site name (see the module docstring table).
+    after:
+        1-based visit count at which the fault fires; visits are
+        counted per site within one process.
+    """
+
+    kind: str
+    site: str
+    after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}; expected one of {KINDS}")
+        if self.after < 1:
+            raise ValueError("ChaosPlan.after is 1-based and must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict for the ``REPRO_CHAOS`` transport."""
+        return {"kind": self.kind, "site": self.site, "after": self.after}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosPlan":
+        return cls(kind=data["kind"], site=data["site"], after=int(data.get("after", 1)))
+
+
+def plans_to_env(plans: Iterable[ChaosPlan]) -> str:
+    """Serialise plans for the ``REPRO_CHAOS`` environment variable."""
+    return json.dumps([plan.to_dict() for plan in plans])
+
+
+class ChaosInjector:
+    """Counts visits to instrumented sites and fires matching plans."""
+
+    def __init__(self, plans: Iterable[ChaosPlan]) -> None:
+        self.plans = tuple(plans)
+        self.visits: dict[str, int] = {}
+        self.fired: list[ChaosPlan] = []
+        self.heartbeat_frozen = False
+
+    def visit(self, site: str, **context: Any) -> None:
+        """Count one visit to ``site``; fire any plan due at this count."""
+        count = self.visits.get(site, 0) + 1
+        self.visits[site] = count
+        for plan in self.plans:
+            if plan.site == site and plan.after == count:
+                self._fire(plan, context)
+
+    # ------------------------------------------------------------------
+    def _fire(self, plan: ChaosPlan, context: dict) -> None:
+        self.fired.append(plan)
+        if plan.kind == "kill":
+            # SIGKILL, not sys.exit: no atexit hooks, no finally blocks,
+            # no flushing — the honest crash the journal must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif plan.kind == "exception":
+            raise ChaosError(f"injected at {plan.site} (visit {plan.after})")
+        elif plan.kind == "freeze_heartbeat":
+            self.heartbeat_frozen = True
+
+
+_injector: ChaosInjector | None = None
+_env_checked = False
+
+
+def install(injector: ChaosInjector) -> ChaosInjector:
+    """Install an injector for this process (tests drive this directly)."""
+    global _injector, _env_checked
+    _injector = injector
+    _env_checked = True
+    return injector
+
+
+def uninstall() -> None:
+    """Remove any installed injector (and re-arm the env lookup)."""
+    global _injector, _env_checked
+    _injector = None
+    _env_checked = False
+
+
+def active_injector() -> ChaosInjector | None:
+    """The installed injector, lazily constructed from ``$REPRO_CHAOS``."""
+    global _injector, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        blob = os.environ.get(CHAOS_ENV)
+        if blob:
+            _injector = ChaosInjector(
+                ChaosPlan.from_dict(entry) for entry in json.loads(blob)
+            )
+    return _injector
+
+
+def chaos_point(site: str, **context: Any) -> None:
+    """Instrumentation hook: a no-op unless an injector is active."""
+    injector = active_injector()
+    if injector is not None:
+        injector.visit(site, **context)
+
+
+def heartbeat_frozen() -> bool:
+    """Whether an active plan has frozen this process's heartbeats."""
+    injector = active_injector()
+    return injector is not None and injector.heartbeat_frozen
+
+
+# ----------------------------------------------------------------------
+# Store corruption (the one fault that is injected at rest, not live)
+# ----------------------------------------------------------------------
+def corrupt_store_entry(cache_dir: str | Path, key: str, *, seed: int = 0) -> Path:
+    """Overwrite a disk-store entry with seeded garbage, in place.
+
+    Models bit rot / a torn copy of an already-committed entry.  The
+    store's read path must count it in ``stats.corrupt`` and treat it
+    as a miss; the journal's resolver must then re-execute the job.
+    """
+    import numpy as np
+
+    namespace, digest = key.split("/", 1)
+    path = Path(cache_dir) / namespace / f"{digest}.npz"
+    if not path.exists():
+        raise FileNotFoundError(f"no store entry to corrupt at {path}")
+    size = max(16, path.stat().st_size // 2)
+    garbage = np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+    path.write_bytes(garbage.tobytes())
+    return path
+
+
+# ----------------------------------------------------------------------
+# ScriptedRunner: the fast runner chaos scenarios orchestrate
+# ----------------------------------------------------------------------
+class ScriptedRunner:
+    """A deterministic, fast stand-in for ``ExperimentRunner``.
+
+    Implements exactly the surface :class:`repro.exec.ParallelExecutor`
+    touches — ``cached_result`` / ``adopt_result`` / ``simulate_spec``
+    / ``run_spec`` / ``store`` / ``config_fingerprint`` — with a fake
+    training body: a deterministic accuracy derived from the spec, an
+    optional fixed sleep, and results persisted through a real
+    :class:`~repro.runtime.ArtifactStore` under the real content key.
+    Chaos scenarios need hundreds of executions across killed and
+    resumed processes; real training would make them minutes-slow
+    without making the orchestration any more honest.
+
+    ``exec_log`` (optional) appends one line per *actual* execution —
+    the cross-process ground truth for "zero re-executed done jobs".
+    Appends are single ``O_APPEND`` writes, atomic for these sizes on
+    POSIX, so concurrent shards can share one log.
+
+    Serial only: the pooled path spawns real ``ExperimentRunner``
+    workers, so use ``workers=1`` (the default) with this runner.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        store=None,
+        seconds_per_job: float = 0.0,
+        exec_log: str | Path | None = None,
+        fingerprint: str = "scripted",
+    ) -> None:
+        from ..runtime import ArtifactStore
+
+        self.store = store if store is not None else ArtifactStore(cache_dir)
+        self.seconds_per_job = float(seconds_per_job)
+        self.exec_log = Path(exec_log) if exec_log is not None else None
+        self.config = None
+        self.workers = 1
+        self.job_timeout = None
+        self.tracker = None
+        self._fingerprint = fingerprint
+
+    # -- runner contract ------------------------------------------------
+    @property
+    def config_fingerprint(self) -> str:
+        return self._fingerprint
+
+    def cached_result(self, spec):
+        """The stored result for ``spec``, or ``None`` on a store miss."""
+        from ..experiments.runner import ExperimentResult
+
+        artifact = self.store.get(spec.result_key(self._fingerprint))
+        if artifact is None:
+            return None
+        return ExperimentResult.from_meta(artifact.meta)
+
+    def adopt_result(self, spec, result):
+        """Persist ``result`` under the spec's content key (idempotent)."""
+        key = spec.result_key(self._fingerprint)
+        if self.store.get(key) is None:
+            self.store.put(key, meta=json.loads(json.dumps(result.to_meta())))
+        return result
+
+    def simulate_spec(self, spec):
+        """Every scripted job passes the cost-model gate as OK."""
+        from ..resources import RunStatus, SimulatedRun
+
+        return SimulatedRun(
+            status=RunStatus.OK, seconds=1.0, peak_memory_bytes=1.0, flops=1.0
+        )
+
+    def run_spec(self, spec):
+        """Execute one scripted job: optional sleep, log line, fake accuracy."""
+        import time
+        import zlib
+
+        from ..experiments.runner import ExperimentResult
+
+        cached = self.cached_result(spec)
+        if cached is not None:
+            return cached
+        if self.seconds_per_job > 0:
+            time.sleep(self.seconds_per_job)
+        if self.exec_log is not None:
+            fd = os.open(self.exec_log, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, (spec.label + "\n").encode("utf-8"))
+            finally:
+                os.close(fd)
+        accuracy = (zlib.crc32(spec.label.encode("utf-8")) % 10_000) / 10_000.0
+        result = ExperimentResult(
+            dataset=spec.dataset,
+            model=spec.model,
+            adapter=spec.adapter,
+            strategy=spec.strategy,
+            seed=spec.seed,
+            status=self.simulate_spec(spec).status,
+            accuracy=accuracy,
+            simulated=self.simulate_spec(spec),
+            measured_seconds=self.seconds_per_job,
+            summary=None,
+        )
+        key = spec.result_key(self._fingerprint)
+        self.store.put(key, meta=json.loads(json.dumps(result.to_meta())))
+        return result
+
+    def executions(self) -> list[str]:
+        """Labels actually executed so far (from the shared log)."""
+        if self.exec_log is None or not self.exec_log.exists():
+            return []
+        return self.exec_log.read_text().splitlines()
+
+
+def scripted_grid(jobs: int) -> tuple:
+    """A deterministic ``jobs``-long spec grid for chaos scenarios."""
+    from .spec import grid
+
+    datasets = ("JapaneseVowels", "Heartbeat", "NATOPS", "FingerMovements")
+    adapters = ("pca", "svd", "var", "rand_proj", "none")
+    specs = grid(datasets, ("MOMENT", "ViT"), adapters=adapters, seeds=(0, 1, 2))
+    if jobs > len(specs):
+        raise ValueError(f"scripted_grid supports at most {len(specs)} jobs")
+    return specs[:jobs]
+
+
+# ----------------------------------------------------------------------
+# Subprocess driver: `python -m repro.exec.chaos`
+# ----------------------------------------------------------------------
+def _drive(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    from .executor import run_jobs
+    from .progress import ProgressTracker
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.chaos",
+        description="run a scripted grid against a grid directory (chaos harness driver)",
+    )
+    parser.add_argument("--grid-dir", required=True, help="journal + lease directory")
+    parser.add_argument("--cache-dir", required=True, help="artifact store directory")
+    parser.add_argument("--exec-log", required=True, help="append-only execution log")
+    parser.add_argument("--jobs", type=int, default=12, help="grid size")
+    parser.add_argument("--seconds-per-job", type=float, default=0.0)
+    parser.add_argument("--no-resume", action="store_true")
+    parser.add_argument("--shard", action="store_true",
+                        help="work-steal without waiting for peer shards")
+    parser.add_argument("--stale-after", type=float, default=30.0)
+    parser.add_argument("--owner", default=None, help="lease owner id override")
+    args = parser.parse_args(argv)
+
+    runner = ScriptedRunner(
+        args.cache_dir,
+        seconds_per_job=args.seconds_per_job,
+        exec_log=args.exec_log,
+    )
+    specs = scripted_grid(args.jobs)
+    tracker = ProgressTracker()
+    results = run_jobs(
+        runner,
+        specs,
+        workers=1,
+        tracker=tracker,
+        grid_dir=args.grid_dir,
+        resume=not args.no_resume,
+        wait_for_peers=not args.shard,
+        stale_after=args.stale_after,
+        owner=args.owner,
+    )
+    cells = {spec.label: (None if r is None else r.cell) for spec, r in zip(specs, results)}
+    print(json.dumps({
+        "jobs": len(specs),
+        "completed": sum(1 for cell in cells.values() if cell is not None),
+        "cells": cells,
+        "progress": tracker.snapshot(),
+    }, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_drive())

@@ -26,6 +26,17 @@ Two layers:
   executor faults onto the paper's TO/COM cells
   (see :mod:`repro.exec.faults`).
 
+Durability and sharding (``grid_dir=...``): when a grid directory is
+configured, every verdict streams into a crash-safe
+:class:`~repro.exec.journal.GridJournal` *as it lands* (via the
+pool's ``on_outcome`` hook), jobs are claimed through
+:class:`~repro.exec.lease.LeaseBoard` file-lock shard leases, and
+``resume=True`` reloads journaled verdicts — including the TO/COM
+cells the artifact store deliberately refuses — so an interrupted or
+crashed grid re-executes nothing that finished, and N independent
+processes work-steal one grid with no coordinator and no duplicate
+execution.  See ``docs/exec.md`` for the journal/lease lifecycle.
+
 Determinism: jobs are assigned to workers in input order and results
 are returned in input order, so a grid executed with ``workers=1`` and
 ``workers=4`` yields identical results (training is seeded and every
@@ -49,7 +60,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ..runtime import Stopwatch
+from .chaos import chaos_point
 from .faults import FaultPolicy, _FailureLog, is_transient, memory_result, timeout_result
+from .journal import GridJournal
+from .lease import DEFAULT_STALE_AFTER, LeaseBoard
 from .progress import ProgressTracker
 from .spec import JobSpec, config_from_meta, config_to_meta
 
@@ -107,7 +121,9 @@ def _spec_worker_init(config_meta: dict, cache_dir: str | None) -> None:
 
 
 def _execute_spec(payload: dict) -> dict:
-    result = _WORKER_RUNNER.run_spec(JobSpec.from_dict(payload))
+    spec = JobSpec.from_dict(payload)
+    chaos_point("worker.job", label=spec.label)
+    result = _WORKER_RUNNER.run_spec(spec)
     return result.to_meta()
 
 
@@ -186,13 +202,28 @@ class WorkerPool:
         self.tracker = tracker
 
     # ------------------------------------------------------------------
-    def map(self, payloads: Sequence[Any], labels: Sequence[str] | None = None) -> list[JobOutcome]:
+    def map(
+        self,
+        payloads: Sequence[Any],
+        labels: Sequence[str] | None = None,
+        *,
+        on_outcome: Callable[[JobOutcome], None] | None = None,
+        on_tick: Callable[[], None] | None = None,
+    ) -> list[JobOutcome]:
         """Run every payload; returns outcomes in input order.
 
         Never raises for per-job conditions: timeouts, permanent
         errors and pool breakage are reported in the outcomes (status
         ``"timeout"`` / ``"error"`` / ``"broken"``) so the caller
         decides how to degrade.
+
+        Streaming hooks: ``on_outcome`` fires in the parent the moment
+        a payload reaches a terminal ``ok``/``error``/``timeout``
+        outcome — this is how results land in the grid journal while
+        the rest of the grid is still running — and ``on_tick`` fires
+        once per scheduler poll (~50 ms), which the lease layer uses
+        for heartbeats.  ``broken`` outcomes are *not* streamed: the
+        caller decides how to degrade the surviving jobs first.
         """
         n = len(payloads)
         if n == 0:
@@ -246,6 +277,11 @@ class WorkerPool:
                 except Exception:
                     pass
 
+        def settle(outcome: JobOutcome) -> None:
+            outcomes[outcome.index] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+
         def record_failure(entry: _Pending, error: str, transient: bool) -> None:
             entry.failures += 1
             if transient and entry.failures <= self.policy.max_retries:
@@ -254,9 +290,9 @@ class WorkerPool:
                 if self.tracker is not None:
                     self.tracker.job_retried(entry.label)
             else:
-                outcomes[entry.index] = JobOutcome(
+                settle(JobOutcome(
                     index=entry.index, status="error", error=error, attempts=entry.failures
-                )
+                ))
 
         def close_conn(worker: _Worker) -> None:
             try:
@@ -266,6 +302,8 @@ class WorkerPool:
 
         try:
             while len(outcomes) < n:
+                if on_tick is not None:
+                    on_tick()
                 if broken:
                     for worker in workers.values():
                         if worker.entry is not None:
@@ -338,9 +376,9 @@ class WorkerPool:
                         entry = worker.entry
                         worker.entry = None
                         if kind == "ok":
-                            outcomes[index] = JobOutcome(
+                            settle(JobOutcome(
                                 index=index, status="ok", value=value, attempts=entry.failures + 1
-                            )
+                            ))
                         else:  # "error"
                             error_text, transient = value
                             record_failure(entry, error_text, transient)
@@ -371,11 +409,11 @@ class WorkerPool:
                             continue
                         entry = worker.entry
                         worker.entry = None
-                        outcomes[entry.index] = JobOutcome(
+                        settle(JobOutcome(
                             index=entry.index, status="timeout",
                             error=f"exceeded job timeout of {self.timeout:g}s",
                             attempts=entry.failures + 1,
-                        )
+                        ))
                         workers.pop(worker_id)
                         stop_worker(worker, force=True)
                         close_conn(worker)
@@ -399,12 +437,37 @@ class ParallelExecutor:
     """Runs :class:`JobSpec` grids through an :class:`ExperimentRunner`.
 
     The parent resolves everything that does not need a worker —
-    cache hits, jobs the resource simulation already rejects (their
-    TO/COM outcome costs no training), and jobs over the executor's
-    simulated-memory budget — then fans the remaining training jobs
-    out to a :class:`WorkerPool` (or runs them inline when
-    ``workers<=1``).  Duplicate specs are deduplicated; results come
-    back in input order.
+    journaled verdicts (on resume), cache hits, jobs the resource
+    simulation already rejects (their TO/COM outcome costs no
+    training), and jobs over the executor's simulated-memory budget —
+    then fans the remaining training jobs out to a :class:`WorkerPool`
+    (or runs them inline when ``workers<=1``).  Duplicate specs are
+    deduplicated; results come back in input order.
+
+    With a ``journal`` (and its sibling ``leases`` board), execution
+    becomes durable and multi-process: each runnable spec is claimed
+    through a file-lock lease before it runs, every verdict streams
+    into the journal the moment it lands, and specs a live peer holds
+    are *waited on* (their results arrive through the shared journal
+    and store) or *stolen* once the peer's heartbeat goes stale.
+
+    Parameters
+    ----------
+    journal:
+        Optional :class:`~repro.exec.journal.GridJournal`; enables
+        resume and is required by ``leases``.
+    leases:
+        Optional :class:`~repro.exec.lease.LeaseBoard`; enables
+        multi-process work stealing over one grid directory.
+    resume:
+        Reload journaled verdicts instead of re-executing (default).
+        ``False`` re-runs everything but still journals fresh state.
+    wait_for_peers:
+        Block until specs leased by live peers reach a terminal state
+        (default).  ``False`` — shard mode — returns ``None`` result
+        slots for jobs another shard is still running.
+    peer_poll_s:
+        Journal/lease poll interval while waiting on peers.
     """
 
     def __init__(
@@ -415,12 +478,24 @@ class ParallelExecutor:
         job_timeout: float | None = None,
         policy: FaultPolicy | None = None,
         tracker: ProgressTracker | None = None,
+        journal: GridJournal | None = None,
+        leases: LeaseBoard | None = None,
+        resume: bool = True,
+        wait_for_peers: bool = True,
+        peer_poll_s: float = 0.2,
     ) -> None:
+        if leases is not None and journal is None:
+            raise ValueError("shard leases require a grid journal (same grid_dir)")
         self.runner = runner
         self.workers = int(runner.workers if workers is None else workers)
         self.job_timeout = runner.job_timeout if job_timeout is None else job_timeout
         self.policy = policy if policy is not None else FaultPolicy()
         self.tracker = tracker
+        self.journal = journal
+        self.leases = leases
+        self.resume = bool(resume)
+        self.wait_for_peers = bool(wait_for_peers)
+        self.peer_poll_s = float(peer_poll_s)
 
     # ------------------------------------------------------------------
     def run(self, specs: Iterable[JobSpec]) -> list:
@@ -428,7 +503,9 @@ class ParallelExecutor:
 
         Raises :class:`~repro.exec.faults.JobFailedError` only after
         the whole grid has been driven to completion, so completed
-        work is preserved (and cached) even when some jobs fail.
+        work is preserved (cached and journaled) even when some jobs
+        fail.  In shard mode (``wait_for_peers=False``) jobs still
+        leased by a live peer at exit come back as ``None`` slots.
         """
         specs = [s if isinstance(s, JobSpec) else JobSpec.from_dict(s) for s in specs]
         unique: dict[JobSpec, None] = {}
@@ -436,42 +513,148 @@ class ParallelExecutor:
             unique.setdefault(spec, None)
         tracker = self.tracker if self.tracker is not None else ProgressTracker()
         tracker.begin(len(unique))
+        if self.journal is not None:
+            self.journal.register(unique)
 
         results: dict[JobSpec, Any] = {}
-        needs_worker: list[JobSpec] = []
-        for spec in unique:
-            cached = self.runner.cached_result(spec)
-            if cached is not None:
-                results[spec] = cached
-                tracker.job_done(spec.label, status=str(cached.status), cached=True,
-                                 summary=cached.summary)
-                continue
-            simulated = self.runner.simulate_spec(spec)
-            budget = self.policy.memory_budget_bytes
-            if budget is not None and simulated.peak_memory_bytes > budget:
-                results[spec] = memory_result(spec, simulated)
-                tracker.job_done(spec.label, status="COM")
-                continue
-            if not simulated.ok:
-                # The runner records the TO/COM cell without training.
-                result = self.runner.run_spec(spec)
-                results[spec] = result
-                tracker.job_done(spec.label, status=str(result.status), summary=result.summary)
-                continue
-            needs_worker.append(spec)
+        failures = _FailureLog()
+        todo = [spec for spec in unique if not self._resolve_cheap(spec, results, tracker)]
 
-        if needs_worker:
-            if self.workers > 1:
-                self._run_pooled(needs_worker, results, tracker)
-            else:
-                for spec in needs_worker:
-                    results[spec] = self._run_inline(spec)
-                    tracker.job_done(spec.label, status=str(results[spec].status),
-                                     summary=results[spec].summary)
-        tracker.close()
-        return [results[spec] for spec in specs]
+        try:
+            while todo:
+                claimed, deferred = self._claim(todo, tracker)
+                if claimed:
+                    self._execute(claimed, results, tracker, failures)
+                todo = [s for s in deferred if s not in results]
+                if not todo:
+                    break
+                if not self.wait_for_peers:
+                    break  # shard mode: peers own the rest
+                # Poll for peer completions; claimable leases (peer
+                # finished or went stale) are picked up next pass.
+                progressed = any(
+                    self._resolve_cheap(spec, results, tracker) for spec in list(todo)
+                )
+                todo = [s for s in todo if s not in results]
+                if todo and not claimed and not progressed:
+                    time.sleep(self.peer_poll_s)
+        finally:
+            if self.leases is not None:
+                self.leases.release_all()
+            tracker.close()
+        failures.raise_if_any()
+        return [results.get(spec) for spec in specs]
 
     # ------------------------------------------------------------------
+    # Cheap (no-training) resolution ladder
+    # ------------------------------------------------------------------
+    def _resolve_cheap(self, spec: JobSpec, results: dict, tracker: ProgressTracker) -> bool:
+        """Resolve ``spec`` without a worker if possible.
+
+        The ladder: journaled verdict (resume) → content-addressed
+        store → simulated-memory budget → cost-model gate.  A store
+        hit with a non-terminal journal entry also *repairs* the
+        journal — the crash-between-store-write-and-journal-append
+        case resumes with zero recomputation.
+        """
+        journal = self.journal
+        if journal is not None and self.resume:
+            resolved = journal.resolve(spec, self.runner)
+            if resolved is not None:
+                results[spec] = resolved
+                tracker.job_resumed(spec.label, status=str(resolved.status))
+                return True
+        cached = self.runner.cached_result(spec)
+        if cached is not None:
+            results[spec] = cached
+            if journal is not None:
+                journal.record_result(spec, cached, cached=True)
+            tracker.job_done(spec.label, status=str(cached.status), cached=True,
+                             summary=cached.summary)
+            return True
+        simulated = self.runner.simulate_spec(spec)
+        budget = self.policy.memory_budget_bytes
+        if budget is not None and simulated.peak_memory_bytes > budget:
+            result = memory_result(spec, simulated)
+            results[spec] = result
+            self._journal_result(spec, result)
+            tracker.job_done(spec.label, status="COM")
+            return True
+        if not simulated.ok:
+            # The runner records the TO/COM cell without training.
+            result = self.runner.run_spec(spec)
+            results[spec] = result
+            self._journal_result(spec, result)
+            tracker.job_done(spec.label, status=str(result.status), summary=result.summary)
+            return True
+        return False
+
+    def _journal_result(self, spec: JobSpec, result, *, attempts: int | None = None) -> None:
+        if self.journal is not None:
+            owner = self.leases.owner if self.leases is not None else None
+            self.journal.record_result(spec, result, attempts=attempts, owner=owner)
+
+    def _journal_failed(self, spec: JobSpec, error: str, attempts: int) -> None:
+        if self.journal is not None:
+            owner = self.leases.owner if self.leases is not None else None
+            self.journal.mark_failed(spec, error, attempts=attempts, owner=owner)
+
+    def _prior_attempts(self, spec: JobSpec) -> int:
+        return self.journal.entry(spec).attempts if self.journal is not None else 0
+
+    # ------------------------------------------------------------------
+    # Claiming (shard leases)
+    # ------------------------------------------------------------------
+    def _claim(self, todo: list, tracker: ProgressTracker) -> tuple[list, list]:
+        """Split ``todo`` into claimed ``(spec, lease)`` pairs and deferred specs."""
+        if self.leases is None:
+            return [(spec, None) for spec in todo], []
+        claimed: list[tuple[JobSpec, Any]] = []
+        deferred: list[JobSpec] = []
+        for spec in todo:
+            lease = self.leases.try_acquire(self.journal.digest_for(spec))
+            if lease is None:
+                deferred.append(spec)
+                continue
+            if lease.stolen:
+                tracker.lease_stolen(spec.label)
+            self.journal.mark_leased(spec, lease.owner)
+            claimed.append((spec, lease))
+        return claimed, deferred
+
+    def _release(self, lease) -> None:
+        if lease is not None and self.leases is not None:
+            self.leases.release(lease)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, claimed: list, results: dict, tracker: ProgressTracker,
+                 failures: _FailureLog) -> None:
+        if self.workers > 1:
+            self._run_pooled(claimed, results, tracker, failures)
+            return
+        for spec, lease in claimed:
+            # A peer may have finished this spec between our deferral
+            # and this (possibly stolen) claim: re-check before running.
+            if lease is not None and self._resolve_cheap(spec, results, tracker):
+                self._release(lease)
+                continue
+            if self.leases is not None:
+                self.leases.heartbeat_held()
+            chaos_point("exec.job", label=spec.label)
+            attempts = self._prior_attempts(spec) + 1
+            try:
+                result = self._run_inline(spec)
+            except BaseException as exc:
+                self._journal_failed(spec, f"{type(exc).__name__}: {exc}", attempts)
+                self._release(lease)
+                raise
+            results[spec] = result
+            self._journal_result(spec, result, attempts=attempts)
+            self._release(lease)
+            tracker.job_done(spec.label, status=str(result.status), summary=result.summary)
+
     def _run_inline(self, spec: JobSpec):
         """In-process execution with post-hoc timeout classification."""
         watch = Stopwatch()
@@ -481,9 +664,12 @@ class ParallelExecutor:
             return timeout_result(spec, result.simulated, elapsed)
         return result
 
-    def _run_pooled(self, specs: list[JobSpec], results: dict, tracker: ProgressTracker) -> None:
+    def _run_pooled(self, claimed: list, results: dict, tracker: ProgressTracker,
+                    failures: _FailureLog) -> None:
         from ..experiments.runner import ExperimentResult
 
+        specs = [spec for spec, _ in claimed]
+        prior = {spec: self._prior_attempts(spec) for spec in specs} if self.journal else {}
         cache_dir = self.runner.store.cache_dir
         pool = WorkerPool(
             _execute_spec,
@@ -495,27 +681,55 @@ class ParallelExecutor:
             timeout=self.job_timeout,
             tracker=tracker,
         )
-        outcomes = pool.map([s.to_dict() for s in specs], labels=[s.label for s in specs])
-        failures = _FailureLog()
-        for spec, outcome in zip(specs, outcomes):
+
+        def stream(outcome: JobOutcome) -> None:
+            """Journal + adopt one terminal outcome as it lands."""
+            spec, lease = claimed[outcome.index]
+            attempts = prior.get(spec, 0) + outcome.attempts
             if outcome.status == "ok":
                 result = ExperimentResult.from_meta(outcome.value)
                 self.runner.adopt_result(spec, result)
                 results[spec] = result
+                self._journal_result(spec, result, attempts=attempts)
                 tracker.job_done(spec.label, status=str(result.status), summary=result.summary)
             elif outcome.status == "timeout":
                 simulated = self.runner.simulate_spec(spec)
-                results[spec] = timeout_result(spec, simulated, self.job_timeout or 0.0)
+                result = timeout_result(spec, simulated, self.job_timeout or 0.0)
+                results[spec] = result
+                self._journal_result(spec, result, attempts=attempts)
                 tracker.job_done(spec.label, status="TO")
-            elif outcome.status == "broken":
-                # Graceful degradation: the pool died, finish inline.
-                results[spec] = self._run_inline(spec)
-                tracker.job_done(spec.label, status=str(results[spec].status),
-                                 summary=results[spec].summary)
             else:  # permanent error
+                self._journal_failed(spec, outcome.error or "unknown error", attempts)
                 tracker.job_failed(spec.label, outcome.error or "unknown error")
                 failures.add(spec.label, outcome.error or "unknown error", outcome.attempts)
-        failures.raise_if_any()
+            self._release(lease)
+
+        def tick() -> None:
+            if self.leases is not None:
+                self.leases.heartbeat_held()
+
+        outcomes = pool.map(
+            [s.to_dict() for s in specs],
+            labels=[s.label for s in specs],
+            on_outcome=stream,
+            on_tick=tick,
+        )
+        for (spec, lease), outcome in zip(claimed, outcomes):
+            if outcome.status != "broken":
+                continue  # already streamed
+            # Graceful degradation: the pool died, finish inline.
+            attempts = prior.get(spec, 0) + 1
+            try:
+                result = self._run_inline(spec)
+            except BaseException as exc:
+                self._journal_failed(spec, f"{type(exc).__name__}: {exc}", attempts)
+                self._release(lease)
+                raise
+            results[spec] = result
+            self._journal_result(spec, result, attempts=attempts)
+            self._release(lease)
+            tracker.job_done(spec.label, status=str(result.status),
+                             summary=result.summary)
 
 
 def run_jobs(
@@ -526,9 +740,33 @@ def run_jobs(
     job_timeout: float | None = None,
     policy: FaultPolicy | None = None,
     tracker: ProgressTracker | None = None,
+    grid_dir: str | None = None,
+    resume: bool = True,
+    retry_budget: int = 1,
+    stale_after: float = DEFAULT_STALE_AFTER,
+    owner: str | None = None,
+    wait_for_peers: bool = True,
 ) -> list:
-    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    """One-shot convenience wrapper around :class:`ParallelExecutor`.
+
+    ``grid_dir`` turns on the durability layer: a
+    :class:`~repro.exec.journal.GridJournal` (crash-safe resume, with
+    ``retry_budget`` extra attempts for journaled TO/COM verdicts) and
+    a :class:`~repro.exec.lease.LeaseBoard` (multi-process work
+    stealing; leases older than ``stale_after`` seconds without a
+    heartbeat are reclaimed).  ``wait_for_peers=False`` is shard mode:
+    contribute what this process can claim and return, leaving
+    ``None`` slots for jobs a live peer still holds.
+    """
+    journal = leases = None
+    if grid_dir is not None:
+        fingerprint = getattr(runner, "config_fingerprint", None)
+        if fingerprint is None:  # pre-property runners (test doubles)
+            fingerprint = getattr(runner, "_config_fingerprint", "")
+        journal = GridJournal(grid_dir, fingerprint, retry_budget=retry_budget)
+        leases = LeaseBoard(grid_dir, owner=owner, stale_after=stale_after)
     executor = ParallelExecutor(
-        runner, workers=workers, job_timeout=job_timeout, policy=policy, tracker=tracker
+        runner, workers=workers, job_timeout=job_timeout, policy=policy, tracker=tracker,
+        journal=journal, leases=leases, resume=resume, wait_for_peers=wait_for_peers,
     )
     return executor.run(specs)

@@ -1,0 +1,410 @@
+"""Persistent grid ledger: crash-safe job state on top of the store.
+
+The content-addressed store already makes *successful* work durable —
+an OK result is one ``result/<digest>`` entry that any process can
+reload.  What it cannot answer is the orchestration question: which
+jobs of *this grid* are pending, running, or terminal, and with which
+verdict?  Executor-level TO/COM verdicts are deliberately not cached
+(a deadline is a property of the invocation, not of the job identity),
+so before this module an interrupted grid re-burned every timed-out
+job's full budget on every rerun.
+
+:class:`GridJournal` closes the loop.  A grid directory holds:
+
+* ``journal/grid.json`` — the manifest: every registered spec plus the
+  config fingerprint, so ``repro grid status`` (and resuming shards)
+  can enumerate the grid without reconstructing it;
+* ``journal/<digest>.json`` — one record file per spec key (the digest
+  of the spec's ``result/...`` store key), holding the *append-only*
+  list of state records ``pending → leased → done/failed/timeout/com``.
+
+Every write is atomic and durable (temp file + fsync + rename via
+:func:`repro.runtime.atomic_write_bytes`): a reader — including a
+process resuming after SIGKILL — sees either the previous state or
+the new one, never a torn record.  A spec with no record file is
+simply ``pending``; the first transition materialises it.
+
+Resume semantics (:meth:`GridJournal.resolve`):
+
+* ``done`` — the verdict points at the content-addressed store; if the
+  entry is present the result is reloaded with **zero** recomputation,
+  if it is missing or corrupt the job re-executes (the journal trusts
+  the store, not itself, for payloads);
+* ``timeout`` / ``com`` — the full verdict is embedded in the record
+  (these are exactly the verdicts the store refuses to hold).  A
+  bounded retry budget applies: a TO/COM verdict is retried at most
+  ``retry_budget`` more times across resumes — transient timeouts get
+  one more chance, persistent ones stop burning their budget forever;
+* ``failed`` — always re-eligible: a permanent error is re-raised by
+  the executor if it reproduces, and the record keeps the attempt
+  count so repeated failures stay visible;
+* ``leased`` — owned by a (possibly dead) process; the lease layer
+  (:mod:`repro.exec.lease`) decides liveness, not the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from ..runtime import atomic_write_bytes
+from .chaos import chaos_point
+from .spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.runner import ExperimentResult
+
+__all__ = ["JOURNAL_VERSION", "STATES", "TERMINAL_STATES", "JournalRecord",
+           "JournalEntry", "GridJournal"]
+
+JOURNAL_VERSION = 1
+
+#: Legal journal states, in lifecycle order.
+STATES = ("pending", "leased", "done", "failed", "timeout", "com")
+
+#: States after which a job needs no further execution (this run).
+TERMINAL_STATES = ("done", "failed", "timeout", "com")
+
+#: RunStatus.name -> journal state for terminal results.
+_STATE_BY_STATUS = {"OK": "done", "TIMEOUT": "timeout", "OUT_OF_MEMORY": "com"}
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One appended state transition of one job."""
+
+    state: str
+    at: float  # wall-clock epoch seconds (informational only)
+    owner: str | None = None
+    attempts: int = 0
+    elapsed: float | None = None  # measured job seconds (terminal records)
+    error: str | None = None
+    cached: bool = False  # terminal verdict came from the store, not a run
+    result: dict | None = None  # embedded verdict meta (timeout/com only)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict, omitting unset optional fields."""
+        data: dict[str, Any] = {"state": self.state, "at": self.at}
+        if self.owner is not None:
+            data["owner"] = self.owner
+        if self.attempts:
+            data["attempts"] = self.attempts
+        if self.elapsed is not None:
+            data["elapsed"] = self.elapsed
+        if self.error is not None:
+            data["error"] = self.error
+        if self.cached:
+            data["cached"] = True
+        if self.result is not None:
+            data["result"] = self.result
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JournalRecord":
+        return cls(
+            state=data["state"],
+            at=float(data.get("at", 0.0)),
+            owner=data.get("owner"),
+            attempts=int(data.get("attempts", 0)),
+            elapsed=data.get("elapsed"),
+            error=data.get("error"),
+            cached=bool(data.get("cached", False)),
+            result=data.get("result"),
+        )
+
+
+@dataclass
+class JournalEntry:
+    """The full recorded history of one job (records, oldest first)."""
+
+    key: str
+    spec: dict = field(default_factory=dict)
+    records: list[JournalRecord] = field(default_factory=list)
+
+    @property
+    def state(self) -> str:
+        """Current state: the last record's, or ``pending``."""
+        return self.records[-1].state if self.records else "pending"
+
+    @property
+    def attempts(self) -> int:
+        """Executions so far (the max any record has seen)."""
+        return max((r.attempts for r in self.records), default=0)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def last(self) -> JournalRecord | None:
+        return self.records[-1] if self.records else None
+
+    def executions(self) -> int:
+        """Terminal records produced by an actual run (not cache/resume)."""
+        return sum(1 for r in self.records if r.state in TERMINAL_STATES and not r.cached)
+
+
+class GridJournal:
+    """Crash-safe per-spec state ledger for one grid directory.
+
+    Parameters
+    ----------
+    grid_dir:
+        Root of the grid; the journal lives in ``<grid_dir>/journal``
+        (the lease board uses ``<grid_dir>/leases``).
+    fingerprint:
+        The runner's config fingerprint; spec record files are named
+        by the digest of ``spec.result_key(fingerprint)``, so the
+        journal and the store agree on job identity.  Omit it when
+        only *reading* (``GridJournal.open``): the manifest remembers
+        the fingerprint of the registering run.
+    retry_budget:
+        Extra executions granted to a journaled TO/COM verdict across
+        resumes before the verdict is reused as-is.
+    """
+
+    def __init__(
+        self,
+        grid_dir: str | Path,
+        fingerprint: str | None = None,
+        *,
+        retry_budget: int = 1,
+    ) -> None:
+        self.grid_dir = Path(grid_dir)
+        self.journal_dir = self.grid_dir / "journal"
+        self.retry_budget = max(0, int(retry_budget))
+        if fingerprint is None:
+            fingerprint = self._manifest().get("fingerprint", "")
+        self.fingerprint = fingerprint
+
+    @classmethod
+    def open(cls, grid_dir: str | Path, *, retry_budget: int = 1) -> "GridJournal":
+        """Open an existing grid directory read-side (status, resume)."""
+        journal = cls(grid_dir, None, retry_budget=retry_budget)
+        return journal
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def key_for(self, spec: JobSpec) -> str:
+        """The spec's store result key under this grid's fingerprint."""
+        return spec.result_key(self.fingerprint)
+
+    def digest_for(self, spec: JobSpec) -> str:
+        """The hex digest naming the spec's record file and lease."""
+        return self.key_for(spec).split("/", 1)[1]
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.journal_dir / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.journal_dir / "grid.json"
+
+    def _manifest(self) -> dict:
+        try:
+            data = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def register(self, specs: Iterable[JobSpec]) -> None:
+        """Merge ``specs`` into the grid manifest (idempotent).
+
+        Concurrent shards registering the *same* grid write identical
+        content, so the last atomic rename wins harmlessly.  (Shards
+        registering disjoint grids into one directory should stagger
+        their starts; the read-merge-write here is not transactional.)
+        """
+        manifest = self._manifest()
+        known = {json.dumps(entry, sort_keys=True) for entry in manifest.get("specs", ())}
+        merged = list(manifest.get("specs", ()))
+        for spec in specs:
+            blob = json.dumps(spec.to_dict(), sort_keys=True)
+            if blob not in known:
+                known.add(blob)
+                merged.append(spec.to_dict())
+        payload = {
+            "version": JOURNAL_VERSION,
+            "fingerprint": self.fingerprint,
+            "specs": merged,
+        }
+        atomic_write_bytes(self.manifest_path, json.dumps(payload, indent=1).encode("utf-8"))
+
+    def specs(self) -> tuple[JobSpec, ...]:
+        """Every spec ever registered in this grid directory."""
+        return tuple(JobSpec.from_dict(entry) for entry in self._manifest().get("specs", ()))
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+    def entry(self, spec: JobSpec) -> JournalEntry:
+        """The spec's recorded history (a fresh ``pending`` one if none)."""
+        return self._load(self.digest_for(spec), spec.to_dict())
+
+    def entries(self) -> list[JournalEntry]:
+        """One entry per registered spec (pending ones included)."""
+        return [self.entry(spec) for spec in self.specs()]
+
+    def _load(self, digest: str, spec_dict: dict | None = None) -> JournalEntry:
+        path = self._entry_path(digest)
+        key = f"result/{digest}"
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return JournalEntry(key=key, spec=dict(spec_dict or {}))
+        records = [JournalRecord.from_dict(r) for r in data.get("records", ())]
+        return JournalEntry(key=data.get("key", key), spec=data.get("spec", {}), records=records)
+
+    def _append(self, spec: JobSpec, record: JournalRecord) -> JournalEntry:
+        """Append one record and persist the entry atomically."""
+        digest = self.digest_for(spec)
+        entry = self._load(digest, spec.to_dict())
+        entry.records.append(record)
+        payload = {
+            "version": JOURNAL_VERSION,
+            "key": entry.key,
+            "spec": spec.to_dict(),
+            "records": [r.to_dict() for r in entry.records],
+        }
+        chaos_point("journal.record", key=entry.key, state=record.state)
+        atomic_write_bytes(
+            self._entry_path(digest), json.dumps(payload, indent=1).encode("utf-8")
+        )
+        chaos_point("journal.committed", key=entry.key, state=record.state)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def mark_leased(self, spec: JobSpec, owner: str) -> JournalEntry:
+        """Journal that ``owner`` claimed the spec's lease."""
+        entry = self.entry(spec)
+        return self._append(
+            spec,
+            JournalRecord(
+                state="leased", at=time.time(), owner=owner, attempts=entry.attempts
+            ),
+        )
+
+    def record_result(
+        self,
+        spec: JobSpec,
+        result: "ExperimentResult",
+        *,
+        attempts: int | None = None,
+        owner: str | None = None,
+        cached: bool = False,
+    ) -> JournalEntry:
+        """Journal a terminal verdict (done / timeout / com).
+
+        ``done`` records point at the store (which the worker or the
+        runner already wrote); ``timeout``/``com`` records embed the
+        full result meta because the store deliberately refuses those.
+        """
+        state = _STATE_BY_STATUS.get(result.status.name, "done")
+        if attempts is None:
+            attempts = self.entry(spec).attempts + (0 if cached else 1)
+        embedded = None
+        if state in ("timeout", "com"):
+            embedded = json.loads(json.dumps(result.to_meta()))
+        return self._append(
+            spec,
+            JournalRecord(
+                state=state,
+                at=time.time(),
+                owner=owner,
+                attempts=attempts,
+                elapsed=float(result.measured_seconds),
+                cached=cached,
+                result=embedded,
+            ),
+        )
+
+    def mark_failed(
+        self, spec: JobSpec, error: str, *, attempts: int = 1, owner: str | None = None
+    ) -> JournalEntry:
+        """Journal a permanent error (always re-eligible on resume)."""
+        return self._append(
+            spec,
+            JournalRecord(
+                state="failed", at=time.time(), owner=owner, attempts=attempts, error=error
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def resolve(self, spec: JobSpec, runner) -> "ExperimentResult | None":
+        """The reusable verdict for ``spec``, or ``None`` (execute it).
+
+        ``runner`` provides ``cached_result`` for ``done`` verdicts;
+        a missing/corrupt store entry degrades to re-execution rather
+        than trusting a payload the journal never stored.
+        """
+        entry = self.entry(spec)
+        state = entry.state
+        if state == "done":
+            return runner.cached_result(spec)
+        if state in ("timeout", "com"):
+            if entry.attempts > self.retry_budget:
+                return self._embedded_result(entry)
+            return None
+        return None
+
+    def _embedded_result(self, entry: JournalEntry) -> "ExperimentResult | None":
+        from ..experiments.runner import ExperimentResult
+
+        for record in reversed(entry.records):
+            if record.result is not None:
+                return ExperimentResult.from_meta(record.result)
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection (``repro grid status``)
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Per-state job counts over every registered spec."""
+        counts = {state: 0 for state in STATES}
+        for entry in self.entries():
+            counts[entry.state] = counts.get(entry.state, 0) + 1
+        return counts
+
+    def progress(self) -> dict:
+        """Counts, throughput and a naive ETA from terminal records.
+
+        The ETA assumes the remaining jobs cost the mean measured
+        seconds of the jobs that already ran (cache/resume hits are
+        excluded from the mean — they cost nothing and would skew it).
+        """
+        entries = self.entries()
+        counts = {state: 0 for state in STATES}
+        samples: list[float] = []
+        re_executed = 0
+        for entry in entries:
+            counts[entry.state] = counts.get(entry.state, 0) + 1
+            re_executed += max(0, entry.executions() - 1)
+            last = entry.last
+            if (
+                entry.terminal
+                and last is not None
+                and not last.cached
+                and last.elapsed is not None
+            ):
+                samples.append(float(last.elapsed))
+        remaining = counts["pending"] + counts["leased"]
+        mean = sum(samples) / len(samples) if samples else None
+        return {
+            "total": len(entries),
+            "counts": counts,
+            "remaining": remaining,
+            "re_executed": re_executed,
+            "mean_job_seconds": mean,
+            "eta_seconds": None if mean is None else mean * remaining,
+        }

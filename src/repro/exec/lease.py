@@ -1,0 +1,256 @@
+"""Work-stealing shard leases: file locks with heartbeats, no coordinator.
+
+N independent processes (``repro sweep --shard``) point at one grid
+directory and work-steal specs from it.  Mutual exclusion per spec key
+is a lockfile created with ``O_CREAT | O_EXCL`` — atomic on every
+POSIX filesystem, no server, no advisory-lock caveats across NFS
+implementations.  Liveness is the lockfile's mtime: the owner touches
+it periodically (a *heartbeat*); a lease whose mtime lags behind
+``stale_after`` belongs to a dead (or frozen) process and may be
+reclaimed.
+
+Reclamation must itself be race-free — two shards noticing the same
+stale lease must produce exactly one new owner.  Deleting-then-creating
+would not be (shard A could delete B's *fresh replacement*), so the
+steal is a ``rename`` of the stale lockfile to a tombstone: POSIX
+guarantees at most one renamer of a given source wins; the loser's
+rename fails with ENOENT and it backs off.  The winner then takes the
+lock through the ordinary ``O_EXCL`` path.
+
+A lease is advisory for *scheduling*, not for correctness of results:
+even if a frozen-but-alive owner finishes after its lease was stolen,
+both executions write the same content-addressed result and the
+journal's last record wins — duplicated work, never corrupted state.
+The heartbeat interval is sized so that only a genuinely wedged owner
+ever loses a lease.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .chaos import chaos_point, heartbeat_frozen
+
+__all__ = ["DEFAULT_STALE_AFTER", "Lease", "LeaseBoard", "default_owner"]
+
+#: Seconds without a heartbeat after which a lease counts as stale.
+DEFAULT_STALE_AFTER = 30.0
+
+
+def default_owner() -> str:
+    """A process-unique owner id: ``host:pid:nonce``."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+@dataclass
+class Lease:
+    """One held lease: the lockfile this process owns for one spec key."""
+
+    path: Path
+    owner: str
+    digest: str
+    stolen: bool = False  # acquired by reclaiming a stale lease
+    acquired_at: float = field(default_factory=time.monotonic)
+    _last_beat: float = field(default_factory=time.monotonic)
+    _lost: bool = False
+
+    def heartbeat(self, *, min_interval: float = 0.0) -> bool:
+        """Refresh the lease mtime; ``False`` once the lease is lost.
+
+        Verifies ownership before touching: after a steal the path
+        holds the *thief's* lockfile, and refreshing that would keep a
+        zombie shard masquerading as live.  A chaos-frozen process
+        reports success but stops touching — exactly the wedged-owner
+        failure mode the stale-reclamation path exists for.
+        """
+        if self._lost:
+            return False
+        now = time.monotonic()
+        if min_interval > 0.0 and now - self._last_beat < min_interval:
+            return True
+        chaos_point("lease.heartbeat", digest=self.digest, owner=self.owner)
+        if heartbeat_frozen():
+            return True
+        try:
+            data = json.loads(self.path.read_text())
+            if data.get("owner") != self.owner:
+                self._lost = True
+                return False
+            os.utime(self.path, None)
+        except (OSError, ValueError):
+            self._lost = True
+            return False
+        self._last_beat = now
+        return True
+
+    def release(self) -> None:
+        """Drop the lease (missing file — e.g. already stolen — is fine)."""
+        try:
+            data = json.loads(self.path.read_text())
+            if data.get("owner") == self.owner:
+                self.path.unlink()
+        except (OSError, ValueError):
+            pass
+        self._lost = True
+
+
+class LeaseBoard:
+    """Acquire/heartbeat/steal leases for one grid directory.
+
+    Parameters
+    ----------
+    grid_dir:
+        The grid root; lockfiles live in ``<grid_dir>/leases``.
+    owner:
+        This process's owner id (defaults to :func:`default_owner`).
+    stale_after:
+        Heartbeat age beyond which a foreign lease is reclaimable.
+    """
+
+    def __init__(
+        self,
+        grid_dir: str | Path,
+        *,
+        owner: str | None = None,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ) -> None:
+        self.lease_dir = Path(grid_dir) / "leases"
+        self.owner = owner if owner is not None else default_owner()
+        self.stale_after = float(stale_after)
+        self.acquired = 0
+        self.contested = 0
+        self.stolen = 0
+        self._held: dict[str, Lease] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        return self.lease_dir / f"{digest}.lock"
+
+    def try_acquire(self, digest: str) -> Lease | None:
+        """Claim ``digest``; ``None`` while a live peer holds it.
+
+        A stale holder is reclaimed first (rename-to-tombstone, see
+        the module docstring) and the acquisition retried once; the
+        returned lease's ``stolen`` flag records that a reclamation
+        happened, for the progress counters.
+        """
+        self.lease_dir.mkdir(parents=True, exist_ok=True)
+        stolen = False
+        for _ in range(2):  # initial try + one retry after a steal
+            lease = self._create(digest, stolen=stolen)
+            if lease is not None:
+                return lease
+            if not self._reclaim_if_stale(digest):
+                self.contested += 1
+                return None
+            stolen = True
+        self.contested += 1
+        return None
+
+    def _create(self, digest: str, *, stolen: bool) -> Lease | None:
+        path = self._path(digest)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            payload = json.dumps(
+                {"owner": self.owner, "digest": digest, "since": time.time()}
+            ).encode("utf-8")
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        lease = Lease(path=path, owner=self.owner, digest=digest, stolen=stolen)
+        self._held[digest] = lease
+        self.acquired += 1
+        if stolen:
+            self.stolen += 1
+        return lease
+
+    def _reclaim_if_stale(self, digest: str) -> bool:
+        """Tombstone a stale lockfile; ``True`` iff *we* removed it."""
+        path = self._path(digest)
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return True  # holder released/was stolen between our checks
+        if age < self.stale_after:
+            return False
+        tombstone = path.with_name(f"{path.name}.stale.{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(path, tombstone)  # exactly one stealer wins this
+        except OSError:
+            return False
+        try:
+            tombstone.unlink()
+        except OSError:
+            pass
+        return True
+
+    # ------------------------------------------------------------------
+    def release(self, lease: Lease) -> None:
+        """Drop one lease and forget it."""
+        lease.release()
+        self._held.pop(lease.digest, None)
+
+    def release_all(self) -> None:
+        """Drop every lease this board still holds (run teardown)."""
+        for lease in list(self._held.values()):
+            self.release(lease)
+
+    def heartbeat_held(self, *, min_interval: float | None = None) -> int:
+        """Refresh every held lease; returns how many are still ours.
+
+        Called from the executor's scheduler tick; the default
+        throttle (a quarter of ``stale_after``) keeps the touch rate
+        negligible next to job runtimes.
+        """
+        if min_interval is None:
+            min_interval = self.stale_after / 4.0
+        live = 0
+        for digest, lease in list(self._held.items()):
+            if lease.heartbeat(min_interval=min_interval):
+                live += 1
+            else:
+                self._held.pop(digest, None)
+        return live
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[dict]:
+        """Every lockfile on the board: owner, age, staleness (status CLI)."""
+        if not self.lease_dir.exists():
+            return []
+        rows = []
+        now = time.time()
+        for path in sorted(self.lease_dir.glob("*.lock")):
+            try:
+                stat = path.stat()
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            age = now - stat.st_mtime
+            rows.append(
+                {
+                    "digest": data.get("digest", path.stem),
+                    "owner": data.get("owner", "?"),
+                    "heartbeat_age_s": age,
+                    "stale": age >= self.stale_after,
+                }
+            )
+        return rows
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime acquisition counters plus the current held count."""
+        return {
+            "acquired": self.acquired,
+            "contested": self.contested,
+            "stolen": self.stolen,
+            "held": len(self._held),
+        }

@@ -37,6 +37,8 @@ class ProgressTracker:
         self.total = 0
         self.done = 0
         self.cached = 0
+        self.resumed = 0
+        self.stolen = 0
         self.retried = 0
         self.failed = 0
         self.by_status: dict[str, int] = {}
@@ -59,6 +61,18 @@ class ProgressTracker:
         self.by_status[status] = self.by_status.get(status, 0) + 1
         if summary is not None:
             self.merge_summary(summary)
+        self._emit()
+
+    def job_resumed(self, label: str, *, status: str = "OK") -> None:
+        """Record one job resolved from the grid journal (no execution)."""
+        self.done += 1
+        self.resumed += 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        self._emit()
+
+    def lease_stolen(self, label: str) -> None:
+        """Record one stale-lease reclamation (the job is re-claimed)."""
+        self.stolen += 1
         self._emit()
 
     def job_failed(self, label: str, error: str = "") -> None:
@@ -90,6 +104,8 @@ class ProgressTracker:
             "total": self.total,
             "done": self.done,
             "cached": self.cached,
+            "resumed": self.resumed,
+            "stolen": self.stolen,
             "retried": self.retried,
             "failed": self.failed,
             "by_status": dict(self.by_status),
@@ -101,6 +117,10 @@ class ProgressTracker:
         parts = [f"jobs {self.done}/{self.total} done"]
         if self.cached:
             parts.append(f"{self.cached} cached")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.stolen:
+            parts.append(f"{self.stolen} stolen")
         for status, count in sorted(self.by_status.items()):
             if status != "OK":
                 parts.append(f"{count} {status}")

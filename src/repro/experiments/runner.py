@@ -269,6 +269,17 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Spec-driven API (canonical)
     # ------------------------------------------------------------------
+    @property
+    def config_fingerprint(self) -> str:
+        """Fingerprint of the job-relevant config fields.
+
+        Part of the runner contract the executor's durability layer
+        relies on: result keys and the grid journal's manifest both
+        derive from it, so two runners with the same fingerprint share
+        results and journals.
+        """
+        return self._config_fingerprint
+
     def cached_result(self, spec: JobSpec) -> ExperimentResult | None:
         """The stored result for ``spec``, or ``None`` when absent."""
         key = spec.result_key(self._config_fingerprint)
@@ -382,18 +393,33 @@ class ExperimentRunner:
         job_timeout: float | None = None,
         policy=None,
         tracker=None,
+        grid_dir: str | None = None,
+        resume: bool = True,
+        retry_budget: int = 1,
+        stale_after: float | None = None,
+        owner: str | None = None,
+        wait_for_peers: bool = True,
     ) -> list[ExperimentResult]:
         """Run a grid of specs through the parallel executor.
 
         ``workers`` / ``job_timeout`` default to the runner's own
         settings; see :class:`repro.exec.ParallelExecutor` for the
         fault semantics.  Results come back in input order.
+
+        ``grid_dir`` turns on the crash-safe journal and shard-lease
+        layer (see :func:`repro.exec.run_jobs`): interrupted grids
+        resume without recomputation and several processes can share
+        one grid directory.
         """
         from ..exec.executor import run_jobs
+        from ..exec.lease import DEFAULT_STALE_AFTER
 
         return run_jobs(
             self, specs, workers=workers, job_timeout=job_timeout,
             policy=policy, tracker=tracker if tracker is not None else self.tracker,
+            grid_dir=grid_dir, resume=resume, retry_budget=retry_budget,
+            stale_after=DEFAULT_STALE_AFTER if stale_after is None else stale_after,
+            owner=owner, wait_for_peers=wait_for_peers,
         )
 
     # ------------------------------------------------------------------

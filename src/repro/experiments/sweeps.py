@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..adapters import make_adapter
 from ..data import load_dataset
@@ -148,6 +148,7 @@ def run_sweep(
     job_timeout: float | None = None,
     policy: FaultPolicy | None = None,
     tracker: ProgressTracker | None = None,
+    on_point: Callable[[SweepPoint], None] | None = None,
 ) -> list[SweepPoint]:
     """Run a sweep grid on one dataset; one :class:`SweepPoint` per job.
 
@@ -162,6 +163,12 @@ def run_sweep(
     back with ``accuracy=None`` and ``note="TO"``, and permanent
     worker failures raise :class:`repro.exec.JobFailedError` only
     after every other point has finished.
+
+    ``on_point`` is called with every finished :class:`SweepPoint`
+    *as it lands* (pool mode streams through the executor's
+    ``on_outcome`` hook), in completion order — skipped points
+    included, permanently failed points excluded.  Useful for
+    incremental plotting or checkpointing partial sweeps.
     """
     if isinstance(dataset, str):
         dataset = load_dataset(dataset, seed=seed, scale=0.1, max_length=96)
@@ -170,6 +177,11 @@ def run_sweep(
     runnable: list[tuple[int, SweepJob]] = []
     tracker = tracker if tracker is not None else ProgressTracker()
     tracker.begin(len(jobs))
+
+    def settle(index: int, result: SweepPoint) -> None:
+        results[index] = result
+        if on_point is not None:
+            on_point(result)
 
     def simulated_for(job: SweepJob) -> SimulatedRun:
         sim_adapter = job.simulate_adapter_as or job.adapter
@@ -186,14 +198,14 @@ def run_sweep(
                 "skipping sweep point %s: D'=%d exceeds the dataset's %d channels",
                 job.label, job.channels, dataset.num_channels,
             )
-            results[index] = SweepPoint(
+            settle(index, SweepPoint(
                 label=job.label,
                 accuracy=None,
                 wall_seconds=0.0,
                 simulated=simulated_for(job),
                 skipped=True,
                 note=f"D'={job.channels} > {dataset.num_channels} channels",
-            )
+            ))
             tracker.job_done(job.label, status="SKIP")
         else:
             runnable.append((index, job))
@@ -226,35 +238,41 @@ def run_sweep(
             timeout=job_timeout,
             tracker=tracker,
         )
+        failures = _FailureLog()
+
+        def stream(outcome) -> None:
+            index, job = runnable[outcome.index]
+            if outcome.status == "ok":
+                accuracy, wall = outcome.value
+                settle(index, point(job, accuracy, wall))
+                tracker.job_done(job.label)
+            elif outcome.status == "timeout":
+                settle(index, point(job, None, job_timeout or 0.0, note="TO"))
+                tracker.job_done(job.label, status="TO")
+            else:  # permanent error
+                tracker.job_failed(job.label, outcome.error or "unknown error")
+                failures.add(job.label, outcome.error or "unknown error", outcome.attempts)
+
         outcomes = pool.map(
             [payload_for(job) for _, job in runnable],
             labels=[job.label for _, job in runnable],
+            on_outcome=stream,
         )
-        failures = _FailureLog()
         for (index, job), outcome in zip(runnable, outcomes):
-            if outcome.status == "ok":
-                accuracy, wall = outcome.value
-                results[index] = point(job, accuracy, wall)
-                tracker.job_done(job.label)
-            elif outcome.status == "timeout":
-                results[index] = point(job, None, job_timeout or 0.0, note="TO")
-                tracker.job_done(job.label, status="TO")
-            elif outcome.status == "broken":
-                accuracy, wall = _sweep_task(payload_for(job))
-                results[index] = point(job, accuracy, wall)
-                tracker.job_done(job.label)
-            else:
-                tracker.job_failed(job.label, outcome.error or "unknown error")
-                failures.add(job.label, outcome.error or "unknown error", outcome.attempts)
+            if outcome.status != "broken":
+                continue  # already streamed
+            accuracy, wall = _sweep_task(payload_for(job))
+            settle(index, point(job, accuracy, wall))
+            tracker.job_done(job.label)
         failures.raise_if_any()
     else:
         for index, job in runnable:
             accuracy, wall = _sweep_task(payload_for(job))
             if job_timeout is not None and wall > job_timeout:
-                results[index] = point(job, None, wall, note="TO")
+                settle(index, point(job, None, wall, note="TO"))
                 tracker.job_done(job.label, status="TO")
             else:
-                results[index] = point(job, accuracy, wall)
+                settle(index, point(job, accuracy, wall))
                 tracker.job_done(job.label)
     tracker.close()
     return [results[i] for i in sorted(results)]

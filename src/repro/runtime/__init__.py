@@ -39,6 +39,7 @@ from .store import (
     Artifact,
     ArtifactStore,
     StoreStats,
+    atomic_write_bytes,
     resolve_cache_dir,
 )
 
@@ -61,6 +62,7 @@ __all__ = [
     "Artifact",
     "ArtifactStore",
     "StoreStats",
+    "atomic_write_bytes",
     "resolve_cache_dir",
     "Stopwatch",
     "Instrumentation",

@@ -13,8 +13,12 @@ Two tiers:
 Robustness contract: a corrupt, truncated, unreadable or
 version-mismatched disk entry is a **miss, never a crash** — the entry
 is recounted in ``stats.corrupt`` and recomputed by the caller.  Disk
-writes are atomic (temp file + ``os.replace``) so a crashed process
-cannot leave a half-written entry that later parses.
+writes are crash-safe (temp file + ``fsync`` + ``os.replace`` +
+best-effort directory fsync) so a process killed at *any* instant —
+including mid-write — leaves either the previous entry or no entry,
+never a torn one.  :func:`atomic_write_bytes` exposes the same
+write-temp/fsync/rename discipline for other persistent records (the
+``repro.exec`` grid journal builds on it).
 """
 
 from __future__ import annotations
@@ -36,7 +40,53 @@ __all__ = [
     "StoreStats",
     "ArtifactStore",
     "resolve_cache_dir",
+    "atomic_write_bytes",
 ]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss.
+
+    Some filesystems (and all of Windows) refuse ``O_RDONLY`` opens of
+    directories; durability of the *entry rename* is then left to the
+    OS, which is the pre-hardening behaviour — never an error.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
+    """Durably replace ``path`` with ``payload``: temp + fsync + rename.
+
+    The contract a crash-safe journal needs: a reader never observes a
+    partial write — it sees the old content (or nothing) until the
+    rename, and the new content after it.  The temp file lives in the
+    destination directory so the rename stays within one filesystem.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
 
 #: Environment variable enabling the disk tier by default.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -221,6 +271,8 @@ class ArtifactStore:
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **artifact.arrays, **{_META_KEY: meta_array})
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -228,6 +280,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        _fsync_dir(path.parent)
 
     def _read_disk(self, key: str) -> Artifact | None:
         path = self._path_for(key)

@@ -1,0 +1,245 @@
+"""Chaos scenarios: kill anywhere, resume, converge to the same grid.
+
+The subprocess tests drive ``python -m repro.exec.chaos`` — a scripted
+grid against a real grid directory — and inject faults through the
+``REPRO_CHAOS`` environment variable, which is the only way to test a
+genuine SIGKILL (no atexit, no finally, no flushing).  Every scenario
+is seeded and deterministic: a failing kill point replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exec import (
+    ChaosError,
+    ChaosInjector,
+    ChaosPlan,
+    GridJournal,
+    ProgressTracker,
+    ScriptedRunner,
+    plans_to_env,
+    run_jobs,
+    scripted_grid,
+)
+from repro.exec.chaos import install, uninstall
+
+JOBS = 12
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    uninstall()
+
+
+def drive(grid_dir, cache_dir, exec_log, *extra, plans=(), expect_kill=False):
+    """Run the chaos driver subprocess; returns its parsed JSON summary."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    if plans:
+        env["REPRO_CHAOS"] = plans_to_env(plans)
+    else:
+        env.pop("REPRO_CHAOS", None)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.exec.chaos",
+            "--grid-dir", str(grid_dir), "--cache-dir", str(cache_dir),
+            "--exec-log", str(exec_log), "--jobs", str(JOBS),
+            "--stale-after", "2.0", *extra,
+        ],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    if expect_kill:
+        assert proc.returncode == -9, f"expected SIGKILL, got {proc.returncode}: {proc.stderr}"
+        return None
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def executed_labels(exec_log) -> list[str]:
+    path = Path(exec_log)
+    return path.read_text().splitlines() if path.exists() else []
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return {
+        "grid": tmp_path / "grid",
+        "cache": tmp_path / "cache",
+        "log": tmp_path / "exec.log",
+    }
+
+
+@pytest.fixture(scope="module")
+def reference_cells(tmp_path_factory):
+    """The grid's ground-truth results, from one uninterrupted run."""
+    base = tmp_path_factory.mktemp("reference")
+    summary = drive(base / "grid", base / "cache", base / "log")
+    assert summary["completed"] == JOBS
+    return summary["cells"]
+
+
+class TestInjector:
+    def test_fires_at_exact_visit_count(self):
+        injector = install(ChaosInjector([ChaosPlan("exception", "site.x", after=3)]))
+        from repro.exec import chaos_point
+
+        chaos_point("site.x")
+        chaos_point("site.x")
+        with pytest.raises(ChaosError):
+            chaos_point("site.x")
+        assert injector.visits["site.x"] == 3
+        assert injector.fired == [ChaosPlan("exception", "site.x", after=3)]
+
+    def test_sites_are_counted_independently(self):
+        install(ChaosInjector([ChaosPlan("exception", "site.b", after=1)]))
+        from repro.exec import chaos_point
+
+        chaos_point("site.a")  # must not trip site.b's plan
+        with pytest.raises(ChaosError):
+            chaos_point("site.b")
+
+    def test_env_round_trip(self):
+        plans = [ChaosPlan("kill", "journal.committed", after=7)]
+        decoded = [ChaosPlan.from_dict(d) for d in json.loads(plans_to_env(plans))]
+        assert decoded == plans
+
+    def test_no_injector_is_a_noop(self):
+        uninstall()
+        from repro.exec import chaos_point
+
+        os.environ.pop("REPRO_CHAOS", None)
+        chaos_point("anything")  # must not raise
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ChaosPlan("meteor", "site.x")
+
+
+@pytest.mark.parametrize(
+    "site,after",
+    [
+        ("journal.committed", 5),   # during the claim phase
+        ("journal.committed", 15),  # between a store write and later appends
+        ("exec.job", 4),            # just before the 4th inline execution
+        ("journal.record", 20),     # before an append is persisted
+    ],
+)
+class TestKillResumeConvergence:
+    def test_kill_anywhere_resume_converges(self, dirs, reference_cells, site, after):
+        drive(
+            dirs["grid"], dirs["cache"], dirs["log"],
+            plans=[ChaosPlan("kill", site, after=after)], expect_kill=True,
+        )
+        labels_after_kill = executed_labels(dirs["log"])
+
+        summary = drive(dirs["grid"], dirs["cache"], dirs["log"])
+        assert summary["completed"] == JOBS
+        # Bit-identical results table vs the uninterrupted reference.
+        assert summary["cells"] == reference_cells
+        # Zero re-executed done jobs: only jobs the kill genuinely
+        # interrupted may appear again, and no label more than twice.
+        labels = executed_labels(dirs["log"])
+        done_before = {
+            label for label in labels_after_kill if labels.count(label) == 1
+        }
+        assert len(set(labels)) == JOBS
+        assert all(labels.count(label) <= 2 for label in set(labels))
+        assert done_before.issubset(set(labels))
+
+        # A second resume re-executes nothing at all.
+        again = drive(dirs["grid"], dirs["cache"], dirs["log"])
+        assert again["cells"] == reference_cells
+        assert again["progress"]["resumed"] == JOBS
+        assert executed_labels(dirs["log"]) == labels
+
+
+class TestKillInvariants:
+    def test_journal_counts_no_duplicate_done_executions(self, dirs):
+        drive(
+            dirs["grid"], dirs["cache"], dirs["log"],
+            plans=[ChaosPlan("kill", "journal.committed", after=10)], expect_kill=True,
+        )
+        drive(dirs["grid"], dirs["cache"], dirs["log"])
+        journal = GridJournal.open(dirs["grid"])
+        for entry in journal.entries():
+            assert entry.state == "done"
+            assert entry.executions() <= 1  # journaled runs, cache repairs excluded
+        assert journal.progress()["re_executed"] == 0
+
+    def test_resume_leaves_no_held_leases(self, dirs):
+        drive(
+            dirs["grid"], dirs["cache"], dirs["log"],
+            plans=[ChaosPlan("kill", "journal.committed", after=8)], expect_kill=True,
+        )
+        drive(dirs["grid"], dirs["cache"], dirs["log"])
+        assert list((dirs["grid"] / "leases").glob("*.lock")) == []
+
+
+class TestConcurrentShards:
+    def test_two_shards_share_a_grid_without_duplicate_execution(self, dirs):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_CHAOS", None)
+        argv = [
+            sys.executable, "-m", "repro.exec.chaos",
+            "--grid-dir", str(dirs["grid"]), "--cache-dir", str(dirs["cache"]),
+            "--exec-log", str(dirs["log"]), "--jobs", str(JOBS),
+            "--seconds-per-job", "0.05", "--stale-after", "60",
+        ]
+        procs = [
+            subprocess.Popen(
+                argv + ["--owner", f"shard-{i}"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for i in range(2)
+        ]
+        summaries = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            summaries.append(json.loads(out))
+
+        # Every shard converged on the full grid (wait_for_peers mode).
+        for summary in summaries:
+            assert summary["completed"] == JOBS
+        assert summaries[0]["cells"] == summaries[1]["cells"]
+        # The double-claim guarantee: each job executed exactly once
+        # across both processes (the O_EXCL lockfile is the arbiter).
+        labels = executed_labels(dirs["log"])
+        assert sorted(labels) == sorted(set(labels))
+        assert len(labels) == JOBS
+
+    def test_shard_mode_returns_none_for_foreign_leases(self, tmp_path):
+        # In-process version of the race: a peer holds a live lease, so
+        # a --shard style run must leave that slot unfinished (None)
+        # rather than wait or steal.
+        from repro.exec import LeaseBoard
+
+        specs = scripted_grid(4)
+        cache = tmp_path / "cache"
+        runner = ScriptedRunner(cache, exec_log=tmp_path / "log")
+        grid_dir = tmp_path / "grid"
+        journal = GridJournal(grid_dir, runner.config_fingerprint)
+        journal.register(specs)
+        peer = LeaseBoard(grid_dir, owner="peer", stale_after=60.0)
+        assert peer.try_acquire(journal.digest_for(specs[0])) is not None
+
+        tracker = ProgressTracker()
+        results = run_jobs(
+            ScriptedRunner(cache, exec_log=tmp_path / "log"), specs,
+            grid_dir=grid_dir, wait_for_peers=False, stale_after=60.0,
+            tracker=tracker,
+        )
+        assert results[0] is None
+        assert all(r is not None for r in results[1:])
+        assert tracker.stolen == 0  # a live heartbeat is never stolen

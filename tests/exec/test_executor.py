@@ -215,7 +215,7 @@ class TestRunJobs:
     def test_degrades_inline_when_pool_is_broken(self, fast_config, monkeypatch):
         from repro.exec.executor import JobOutcome
 
-        def broken_map(self, payloads, labels=None):
+        def broken_map(self, payloads, labels=None, *, on_outcome=None, on_tick=None):
             return [
                 JobOutcome(index=i, status="broken", error="pool died")
                 for i in range(len(payloads))

@@ -1,0 +1,207 @@
+"""Tests for the persistent grid journal (repro.exec.journal)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import (
+    GridJournal,
+    ProgressTracker,
+    ScriptedRunner,
+    corrupt_store_entry,
+    run_jobs,
+    scripted_grid,
+    timeout_result,
+)
+from repro.exec.journal import TERMINAL_STATES
+
+
+@pytest.fixture
+def grid_env(tmp_path):
+    """A grid directory + scripted runner factory sharing one store dir."""
+    cache_dir = tmp_path / "cache"
+    exec_log = tmp_path / "exec.log"
+
+    def make_runner():
+        return ScriptedRunner(cache_dir, exec_log=exec_log)
+
+    return {
+        "grid_dir": str(tmp_path / "grid"),
+        "cache_dir": cache_dir,
+        "make_runner": make_runner,
+    }
+
+
+class TestJournalLifecycle:
+    def test_fresh_grid_lands_every_spec_as_done(self, grid_env):
+        specs = scripted_grid(6)
+        runner = grid_env["make_runner"]()
+        results = run_jobs(runner, specs, grid_dir=grid_env["grid_dir"])
+        assert all(r is not None for r in results)
+        journal = GridJournal.open(grid_env["grid_dir"])
+        assert journal.counts()["done"] == 6
+        assert set(journal.specs()) == set(specs)
+        for entry in journal.entries():
+            assert entry.terminal
+            assert entry.state in TERMINAL_STATES
+
+    def test_resume_re_executes_nothing(self, grid_env):
+        specs = scripted_grid(6)
+        run_jobs(grid_env["make_runner"](), specs, grid_dir=grid_env["grid_dir"])
+        executed_once = grid_env["make_runner"]().executions()
+        assert len(executed_once) == 6
+
+        tracker = ProgressTracker()
+        resumed = run_jobs(
+            grid_env["make_runner"](), specs, grid_dir=grid_env["grid_dir"],
+            tracker=tracker,
+        )
+        assert len(grid_env["make_runner"]().executions()) == 6  # unchanged
+        assert tracker.resumed == 6
+        # Bit-identical verdicts across the resume.
+        first = run_jobs(grid_env["make_runner"](), specs, grid_dir=grid_env["grid_dir"])
+        assert [r.cell for r in resumed] == [r.cell for r in first]
+
+    def test_journal_survives_no_resume_flag(self, grid_env):
+        specs = scripted_grid(4)
+        run_jobs(grid_env["make_runner"](), specs, grid_dir=grid_env["grid_dir"])
+        # resume=False ignores journaled verdicts but the store still
+        # answers, so nothing re-executes; fresh records are appended.
+        run_jobs(
+            grid_env["make_runner"](), specs, grid_dir=grid_env["grid_dir"],
+            resume=False,
+        )
+        assert len(grid_env["make_runner"]().executions()) == 4
+        journal = GridJournal.open(grid_env["grid_dir"])
+        assert journal.counts()["done"] == 4
+
+    def test_corrupt_store_entry_re_executes_exactly_that_job(self, grid_env):
+        specs = scripted_grid(5)
+        runner = grid_env["make_runner"]()
+        run_jobs(runner, specs, grid_dir=grid_env["grid_dir"])
+        victim = specs[2]
+        corrupt_store_entry(grid_env["cache_dir"], victim.result_key("scripted"))
+
+        fresh = grid_env["make_runner"]()
+        results = run_jobs(fresh, specs, grid_dir=grid_env["grid_dir"])
+        assert all(r is not None for r in results)
+        assert fresh.store.stats.corrupt >= 1
+        executions = grid_env["make_runner"]().executions()
+        assert len(executions) == 6  # 5 original + 1 re-run
+        assert executions.count(victim.label) == 2
+
+    def test_crash_between_store_write_and_journal_append_repairs(self, grid_env):
+        specs = scripted_grid(3)
+        runner = grid_env["make_runner"]()
+        # Simulate the crash window: the result reached the store but
+        # the journal never saw a terminal record.
+        for spec in specs:
+            runner.run_spec(spec)
+        tracker = ProgressTracker()
+        run_jobs(
+            grid_env["make_runner"](), specs, grid_dir=grid_env["grid_dir"],
+            tracker=tracker,
+        )
+        assert len(grid_env["make_runner"]().executions()) == 3  # zero re-runs
+        assert tracker.cached == 3
+        journal = GridJournal.open(grid_env["grid_dir"])
+        for entry in journal.entries():
+            assert entry.state == "done"
+            assert entry.last.cached  # repaired from the store, not re-run
+            assert entry.executions() == 0
+
+
+class TestRetryBudget:
+    def _journal_with_timeout(self, grid_env, spec, attempts):
+        runner = grid_env["make_runner"]()
+        journal = GridJournal(grid_env["grid_dir"], runner.config_fingerprint)
+        journal.register([spec])
+        verdict = timeout_result(spec, runner.simulate_spec(spec), 99.0)
+        journal.record_result(spec, verdict, attempts=attempts)
+        return runner, journal
+
+    def test_timeout_within_budget_is_retried(self, grid_env):
+        spec = scripted_grid(1)[0]
+        runner, journal = self._journal_with_timeout(grid_env, spec, attempts=1)
+        assert journal.resolve(spec, runner) is None  # 1 attempt <= budget 1
+
+    def test_timeout_over_budget_reuses_the_verdict(self, grid_env):
+        spec = scripted_grid(1)[0]
+        runner, journal = self._journal_with_timeout(grid_env, spec, attempts=2)
+        reused = journal.resolve(spec, runner)
+        assert reused is not None
+        assert reused.status.name == "TIMEOUT"
+        assert reused.cell == "TO"
+
+    def test_executor_retries_timeout_then_journals_attempts(self, grid_env):
+        spec = scripted_grid(1)[0]
+        self._journal_with_timeout(grid_env, spec, attempts=1)
+        # The retry succeeds (ScriptedRunner jobs always pass).
+        tracker = ProgressTracker()
+        results = run_jobs(
+            grid_env["make_runner"](), [spec], grid_dir=grid_env["grid_dir"],
+            tracker=tracker,
+        )
+        assert results[0].status.name == "OK"
+        entry = GridJournal.open(grid_env["grid_dir"]).entries()[0]
+        assert entry.state == "done"
+        assert entry.attempts == 2
+
+    def test_failed_state_is_always_re_eligible(self, grid_env):
+        spec = scripted_grid(1)[0]
+        runner = grid_env["make_runner"]()
+        journal = GridJournal(grid_env["grid_dir"], runner.config_fingerprint)
+        journal.register([spec])
+        journal.mark_failed(spec, "boom", attempts=7)
+        assert journal.resolve(spec, runner) is None
+
+
+class TestDurability:
+    def test_record_files_are_valid_json_after_every_append(self, grid_env):
+        spec = scripted_grid(1)[0]
+        runner = grid_env["make_runner"]()
+        journal = GridJournal(grid_env["grid_dir"], runner.config_fingerprint)
+        journal.register([spec])
+        journal.mark_leased(spec, "owner-a")
+        journal.record_result(spec, runner.run_spec(spec), attempts=1)
+        path = journal._entry_path(journal.digest_for(spec))
+        data = json.loads(path.read_text())
+        assert [r["state"] for r in data["records"]] == ["leased", "done"]
+
+    def test_register_is_idempotent_and_merges(self, grid_env):
+        specs = scripted_grid(4)
+        runner = grid_env["make_runner"]()
+        journal = GridJournal(grid_env["grid_dir"], runner.config_fingerprint)
+        journal.register(specs[:2])
+        journal.register(specs)  # superset: merge, no duplicates
+        journal.register(specs[1:3])  # subset: no-op
+        assert len(journal.specs()) == 4
+
+    def test_open_reads_fingerprint_from_manifest(self, grid_env):
+        specs = scripted_grid(2)
+        runner = grid_env["make_runner"]()
+        GridJournal(grid_env["grid_dir"], runner.config_fingerprint).register(specs)
+        reopened = GridJournal.open(grid_env["grid_dir"])
+        assert reopened.fingerprint == "scripted"
+        assert set(reopened.specs()) == set(specs)
+
+    def test_progress_reports_counts_and_eta(self, grid_env):
+        specs = scripted_grid(4)
+        runner = grid_env["make_runner"]()
+        journal = GridJournal(grid_env["grid_dir"], runner.config_fingerprint)
+        journal.register(specs)
+        for spec in specs[:2]:
+            result = runner.run_spec(spec)
+            result = result.__class__.from_meta(
+                {**result.to_meta(), "measured_seconds": 2.0}
+            )
+            journal.record_result(spec, result, attempts=1)
+        progress = journal.progress()
+        assert progress["total"] == 4
+        assert progress["counts"]["done"] == 2
+        assert progress["remaining"] == 2
+        assert progress["mean_job_seconds"] == pytest.approx(2.0)
+        assert progress["eta_seconds"] == pytest.approx(4.0)
+        assert progress["re_executed"] == 0

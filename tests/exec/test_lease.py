@@ -1,0 +1,140 @@
+"""Tests for file-lock shard leases (repro.exec.lease)."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.exec import DEFAULT_STALE_AFTER, LeaseBoard
+from repro.exec.chaos import ChaosInjector, ChaosPlan, install, uninstall
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    uninstall()
+
+
+def backdate(path, seconds: float) -> None:
+    """Age a lockfile's heartbeat by ``seconds``."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestAcquisition:
+    def test_exclusive_between_boards(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a")
+        b = LeaseBoard(tmp_path, owner="b")
+        lease = a.try_acquire("d1")
+        assert lease is not None and lease.owner == "a" and not lease.stolen
+        assert b.try_acquire("d1") is None
+        assert b.stats()["contested"] == 1
+
+    def test_release_reopens_the_slot(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a")
+        b = LeaseBoard(tmp_path, owner="b")
+        lease = a.try_acquire("d1")
+        a.release(lease)
+        assert b.try_acquire("d1") is not None
+
+    def test_lockfile_payload_names_the_owner(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="host:1:aa")
+        lease = a.try_acquire("d1")
+        data = json.loads(lease.path.read_text())
+        assert data["owner"] == "host:1:aa"
+        assert data["digest"] == "d1"
+
+    def test_default_stale_after_matches_module_constant(self, tmp_path):
+        assert LeaseBoard(tmp_path).stale_after == DEFAULT_STALE_AFTER
+
+
+class TestStaleReclamation:
+    def test_stale_lease_is_stolen(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        dead = a.try_acquire("d1")
+        backdate(dead.path, 60.0)
+        b = LeaseBoard(tmp_path, owner="b", stale_after=5.0)
+        stolen = b.try_acquire("d1")
+        assert stolen is not None and stolen.stolen
+        assert b.stats()["stolen"] == 1
+
+    def test_live_heartbeat_is_never_stolen(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        lease = a.try_acquire("d1")
+        backdate(lease.path, 60.0)
+        assert lease.heartbeat()  # refreshes mtime: the owner is alive
+        b = LeaseBoard(tmp_path, owner="b", stale_after=5.0)
+        assert b.try_acquire("d1") is None
+
+    def test_previous_owner_detects_the_theft(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        lease = a.try_acquire("d1")
+        backdate(lease.path, 60.0)
+        b = LeaseBoard(tmp_path, owner="b", stale_after=5.0)
+        assert b.try_acquire("d1") is not None
+        # The zombie's heartbeat must not refresh the thief's lockfile.
+        assert lease.heartbeat() is False
+        assert a.heartbeat_held(min_interval=0.0) == 0
+
+    def test_release_after_theft_keeps_the_thiefs_lock(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        lease = a.try_acquire("d1")
+        backdate(lease.path, 60.0)
+        b = LeaseBoard(tmp_path, owner="b", stale_after=5.0)
+        stolen = b.try_acquire("d1")
+        a.release(lease)  # must not unlink b's lockfile
+        assert json.loads(stolen.path.read_text())["owner"] == "b"
+
+    def test_exactly_one_of_two_racers_steals(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        dead = a.try_acquire("d1")
+        backdate(dead.path, 60.0)
+        b = LeaseBoard(tmp_path, owner="b", stale_after=5.0)
+        c = LeaseBoard(tmp_path, owner="c", stale_after=5.0)
+        # Force the race: both see the same stale file; only the board
+        # whose rename wins may recreate the lock.
+        winners = [board.try_acquire("d1") for board in (b, c)]
+        assert sum(lease is not None for lease in winners) == 1
+
+    def test_frozen_heartbeat_reports_ok_but_goes_stale(self, tmp_path):
+        install(ChaosInjector([ChaosPlan("freeze_heartbeat", "lease.heartbeat")]))
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        lease = a.try_acquire("d1")
+        backdate(lease.path, 60.0)
+        assert lease.heartbeat()  # the wedged process believes it is fine
+        b = LeaseBoard(tmp_path, owner="b", stale_after=5.0)
+        uninstall()  # the thief is a healthy process
+        stolen = b.try_acquire("d1")
+        assert stolen is not None and stolen.stolen
+
+
+class TestBoardBookkeeping:
+    def test_heartbeat_held_refreshes_every_lease(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        leases = [a.try_acquire(f"d{i}") for i in range(3)]
+        for lease in leases:
+            backdate(lease.path, 60.0)
+        assert a.heartbeat_held(min_interval=0.0) == 3
+        for lease in leases:
+            assert time.time() - lease.path.stat().st_mtime < 5.0
+
+    def test_release_all(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a")
+        for i in range(3):
+            a.try_acquire(f"d{i}")
+        a.release_all()
+        assert a.stats()["held"] == 0
+        assert LeaseBoard(tmp_path, owner="b").try_acquire("d0") is not None
+
+    def test_active_lists_owner_and_staleness(self, tmp_path):
+        a = LeaseBoard(tmp_path, owner="a", stale_after=5.0)
+        fresh = a.try_acquire("d1")
+        old = a.try_acquire("d2")
+        backdate(old.path, 60.0)
+        rows = {row["digest"]: row for row in a.active()}
+        assert rows["d1"]["owner"] == "a" and not rows["d1"]["stale"]
+        assert rows["d2"]["stale"]
+        assert fresh is not None

@@ -120,3 +120,69 @@ class TestDiskTier:
         assert not fresh.contains(key("ffffffff"))
         assert fresh.stats.hits == 0
         assert fresh.stats.misses == 0
+
+
+class TestTornWrites:
+    """Crash-safety of the disk tier: a write killed mid-flight must
+    leave either the previous entry or the new one — never a torn file
+    (the corruption counter stays 0 across the crash)."""
+
+    def test_crash_before_rename_preserves_previous_entry(self, tmp_path, rng, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        old = rng.normal(size=(4,))
+        store.put(key(), arrays={"x": old}, meta={"gen": 1})
+
+        def crash(src, dst):
+            raise OSError("simulated kill between write and rename")
+
+        monkeypatch.setattr(store_module.os, "replace", crash)
+        writer = ArtifactStore(tmp_path)
+        with pytest.raises(OSError):
+            writer.put(key(), arrays={"x": rng.normal(size=(4,))}, meta={"gen": 2})
+        monkeypatch.undo()
+
+        fresh = ArtifactStore(tmp_path)
+        artifact = fresh.get(key())
+        assert artifact is not None and artifact.meta == {"gen": 1}
+        np.testing.assert_array_equal(artifact.arrays["x"], old)
+        assert fresh.stats.corrupt == 0
+
+    def test_crash_leaves_no_temp_garbage_visible_to_readers(self, tmp_path, rng, monkeypatch):
+        def crash(src, dst):
+            raise OSError("simulated kill")
+
+        monkeypatch.setattr(store_module.os, "replace", crash)
+        writer = ArtifactStore(tmp_path)
+        with pytest.raises(OSError):
+            writer.put(key(), arrays={"x": rng.normal(size=(2,))})
+        monkeypatch.undo()
+
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.get(key()) is None
+        assert fresh.stats.corrupt == 0  # a miss, not a torn read
+        assert fresh.disk_summary() == {}
+
+    def test_atomic_write_bytes_crash_keeps_old_content(self, tmp_path, monkeypatch):
+        from repro.runtime import atomic_write_bytes
+
+        path = tmp_path / "journal" / "entry.json"
+        atomic_write_bytes(path, b'{"state": "old"}')
+
+        def crash(src, dst):
+            raise OSError("simulated kill")
+
+        monkeypatch.setattr(store_module.os, "replace", crash)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b'{"state": "new"}')
+        monkeypatch.undo()
+
+        assert path.read_bytes() == b'{"state": "old"}'
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_atomic_write_bytes_round_trip(self, tmp_path):
+        from repro.runtime import atomic_write_bytes
+
+        path = tmp_path / "nested" / "dir" / "payload.json"
+        atomic_write_bytes(path, b"abc")
+        atomic_write_bytes(path, b"abcdef")  # overwrite in place
+        assert path.read_bytes() == b"abcdef"

@@ -94,3 +94,81 @@ class TestGridCommandArgs:
         runner = _make_runner(args)
         assert runner.workers == 4
         assert runner.job_timeout == 30.0
+
+
+class TestSweepArgs:
+    def test_defaults(self, parser, tmp_path):
+        args = parser.parse_args(["sweep", "--grid-dir", str(tmp_path)])
+        assert args.grid_dir == str(tmp_path)
+        assert args.preset == "fast"
+        assert args.shard is False
+        assert args.no_resume is False
+        assert args.retry_budget == 1
+        assert args.workers == 1
+        assert args.cache_dir is None  # resolved to <grid-dir>/cache at run time
+        from repro.exec import DEFAULT_STALE_AFTER
+
+        assert args.stale_after == DEFAULT_STALE_AFTER
+
+    def test_grid_dir_is_required(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep"])
+
+    def test_shard_flags_parse(self, parser, tmp_path):
+        args = parser.parse_args(
+            ["sweep", "--grid-dir", str(tmp_path), "--shard", "--no-resume",
+             "--retry-budget", "3", "--stale-after", "7.5", "--owner", "shard-1",
+             "--models", "MOMENT", "--adapters", "pca", "var",
+             "--strategies", "head", "--seeds", "0", "1"]
+        )
+        assert args.shard and args.no_resume
+        assert args.retry_budget == 3
+        assert args.stale_after == 7.5
+        assert args.owner == "shard-1"
+        assert args.models == ["MOMENT"]
+        assert args.adapters == ["pca", "var"]
+        assert args.strategies == ["head"]
+        assert args.seeds == [0, 1]
+
+    def test_rejects_unknown_model(self, parser, tmp_path):
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["sweep", "--grid-dir", str(tmp_path), "--models", "GPT"]
+            )
+
+
+class TestGridStatusArgs:
+    def test_status_parses(self, parser, tmp_path):
+        args = parser.parse_args(["grid", "status", str(tmp_path)])
+        assert args.action == "status"
+        assert args.grid_dir == str(tmp_path)
+
+    def test_rejects_unknown_action(self, parser, tmp_path):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["grid", "frobnicate", str(tmp_path)])
+
+    def test_status_reports_counts_and_leases(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.exec import LeaseBoard, ScriptedRunner, run_jobs, scripted_grid
+
+        grid_dir = tmp_path / "grid"
+        runner = ScriptedRunner(tmp_path / "cache")
+        specs = scripted_grid(6)
+        run_jobs(runner, specs[:4], grid_dir=str(grid_dir))
+        journal_side = ScriptedRunner(tmp_path / "cache")
+        from repro.exec import GridJournal
+
+        GridJournal(grid_dir, journal_side.config_fingerprint).register(specs)
+        LeaseBoard(grid_dir, owner="shard-x").try_acquire("feedface")
+
+        assert main(["grid", "status", str(grid_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "6 total" in out
+        assert "done" in out and "4" in out
+        assert "shard-x" in out
+
+    def test_status_without_journal_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["grid", "status", str(tmp_path)]) == 1
+        assert "no grid journal" in capsys.readouterr().out
