@@ -1,12 +1,14 @@
-"""Train, save, and re-deploy a fine-tuned classifier.
+"""Train, publish, and serve a fine-tuned classifier.
 
 A fitted pipeline bundles three stateful pieces — adapter projection,
-foundation-model weights, classification head — and the library
-persists all of them to one directory (numpy archives + a JSON
-manifest, no pickle).  This example fine-tunes on 61-channel
-Heartbeat data, saves the result, reloads it as a "deployed" copy and
-verifies the two produce bit-identical predictions; it also exports
-the dataset itself so the deployment can be smoke-tested elsewhere.
+foundation-model weights, classification head — and the pipeline
+registry persists all of them as one named, versioned, digest-checked
+artifact (numpy archives + a JSON manifest, no pickle).  This example
+fine-tunes on 61-channel Heartbeat data, publishes the result into a
+registry, reloads it as a "deployed" copy and verifies bit-identical
+predictions, then serves it online through ``deploy`` / ``client``
+with micro-batching — and checks the served logits are bit-identical
+to the offline fixed-width recipe too.
 
 Run with:  python examples/train_save_deploy.py
 """
@@ -18,48 +20,52 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.adapters import make_adapter
-from repro.data import load_dataset, load_dataset_file, save_dataset
-from repro.models import load_pretrained
-from repro.training import (
-    AdapterPipeline,
-    FineTuneStrategy,
-    TrainConfig,
-    load_pipeline,
-    save_pipeline,
-)
+from repro import ServeConfig, client, deploy, fit_pipeline, undeploy
+from repro.training import AdapterPipeline, TrainConfig
 
 
 def main() -> None:
-    dataset = load_dataset("Heartbeat", seed=0, scale=0.2, max_length=96, normalize=False)
-    print(f"Loaded {dataset.describe()}")
-
-    model = load_pretrained("moment-tiny", seed=0, pretrain_steps=30)
-    pipeline = AdapterPipeline(model, make_adapter("pca", 5), dataset.num_classes, seed=0)
-    pipeline.fit(
-        dataset.x_train,
-        dataset.y_train,
-        strategy=FineTuneStrategy.ADAPTER_HEAD,
-        config=TrainConfig(epochs=60, batch_size=32, learning_rate=3e-3, seed=0),
+    fitted = fit_pipeline(
+        "Heartbeat",
+        adapter="pca",
+        channels=5,
+        seed=0,
+        scale=0.2,
+        max_length=96,
+        train_config=TrainConfig(epochs=60, batch_size=32, learning_rate=3e-3, seed=0),
     )
-    accuracy = pipeline.score(dataset.x_test, dataset.y_test)
-    print(f"Trained: test accuracy {accuracy:.3f}")
+    dataset = fitted.dataset
+    print(f"Loaded {dataset.describe()}")
+    print(f"Trained: test accuracy {fitted.score(dataset.x_test, dataset.y_test):.3f}")
 
     with tempfile.TemporaryDirectory() as workdir:
-        checkpoint = Path(workdir) / "heartbeat-pca"
-        save_pipeline(pipeline, checkpoint)
-        data_file = save_dataset(dataset, Path(workdir) / "heartbeat-data")
-        size_kb = sum(f.stat().st_size for f in checkpoint.iterdir()) / 1024
-        print(f"Saved pipeline to {checkpoint.name}/ ({size_kb:.0f} KiB on disk)")
+        registry_dir = Path(workdir) / "registry"
+        record = fitted.save(registry_dir, "heartbeat-pca")
+        print(f"Published {record.ref} (digest {record.digest[:12]})")
 
-        # --- "deployment": fresh objects, no retraining -----------------
-        deployed = load_pipeline(checkpoint)
-        shipped_data = load_dataset_file(data_file)
+        # --- cold restore: fresh objects, no retraining -----------------
+        restored = AdapterPipeline.load(registry_dir, "heartbeat-pca")
         identical = np.array_equal(
-            pipeline.predict(shipped_data.x_test), deployed.predict(shipped_data.x_test)
+            fitted.predict(dataset.x_test), restored.predict(dataset.x_test)
         )
-        print(f"Deployed copy reproduces predictions exactly: {identical}")
-        print(f"Deployed accuracy: {deployed.score(shipped_data.x_test, shipped_data.y_test):.3f}")
+        print(f"Restored copy reproduces predictions exactly: {identical}")
+
+        # --- online serving: micro-batched, still the same bits ---------
+        config = ServeConfig(max_batch=8, max_delay_s=0.002)
+        deploy(fitted.pipeline, "heartbeat", store=registry_dir, config=config)
+        handle = client("heartbeat")
+        # The array form submits every series as its own request, so
+        # they co-batch exactly like concurrent clients would.
+        served = handle.predict_logits(dataset.x_test[:16])
+        offline = fitted.predict_logits(dataset.x_test[:16], batch_size=config.max_batch)
+        print(f"Served logits match the offline recipe: {np.array_equal(served, offline)}")
+        print(f"One series -> label {handle.predict(dataset.x_test[0])}")
+        stats = handle.stats()["batcher"]
+        print(
+            f"Served {stats['requests']} requests in {stats['batches']} micro-batches "
+            f"(mean width {stats['batch_width']['mean']:.2f})"
+        )
+        undeploy("heartbeat")
 
 
 if __name__ == "__main__":

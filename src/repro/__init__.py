@@ -21,27 +21,43 @@ from scratch on numpy:
 * :mod:`repro.evaluation` — accuracy, Welch t-tests, ranks, rendering;
 * :mod:`repro.exec` — spec-driven experiment API (:class:`JobSpec`,
   ``grid``) and the fault-tolerant parallel job executor;
-* :mod:`repro.experiments` — one entry point per paper table/figure.
+* :mod:`repro.experiments` — one entry point per paper table/figure;
+* :mod:`repro.serve` — pipeline registry + micro-batched online
+  inference (``deploy`` / ``client``).
 
 Quickstart (see ``docs/api.md`` for the full tour)::
 
-    from repro import JobSpec, run_experiment, fit_pipeline
+    from repro import JobSpec, run_experiment, fit_pipeline, client
 
     # One cached, simulation-gated experiment job:
     result = run_experiment(JobSpec(dataset="Heartbeat", model="MOMENT", adapter="pca"))
     print(result.cell)          # accuracy, or "TO"/"COM"
 
     # Or hands-on, without the runner:
-    pipeline, ds = fit_pipeline("Heartbeat", adapter="pca")
-    print(pipeline.score(ds.x_test, ds.y_test))
+    fitted = fit_pipeline("Heartbeat", adapter="pca")
+    print(fitted.score(fitted.dataset.x_test, fitted.dataset.y_test))
+
+    # Serve it:
+    fitted.deploy("heartbeat")
+    label = client("heartbeat").predict(fitted.dataset.x_test[0])
 """
 
 from . import nn  # noqa: F401  (import order: nn first, it has no siblings)
 from . import runtime  # noqa: F401  (second: only depends on nn)
 from . import adapters, baselines, data, evaluation, models, resources, training
 from . import exec  # noqa: A004  (shadows no builtin at module scope)
-from . import experiments
-from .api import JobSpec, fit_pipeline, run_experiment, run_sweep
+from . import experiments, serve
+from .api import (
+    FittedPipeline,
+    JobSpec,
+    ServeConfig,
+    client,
+    deploy,
+    fit_pipeline,
+    run_experiment,
+    run_sweep,
+    undeploy,
+)
 
 __version__ = "1.0.0"
 
@@ -57,9 +73,15 @@ __all__ = [
     "evaluation",
     "exec",
     "experiments",
+    "serve",
     "JobSpec",
     "run_experiment",
     "run_sweep",
     "fit_pipeline",
+    "FittedPipeline",
+    "deploy",
+    "client",
+    "undeploy",
+    "ServeConfig",
     "__version__",
 ]

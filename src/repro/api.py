@@ -1,22 +1,33 @@
-"""Top-level facade: the 90% use case in three calls.
+"""Top-level facade: the 90% use case in a handful of calls.
 
+* :func:`fit_pipeline` — load data, load a pretrained model, build an
+  adapter and fit the :class:`~repro.training.AdapterPipeline`; returns
+  a :class:`FittedPipeline` handle exposing ``.predict`` / ``.save`` /
+  ``.deploy`` directly (and still unpacking as ``(pipeline, dataset)``);
+* :func:`deploy` / :func:`client` — publish a fitted pipeline under a
+  name and serve micro-batched predictions against it (re-exported
+  from :mod:`repro.serve`);
 * :func:`run_experiment` — run one :class:`~repro.exec.JobSpec` (or a
   grid of them) through an :class:`~repro.experiments.ExperimentRunner`
   with caching, parallelism and fault handling included;
 * :func:`run_sweep` — grid-driven ablation sweeps (re-exported from
-  :mod:`repro.experiments.sweeps`);
-* :func:`fit_pipeline` — load data, load a pretrained model, build an
-  adapter and fit the :class:`~repro.training.AdapterPipeline` in one
-  call.
+  :mod:`repro.experiments.sweeps`).
 
-All three are re-exported from the package root::
+All are re-exported from the package root::
 
-    from repro import JobSpec, run_experiment, run_sweep, fit_pipeline
+    from repro import fit_pipeline, deploy, client
+
+    fitted = fit_pipeline("Heartbeat", adapter="pca")
+    print(fitted.score(fitted.dataset.x_test, fitted.dataset.y_test))
+    fitted.deploy("heartbeat")
+    label = client("heartbeat").predict(fitted.dataset.x_test[0])
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, NamedTuple
+
+import numpy as np
 
 from .adapters import make_adapter
 from .data import load_dataset
@@ -24,20 +35,37 @@ from .data.uea import MultivariateDataset
 from .exec import JobSpec
 from .experiments.sweeps import run_sweep
 from .models import load_pretrained
+from .serve import ServeConfig, client, deploy, undeploy
 from .training import AdapterPipeline, FineTuneStrategy, TrainConfig
 
-__all__ = ["JobSpec", "run_experiment", "run_sweep", "fit_pipeline"]
+if TYPE_CHECKING:
+    from .experiments import ExperimentConfig, ExperimentRunner
+    from .serve import PipelineRecord
+    from .training import FitReport
+
+__all__ = [
+    "JobSpec",
+    "run_experiment",
+    "run_sweep",
+    "fit_pipeline",
+    "FittedPipeline",
+    "deploy",
+    "client",
+    "undeploy",
+    "ServeConfig",
+]
 
 
 def run_experiment(
     spec: JobSpec | Iterable[JobSpec],
     *,
     preset: str = "fast",
-    config: Any = None,
+    config: "ExperimentConfig | None" = None,
     cache_dir: str | None = None,
     workers: int = 1,
     job_timeout: float | None = None,
-    runner: Any = None,
+    runner: "ExperimentRunner | None" = None,
+    **unknown: Any,
 ):
     """Run one spec (or a grid) and return the ExperimentResult(s).
 
@@ -60,8 +88,23 @@ def run_experiment(
         Reuse an existing :class:`~repro.experiments.ExperimentRunner`
         (overrides every other construction parameter).
     """
-    from .experiments import ExperimentRunner, get_preset
+    from .experiments import ExperimentConfig, ExperimentRunner, get_preset
 
+    if unknown:
+        valid = "preset, config, cache_dir, workers, job_timeout, runner"
+        raise TypeError(
+            f"run_experiment() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}; valid keywords are: {valid}"
+        )
+    if config is not None and not isinstance(config, ExperimentConfig):
+        raise TypeError(
+            f"config must be an ExperimentConfig (e.g. get_preset({preset!r})), "
+            f"got {type(config).__name__}"
+        )
+    if runner is not None and not isinstance(runner, ExperimentRunner):
+        raise TypeError(
+            f"runner must be an ExperimentRunner, got {type(runner).__name__}"
+        )
     if runner is None:
         runner = ExperimentRunner(
             config if config is not None else get_preset(preset),
@@ -72,6 +115,55 @@ def run_experiment(
     if isinstance(spec, JobSpec):
         return runner.run_specs([spec])[0]
     return runner.run_specs(list(spec))
+
+
+class FittedPipeline(NamedTuple):
+    """Handle returned by :func:`fit_pipeline`.
+
+    A named tuple, so the historical ``pipeline, ds = fit_pipeline(...)``
+    unpacking keeps working — while the handle itself exposes the
+    predict / persist / deploy surface directly.
+    """
+
+    pipeline: AdapterPipeline
+    dataset: MultivariateDataset
+
+    @property
+    def report(self) -> "FitReport | None":
+        """The :class:`FitReport` of the fit that produced this handle."""
+        return getattr(self.pipeline, "last_fit_report_", None)
+
+    def predict(
+        self, x: np.ndarray, batch_size: int = 64, compiled: bool = True
+    ) -> np.ndarray:
+        """Predicted class labels for ``(N, T, D)`` input."""
+        return self.pipeline.predict(x, batch_size=batch_size, compiled=compiled)
+
+    def predict_proba(
+        self, x: np.ndarray, batch_size: int = 64, compiled: bool = True
+    ) -> np.ndarray:
+        """Class probabilities (softmax over :meth:`predict_logits`)."""
+        return self.pipeline.predict_proba(x, batch_size=batch_size, compiled=compiled)
+
+    def predict_logits(
+        self, x: np.ndarray, batch_size: int = 64, compiled: bool = True
+    ) -> np.ndarray:
+        """Raw classification logits for ``(N, T, D)`` input."""
+        return self.pipeline.predict_logits(x, batch_size=batch_size, compiled=compiled)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of :meth:`predict` against labels ``y``."""
+        return self.pipeline.score(x, y)
+
+    def save(self, store, name: str) -> "PipelineRecord":
+        """Publish into a registry: ``fitted.save(store_or_dir, name)``."""
+        return self.pipeline.save(store, name)
+
+    def deploy(
+        self, name: str, *, store=None, config: ServeConfig | None = None
+    ) -> "PipelineRecord":
+        """Publish and start serving under ``name`` (see :func:`deploy`)."""
+        return deploy(self.pipeline, name, store=store, config=config)
 
 
 def fit_pipeline(
@@ -86,13 +178,15 @@ def fit_pipeline(
     adapter_kwargs: Mapping[str, Any] | None = None,
     scale: float = 0.1,
     max_length: int | None = 96,
-) -> tuple[AdapterPipeline, MultivariateDataset]:
+) -> FittedPipeline:
     """Load, build and fit an adapter pipeline in one call.
 
-    Returns ``(pipeline, dataset)`` so scoring is one more line::
+    Returns a :class:`FittedPipeline` — usable directly
+    (``fitted.predict(x)``, ``fitted.deploy("name")``) or unpacked as
+    the historical ``(pipeline, dataset)`` pair::
 
-        pipeline, ds = fit_pipeline("Heartbeat", adapter="pca")
-        print(pipeline.score(ds.x_test, ds.y_test))
+        fitted = fit_pipeline("Heartbeat", adapter="pca")
+        print(fitted.score(fitted.dataset.x_test, fitted.dataset.y_test))
 
     Parameters
     ----------
@@ -122,4 +216,4 @@ def fit_pipeline(
     if not isinstance(strategy, FineTuneStrategy):
         strategy = FineTuneStrategy(strategy)
     pipeline.fit(ds.x_train, ds.y_train, strategy=strategy, config=train_config)
-    return pipeline, ds
+    return FittedPipeline(pipeline=pipeline, dataset=ds)

@@ -32,6 +32,14 @@ Subcommands
 ``repro grid``
     Inspect a grid directory: per-state job counts, active shard
     leases and a naive ETA (``status``).
+``repro serve``
+    Serve a registered pipeline with dynamic micro-batching, drive a
+    seeded synthetic closed-loop load against it, and print the
+    ``/stats`` snapshot (QPS, p50/p99 latency, batch widths, shed and
+    deadline counts).  See ``docs/serve.md``.
+``repro predict``
+    One-shot offline prediction from a registered pipeline against an
+    ``.npz`` input file (labels, logits or probabilities).
 
 Invoke as ``python -m repro.cli ...`` or the installed ``repro``
 script.
@@ -67,7 +75,8 @@ from .experiments import (
 from .models import load_pretrained
 from .resources import simulate_finetuning
 from .runtime import NAMESPACES, ArtifactStore, Stopwatch, resolve_cache_dir
-from .training import AdapterPipeline, FineTuneStrategy, TrainConfig, save_pipeline
+from .training import AdapterPipeline, FineTuneStrategy, TrainConfig
+from .training.persistence import _save_pipeline_dir
 
 __all__ = ["main", "build_parser"]
 
@@ -118,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-length", type=int, default=96)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--save", metavar="DIR", help="save the fitted pipeline to DIR")
+    run.add_argument(
+        "--registry", metavar="DIR",
+        help="pipeline registry directory for --deploy",
+    )
+    run.add_argument(
+        "--deploy", metavar="NAME",
+        help="publish the fitted pipeline into --registry under NAME",
+    )
 
     prof = sub.add_parser("profile", help="op-level profile of one fine-tuning run")
     prof.add_argument("--model", choices=_RUNNABLE_MODEL_CHOICES, default="moment-tiny")
@@ -240,6 +257,68 @@ def build_parser() -> argparse.ArgumentParser:
     grid_cmd.add_argument(
         "--stale-after", type=float, default=DEFAULT_STALE_AFTER, metavar="SECONDS",
         help="heartbeat age after which a lease counts as stale",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve a registered pipeline (micro-batched) under synthetic load",
+    )
+    serve_cmd.add_argument("--registry", required=True, metavar="DIR", help="registry directory")
+    serve_cmd.add_argument("--name", required=True, help="deployment name")
+    serve_cmd.add_argument("--version", type=int, default=None, help="version (default: latest)")
+    serve_cmd.add_argument("--max-batch", type=int, default=16, help="micro-batch width cap")
+    serve_cmd.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="longest a request waits for co-batchees",
+    )
+    serve_cmd.add_argument("--queue-depth", type=int, default=256, help="bounded queue capacity")
+    serve_cmd.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=0,
+        help="serving worker processes (0 = in-process)",
+    )
+    serve_cmd.add_argument(
+        "--no-compiled", action="store_true", help="disable compiled graph replay"
+    )
+    serve_cmd.add_argument(
+        "--requests", type=int, default=256, help="synthetic requests to drive"
+    )
+    serve_cmd.add_argument(
+        "--clients", type=int, default=4, help="concurrent closed-loop client threads"
+    )
+    serve_cmd.add_argument(
+        "--length", type=int, default=96, help="series length of synthetic requests"
+    )
+    serve_cmd.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    serve_cmd.add_argument(
+        "--stats-json", metavar="FILE", help="also write the /stats snapshot to FILE"
+    )
+
+    predict_cmd = sub.add_parser(
+        "predict", help="one-shot prediction from a registered pipeline"
+    )
+    predict_cmd.add_argument("--registry", required=True, metavar="DIR")
+    predict_cmd.add_argument("--name", required=True, help="deployment name")
+    predict_cmd.add_argument("--version", type=int, default=None, help="version (default: latest)")
+    predict_cmd.add_argument(
+        "--input", required=True, metavar="FILE.npz",
+        help="npz with an 'x' array, or a dataset archive (x_test is used)",
+    )
+    predict_cmd.add_argument(
+        "--output", metavar="FILE.npz", help="write labels/logits/proba arrays to FILE"
+    )
+    predict_cmd.add_argument(
+        "--proba", action="store_true", help="print class probabilities instead of labels"
+    )
+    predict_cmd.add_argument("--batch-size", type=int, default=64)
+    predict_cmd.add_argument(
+        "--no-compiled", action="store_true", help="disable compiled graph replay"
+    )
+    predict_cmd.add_argument(
+        "--limit", type=int, default=8, metavar="N", help="print at most N rows"
     )
 
     baseline = sub.add_parser("baseline", help="run a classical baseline (ROCKET / 1-NN DTW)")
@@ -383,8 +462,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"fit     : {report.total_s:.2f} s")
     print(f"accuracy: {accuracy:.3f}")
     if args.save:
-        path = save_pipeline(pipeline, args.save)
+        path = _save_pipeline_dir(pipeline, args.save)
         print(f"saved   : {path}")
+    if args.deploy:
+        if not args.registry:
+            print("error   : --deploy requires --registry DIR", file=sys.stderr)
+            return 2
+        from .serve import PipelineRegistry
+
+        record = PipelineRegistry(args.registry).publish(pipeline, args.deploy)
+        print(f"deployed: {record.ref} -> {args.registry}")
     return 0
 
 
@@ -694,6 +781,156 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        queue_depth=args.queue_depth,
+        default_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms / 1000.0
+        ),
+        workers=args.workers,
+        compiled=not args.no_compiled,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import threading
+
+    import numpy as np
+
+    from .serve import DeadlineExceededError, PipelineServer, QueueFullError
+
+    config = _serve_config_from_args(args)
+    server = PipelineServer(args.registry, args.name, version=args.version, config=config)
+    record = server.record
+    channels = server.input_channels
+    print(f"serving : {record.ref} (digest {record.digest[:12]})")
+    print(
+        f"config  : max_batch={config.max_batch} "
+        f"max_delay={config.max_delay_s * 1000:.1f}ms "
+        f"queue_depth={config.queue_depth} workers={config.workers} "
+        f"compiled={config.compiled}"
+    )
+    server.warmup(args.length)
+
+    rng = np.random.default_rng(args.seed)
+    requests = rng.standard_normal(
+        (args.requests, args.length, channels)
+    ).astype(np.float32)
+    counters = {"ok": 0, "queue_full": 0, "deadline": 0}
+    counter_lock = threading.Lock()
+    cursor = iter(range(args.requests))
+    cursor_lock = threading.Lock()
+
+    def drive() -> None:
+        while True:
+            with cursor_lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            try:
+                server.predict(requests[index])
+            except QueueFullError:
+                outcome = "queue_full"
+            except DeadlineExceededError:
+                outcome = "deadline"
+            else:
+                outcome = "ok"
+            with counter_lock:
+                counters[outcome] += 1
+
+    watch = Stopwatch()
+    threads = [
+        threading.Thread(target=drive, name=f"serve-client-{i}", daemon=True)
+        for i in range(max(1, args.clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = watch.elapsed()
+
+    stats = server.stats()
+    server.close(drain=True)
+    batcher = stats["batcher"]
+    latency = batcher.get("latency_s") or {}
+    width = batcher.get("batch_width") or {}
+    qps = counters["ok"] / elapsed if elapsed > 0 else float("inf")
+    print(f"load    : {args.requests} requests x {max(1, args.clients)} clients")
+    print(
+        f"done    : {counters['ok']} ok, {counters['queue_full']} shed "
+        f"(queue full), {counters['deadline']} deadline-exceeded "
+        f"in {elapsed:.2f} s"
+    )
+    print(f"qps     : {qps:.1f}")
+    if latency:
+        print(
+            f"latency : p50={latency['p50'] * 1000:.2f}ms "
+            f"p99={latency['p99'] * 1000:.2f}ms "
+            f"mean={latency['mean'] * 1000:.2f}ms"
+        )
+    if width:
+        print(f"batch   : mean width {width['mean']:.2f}, max {width['max']}")
+    if args.stats_json:
+        from pathlib import Path
+
+        stats["load"] = {"elapsed_s": elapsed, "qps": qps, **counters}
+        Path(args.stats_json).write_text(json.dumps(stats, indent=2, sort_keys=True))
+        print(f"stats   : {args.stats_json}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from .serve import PipelineRegistry
+
+    registry = PipelineRegistry(args.registry)
+    pipeline = registry.load(args.name, version=args.version)
+    record = registry.record(args.name, version=args.version)
+    with np.load(args.input, allow_pickle=False) as payload:
+        if "x" in payload:
+            x = np.asarray(payload["x"])
+        elif "x_test" in payload:
+            x = np.asarray(payload["x_test"])
+        else:
+            print(
+                f"error   : {args.input} has neither an 'x' array nor a "
+                "dataset archive's 'x_test'",
+                file=sys.stderr,
+            )
+            return 2
+    if x.ndim == 2:
+        x = x[None]
+    compiled = not args.no_compiled
+    logits = pipeline.predict_logits(x, batch_size=args.batch_size, compiled=compiled)
+    labels = np.argmax(logits, axis=1)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    proba = exp / exp.sum(axis=1, keepdims=True)
+    print(f"pipeline: {record.ref} (digest {record.digest[:12]})")
+    print(f"input   : {x.shape[0]} series of shape ({x.shape[1]}, {x.shape[2]})")
+    shown = min(len(labels), max(0, args.limit))
+    for i in range(shown):
+        if args.proba:
+            probs = " ".join(f"{p:.4f}" for p in proba[i])
+            print(f"[{i}] label={labels[i]}  proba=[{probs}]")
+        else:
+            print(f"[{i}] label={labels[i]}")
+    if shown < len(labels):
+        print(f"... ({len(labels) - shown} more; use --limit to print them)")
+    if args.output:
+        np.savez(Path(args.output), labels=labels, logits=logits, proba=proba)
+        print(f"wrote   : {args.output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     try:
@@ -734,6 +971,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "selfcheck":
         return _cmd_selfcheck(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

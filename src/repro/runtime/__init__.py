@@ -30,6 +30,8 @@ from .keys import (
     dataset_key,
     embedding_key,
     golden_key,
+    pipeline_catalog_key,
+    pipeline_key,
     pretrain_key,
     result_key,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "dataset_key",
     "result_key",
     "golden_key",
+    "pipeline_key",
+    "pipeline_catalog_key",
     "STORE_VERSION",
     "CACHE_DIR_ENV",
     "Artifact",

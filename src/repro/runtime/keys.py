@@ -19,10 +19,12 @@ __all__ = [
     "dataset_key",
     "result_key",
     "golden_key",
+    "pipeline_key",
+    "pipeline_catalog_key",
 ]
 
 #: Known key namespaces (== disk subdirectories).
-NAMESPACES = ("embedding", "pretrain", "dataset", "result", "golden")
+NAMESPACES = ("embedding", "pretrain", "dataset", "result", "golden", "pipeline")
 
 
 def embedding_key(
@@ -93,6 +95,25 @@ def result_key(
         parts.append(f"sim_as={simulate_adapter_as}")
     digest = combine_fingerprints("result", *parts)
     return f"result/{digest}"
+
+
+def pipeline_key(name: str, version: int) -> str:
+    """Key for one published fitted-pipeline snapshot.
+
+    Keyed on the *deployment identity* (name, version) rather than on
+    content: the registry owns version allocation, and a version is
+    immutable once published — re-publishing a name allocates the next
+    version instead of overwriting.  Integrity of the payload is
+    enforced separately by the registry's content digest.
+    """
+    digest = combine_fingerprints("pipeline", name, str(int(version)))
+    return f"pipeline/{digest}"
+
+
+def pipeline_catalog_key() -> str:
+    """Key of the registry catalog (name -> published versions index)."""
+    digest = combine_fingerprints("pipeline", "__catalog__")
+    return f"pipeline/{digest}"
 
 
 def golden_key(scenario: str, dtype: str) -> str:

@@ -1,0 +1,59 @@
+"""Online inference: pipeline registry + micro-batched serving.
+
+The paper's fit-once adapters make frozen-encoder inference cheap; this
+subsystem makes it *servable*.  Four parts:
+
+* :mod:`repro.serve.registry` — named, versioned fitted-pipeline
+  snapshots in the content-addressed :class:`repro.runtime`
+  artifact store, with integrity-checked load and an LRU of hot
+  deployments;
+* :mod:`repro.serve.batching` — the bounded request queue and dynamic
+  micro-batcher (max-batch / max-delay coalescing, load shedding,
+  per-request deadlines);
+* :mod:`repro.serve.workers` — the multi-process serving pool, built
+  on the :mod:`repro.exec` spawn-worker protocol (graceful drain,
+  crashed-worker respawn);
+* :mod:`repro.serve.server` / :mod:`repro.serve.service` — the
+  :class:`PipelineServer` front end and the module-level
+  ``deploy(pipeline, name)`` / ``client(name)`` facade re-exported
+  from the package root.
+
+Responses are bit-identical to offline
+:meth:`~repro.training.AdapterPipeline.predict_logits` because both
+paths execute fixed-width zero-padded batches — see
+``docs/serve.md``.
+"""
+
+from .batching import MicroBatcher, ServeConfig, ServeFuture
+from .errors import (
+    DeadlineExceededError,
+    PipelineNotFoundError,
+    QueueFullError,
+    RegistryIntegrityError,
+    ServeError,
+    ServerClosedError,
+)
+from .registry import PipelineRecord, PipelineRegistry
+from .server import PipelineServer
+from .service import ServeClient, client, deploy, undeploy
+from .workers import ServePool
+
+__all__ = [
+    "ServeError",
+    "PipelineNotFoundError",
+    "RegistryIntegrityError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerClosedError",
+    "PipelineRecord",
+    "PipelineRegistry",
+    "ServeConfig",
+    "ServeFuture",
+    "MicroBatcher",
+    "ServePool",
+    "PipelineServer",
+    "ServeClient",
+    "deploy",
+    "client",
+    "undeploy",
+]

@@ -1,0 +1,197 @@
+"""Named, versioned fitted-pipeline snapshots in the artifact store.
+
+A *deployment* is a name; publishing a fitted
+:class:`~repro.training.AdapterPipeline` under a name allocates the
+next integer version and writes one store artifact holding the
+flattened pipeline state (:func:`repro.training.pipeline_state`) plus
+a content digest.  Loading verifies the digest before reconstructing —
+the store's usual "corruption is a miss" contract is deliberately
+upgraded to a hard :class:`RegistryIntegrityError` here, because a
+server silently falling back to nothing (or to damaged weights) is
+worse than refusing to start.
+
+A small LRU keeps reconstructed *hot* pipelines in memory so a server
+restart or a ``client()`` call does not rebuild the object graph per
+request.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..nn.serialization import state_dict_digest
+from ..runtime import ArtifactStore, pipeline_catalog_key, pipeline_key
+from ..training import AdapterPipeline
+from ..training.persistence import pipeline_from_state, pipeline_state
+from .errors import PipelineNotFoundError, RegistryIntegrityError
+
+__all__ = ["PipelineRecord", "PipelineRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class PipelineRecord:
+    """One published (name, version) entry and its provenance."""
+
+    name: str
+    version: int
+    digest: str
+    key: str
+    manifest: dict
+
+    @property
+    def ref(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+
+class PipelineRegistry:
+    """Publish / resolve / load named pipeline versions.
+
+    Parameters
+    ----------
+    store:
+        An :class:`~repro.runtime.ArtifactStore`, or a cache-directory
+        path (a disk-backed store is created over it).  A disk-backed
+        store is what lets N serving workers share one registry.
+    max_hot:
+        LRU capacity of reconstructed pipelines held in memory.
+    """
+
+    def __init__(self, store: ArtifactStore | str | Path, max_hot: int = 4) -> None:
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(cache_dir=Path(store))
+        if max_hot <= 0:
+            raise ValueError("max_hot must be positive")
+        self.store = store
+        self.max_hot = max_hot
+        self._hot: OrderedDict[tuple[str, int], AdapterPipeline] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Catalog (name -> published versions)
+    # ------------------------------------------------------------------
+    def _catalog(self) -> dict[str, list[int]]:
+        artifact = self.store.get(pipeline_catalog_key())
+        if artifact is None:
+            return {}
+        names = artifact.meta.get("names", {})
+        return {name: [int(v) for v in versions] for name, versions in names.items()}
+
+    def _write_catalog(self, catalog: dict[str, list[int]]) -> None:
+        self.store.put(pipeline_catalog_key(), meta={"names": catalog})
+
+    def names(self) -> list[str]:
+        """All deployment names, sorted."""
+        return sorted(self._catalog())
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions of ``name``, ascending (empty if none)."""
+        return sorted(self._catalog().get(name, []))
+
+    # ------------------------------------------------------------------
+    # Publish / resolve / load
+    # ------------------------------------------------------------------
+    def publish(self, pipeline: AdapterPipeline, name: str) -> PipelineRecord:
+        """Write a fitted pipeline as the next version of ``name``.
+
+        Versions are immutable: re-publishing a name never overwrites,
+        it allocates ``latest + 1``.  Returns the new record.
+        """
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid pipeline name {name!r}; use letters, digits, '.', '_', '-'"
+            )
+        arrays, manifest = pipeline_state(pipeline)
+        digest = state_dict_digest(arrays)
+        with self._lock:
+            catalog = self._catalog()
+            versions = catalog.get(name, [])
+            version = (max(versions) + 1) if versions else 1
+            key = pipeline_key(name, version)
+            meta = {
+                "name": name,
+                "version": version,
+                "digest": digest,
+                "manifest": manifest,
+            }
+            self.store.put(key, arrays=arrays, meta=meta)
+            catalog[name] = sorted([*versions, version])
+            self._write_catalog(catalog)
+        return PipelineRecord(
+            name=name, version=version, digest=digest, key=key, manifest=manifest
+        )
+
+    def _resolve_version(self, name: str, version: int | None) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise PipelineNotFoundError(f"no pipeline published under name {name!r}")
+        if version is None:
+            return versions[-1]
+        if version not in versions:
+            raise PipelineNotFoundError(
+                f"pipeline {name!r} has no version {version} (published: {versions})"
+            )
+        return version
+
+    def record(self, name: str, version: int | None = None) -> PipelineRecord:
+        """The :class:`PipelineRecord` of ``name`` (latest by default)."""
+        version = self._resolve_version(name, version)
+        key = pipeline_key(name, version)
+        artifact = self.store.get(key)
+        if artifact is None:
+            raise RegistryIntegrityError(
+                f"registry catalog lists {name!r} v{version} but its payload "
+                f"is missing or unreadable (key {key})"
+            )
+        return PipelineRecord(
+            name=name,
+            version=version,
+            digest=str(artifact.meta.get("digest", "")),
+            key=key,
+            manifest=dict(artifact.meta.get("manifest", {})),
+        )
+
+    def load(self, name: str, version: int | None = None) -> AdapterPipeline:
+        """Reconstruct ``name`` (latest version by default).
+
+        Verifies the payload's content digest before rebuilding; a
+        mismatch — truncated write, bit rot, foreign file — raises
+        :class:`RegistryIntegrityError` rather than serving damaged
+        weights.  Hot entries are returned from the LRU without
+        touching the store again.
+        """
+        version = self._resolve_version(name, version)
+        with self._lock:
+            cached = self._hot.get((name, version))
+            if cached is not None:
+                self._hot.move_to_end((name, version))
+                return cached
+        key = pipeline_key(name, version)
+        artifact = self.store.get(key)
+        if artifact is None:
+            raise RegistryIntegrityError(
+                f"registry catalog lists {name!r} v{version} but its payload "
+                f"is missing or unreadable (key {key})"
+            )
+        expected = str(artifact.meta.get("digest", ""))
+        actual = state_dict_digest(artifact.arrays)
+        if expected != actual:
+            raise RegistryIntegrityError(
+                f"pipeline {name!r} v{version} failed its integrity check "
+                f"(stored digest {expected or '<missing>'}, payload digest {actual})"
+            )
+        pipeline = pipeline_from_state(artifact.arrays, artifact.meta["manifest"])
+        with self._lock:
+            self._hot[(name, version)] = pipeline
+            self._hot.move_to_end((name, version))
+            while len(self._hot) > self.max_hot:
+                self._hot.popitem(last=False)
+        return pipeline
+
+    def __repr__(self) -> str:
+        return f"PipelineRegistry(names={self.names()}, hot={len(self._hot)})"

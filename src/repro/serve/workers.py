@@ -1,0 +1,335 @@
+"""Multi-process serving pool.
+
+Reuses the :mod:`repro.exec` spawn-worker protocol
+(:func:`repro.exec.executor._worker_main`: one task queue and one
+result pipe per worker, ``ready`` handshake, errors as data) with a
+serving-shaped parent: instead of mapping a finite payload list, a
+management thread keeps a standing fleet of workers fed from an open
+stream of micro-batches.
+
+Each worker loads the deployed pipeline from the shared disk-backed
+registry in its initializer, then answers ``(k, T, D)`` batch arrays
+with ``(k, n_classes)`` logits.  Every batch runs at the pool's fixed
+execution width (padded inside ``_predict_chunk``), so worker
+responses are bit-identical to in-process and offline prediction.
+
+Fault handling: a crashed worker's in-flight batch is *resubmitted*
+(prediction is idempotent) and a replacement worker is spawned; only a
+pool whose every worker fails initialisation becomes ``broken`` and
+fails requests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+
+import numpy as np
+
+from ..exec.executor import _worker_main
+from .batching import _Request
+from .errors import ServeError, ServerClosedError
+
+__all__ = ["ServePool"]
+
+_POLL_S = 0.02
+
+# ----------------------------------------------------------------------
+# Worker-process side (module level: importable under spawn)
+# ----------------------------------------------------------------------
+_SERVE_PIPELINE = None
+_SERVE_WIDTH = 0
+_SERVE_COMPILED = True
+
+
+def _serve_worker_init(
+    cache_dir: str, name: str, version: int, width: int, compiled: bool
+) -> None:
+    global _SERVE_PIPELINE, _SERVE_WIDTH, _SERVE_COMPILED
+    from .registry import PipelineRegistry
+
+    _SERVE_PIPELINE = PipelineRegistry(cache_dir).load(name, version=version)
+    _SERVE_WIDTH = int(width)
+    _SERVE_COMPILED = bool(compiled)
+
+
+def _serve_predict(batch: np.ndarray) -> np.ndarray:
+    """Logits of one stacked (k, T, D) micro-batch."""
+    return _SERVE_PIPELINE._predict_chunk(
+        np.asarray(batch), _SERVE_WIDTH, compiled=_SERVE_COMPILED, use_store=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _PoolWorker:
+    __slots__ = ("process", "task_q", "conn", "ready", "batch")
+
+    def __init__(self, process, task_q, conn) -> None:
+        self.process = process
+        self.task_q = task_q
+        self.conn = conn
+        self.ready = False
+        self.batch: list[_Request] | None = None
+
+
+class ServePool:
+    """Standing worker fleet answering micro-batch predict requests.
+
+    Parameters
+    ----------
+    cache_dir:
+        The registry's disk cache directory (workers re-open it; a
+        memory-only registry cannot back a pool).
+    name / version:
+        The deployment each worker loads at startup.
+    width / compiled:
+        Fixed execution width (== the server's ``max_batch``) and
+        graph-replay flag, forwarded to every worker.
+    workers:
+        Fleet size (>= 1).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        name: str,
+        version: int,
+        *,
+        width: int,
+        compiled: bool = True,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("ServePool needs at least one worker")
+        self._initargs = (str(cache_dir), name, int(version), int(width), bool(compiled))
+        self.workers = int(workers)
+        self._ctx = mp.get_context("spawn")
+        self._lock = threading.Condition()
+        self._fleet: dict[int, _PoolWorker] = {}
+        self._pending: deque[list[_Request]] = deque()
+        self._closed = False
+        self._broken = False
+        self._init_failures = 0
+        self._respawns = 0
+        self._next_id = 0
+        #: Optional per-request hook fired after a successful resolve
+        #: (the server wires latency recording through it).
+        self.on_result = None
+        for _ in range(self.workers):
+            self._spawn_locked()
+        self._thread = threading.Thread(
+            target=self._manage, name="repro-serve-pool", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def _spawn_locked(self) -> None:
+        task_q = self._ctx.SimpleQueue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    self._next_id,
+                    _serve_predict,
+                    _serve_worker_init,
+                    self._initargs,
+                    task_q,
+                    send_conn,
+                ),
+                daemon=True,
+            )
+            process.start()
+        except OSError:
+            recv_conn.close()
+            self._broken = True
+            return
+        finally:
+            send_conn.close()
+        self._fleet[self._next_id] = _PoolWorker(process, task_q, recv_conn)
+        self._next_id += 1
+
+    # ------------------------------------------------------------------
+    # Batcher-facing API
+    # ------------------------------------------------------------------
+    def dispatch(self, batch: list[_Request]) -> None:
+        """Hand one micro-batch to the fleet (non-blocking).
+
+        Called on the batcher thread; the management thread assigns it
+        to the next idle worker and resolves the futures when the
+        result lands.
+        """
+        with self._lock:
+            if self._closed or self._broken:
+                raise ServerClosedError(
+                    "serving pool is broken" if self._broken else "serving pool closed"
+                )
+            self._pending.append(batch)
+            self._lock.notify_all()
+
+    def inflight(self) -> int:
+        """Batches dispatched to workers plus batches still pending."""
+        with self._lock:
+            busy = sum(1 for w in self._fleet.values() if w.batch is not None)
+            return busy + len(self._pending)
+
+    def snapshot(self) -> dict:
+        """JSON-able fleet state: sizes, busy/pending counts, respawns."""
+        with self._lock:
+            return {
+                "workers": len(self._fleet),
+                "busy": sum(1 for w in self._fleet.values() if w.batch is not None),
+                "pending_batches": len(self._pending),
+                "respawns": self._respawns,
+                "init_failures": self._init_failures,
+                "broken": self._broken,
+            }
+
+    # ------------------------------------------------------------------
+    # Management thread
+    # ------------------------------------------------------------------
+    def _manage(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed and not self._pending and not any(
+                    w.batch is not None for w in self._fleet.values()
+                ):
+                    return
+                if self._broken:
+                    self._fail_pending_locked()
+                # Keep the fleet at strength (respawn crash losses).
+                while not self._closed and len(self._fleet) < self.workers:
+                    self._spawn_locked()
+                # Assign pending batches to ready idle workers.
+                for worker in self._fleet.values():
+                    if not self._pending:
+                        break
+                    if not worker.ready or worker.batch is not None:
+                        continue
+                    batch = self._pending.popleft()
+                    worker.batch = batch
+                    try:
+                        worker.task_q.put(
+                            (0, np.stack([request.x for request in batch], axis=0))
+                        )
+                    except Exception:
+                        worker.batch = None
+                        self._pending.appendleft(batch)
+                conns = [w.conn for w in self._fleet.values()]
+            readable = mp_connection.wait(conns, timeout=_POLL_S) if conns else []
+            if not conns:
+                time.sleep(_POLL_S)
+            with self._lock:
+                for worker_id, worker in list(self._fleet.items()):
+                    if worker.conn in readable:
+                        self._drain_worker_locked(worker_id, worker)
+                self._reap_locked()
+
+    def _drain_worker_locked(self, worker_id: int, worker: _PoolWorker) -> None:
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return  # death is handled by the reaping pass
+            _, _index, kind, value = message
+            if kind == "ready":
+                worker.ready = True
+            elif kind == "init_error":
+                self._init_failures += 1
+                self._retire_locked(worker_id, worker, respawn=False)
+                if self._init_failures >= self.workers:
+                    self._broken = True
+                    self._fail_pending_locked()
+                return
+            elif kind == "ok":
+                batch, worker.batch = worker.batch, None
+                if batch is not None:
+                    for row, request in enumerate(batch):
+                        request.future._finish(np.array(value[row], copy=True), None)
+                        if self.on_result is not None:
+                            self.on_result(request.future)
+            else:  # "error" — the job raised; prediction errors are permanent
+                batch, worker.batch = worker.batch, None
+                error_text = value[0] if isinstance(value, tuple) else str(value)
+                if batch is not None:
+                    error = ServeError(f"worker predict failed: {error_text}")
+                    for request in batch:
+                        request.future._finish(None, error)
+
+    def _reap_locked(self) -> None:
+        for worker_id, worker in list(self._fleet.items()):
+            if worker.process.is_alive():
+                continue
+            # Crash: resubmit the in-flight batch, respawn a successor.
+            if not worker.ready and worker.batch is None:
+                self._init_failures += 1
+                if self._init_failures >= self.workers:
+                    self._broken = True
+                    self._fail_pending_locked()
+            elif not self._closed:
+                self._respawns += 1
+            if worker.batch is not None:
+                self._pending.appendleft(worker.batch)
+                worker.batch = None
+            self._retire_locked(worker_id, worker, respawn=not self._closed)
+
+    def _retire_locked(self, worker_id: int, worker: _PoolWorker, respawn: bool) -> None:
+        self._fleet.pop(worker_id, None)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        if respawn and not self._broken:
+            self._spawn_locked()
+
+    def _fail_pending_locked(self) -> None:
+        error = ServeError("serving pool broken: every worker failed to initialise")
+        while self._pending:
+            batch = self._pending.popleft()
+            for request in batch:
+                request.future._finish(None, error)
+
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Graceful drain then shutdown of the fleet."""
+        deadline = time.monotonic() + timeout
+        if drain:
+            while self.inflight() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        with self._lock:
+            self._closed = True
+            self._fail_closed_locked()
+            self._lock.notify_all()
+            fleet = list(self._fleet.values())
+        for worker in fleet:
+            try:
+                worker.task_q.put(None)
+            except Exception:
+                pass
+        self._thread.join(timeout=max(0.0, deadline - time.monotonic()) + 1.0)
+        for worker in fleet:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def _fail_closed_locked(self) -> None:
+        while self._pending:
+            batch = self._pending.popleft()
+            for request in batch:
+                request.future._finish(
+                    None, ServerClosedError("pool closed before the batch ran")
+                )

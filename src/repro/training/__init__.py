@@ -1,7 +1,12 @@
 """Fine-tuning engine: strategies, pipeline, trainer, embedding cache."""
 
 from .embedding_cache import EmbeddingCache, compute_embeddings
-from .persistence import load_pipeline, save_pipeline
+from .persistence import (
+    load_pipeline,
+    pipeline_from_state,
+    pipeline_state,
+    save_pipeline,
+)
 from .pipeline import AdapterPipeline, FitReport
 from .strategies import FineTuneStrategy
 from .trainer import TrainConfig, TrainResult, train_classifier_on_arrays
@@ -12,6 +17,8 @@ __all__ = [
     "FitReport",
     "save_pipeline",
     "load_pipeline",
+    "pipeline_state",
+    "pipeline_from_state",
     "TrainConfig",
     "TrainResult",
     "train_classifier_on_arrays",

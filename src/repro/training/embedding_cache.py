@@ -114,19 +114,22 @@ class EmbeddingCache:
             self.batch_size,
         )
 
-    def get(self, x: np.ndarray) -> np.ndarray:
+    def get(self, x: np.ndarray, compiled: bool = True) -> np.ndarray:
         """Return (computing once) the embeddings of this array content.
 
         A store miss runs :func:`compute_embeddings`, which replays the
         compiled frozen-encoder graph per shape bucket — so even the
         first fit on a dataset pays eager capture cost once per bucket,
-        not once per batch.
+        not once per batch.  ``compiled`` is not part of the key: the
+        compiled and eager paths produce bit-identical embeddings.
         """
         key = self.key_for(x)
         artifact = self.store.get(key)
         if artifact is not None:
             return artifact.arrays["embeddings"]
-        embeddings = compute_embeddings(self.model, x, batch_size=self.batch_size)
+        embeddings = compute_embeddings(
+            self.model, x, batch_size=self.batch_size, compiled=compiled
+        )
         self.store.put(key, arrays={"embeddings": embeddings})
         return embeddings
 

@@ -1,31 +1,44 @@
-"""Save / load fine-tuned pipelines.
+"""Serialise / reconstruct fine-tuned pipelines.
 
 A fitted :class:`AdapterPipeline` has three stateful pieces: the
 (possibly fine-tuned) foundation model, the classification head, and
 the adapter (a fitted projection matrix, or lcomb's trainable module).
-This module persists all three to one directory so a fine-tuned
-classifier can be shipped and reloaded without retraining —
-deliberately pickle-free (numpy archives + a JSON manifest), so
-checkpoints are portable and auditable.
+This module flattens all three into one ``(arrays, manifest)`` pair —
+deliberately pickle-free (numpy arrays + a JSON-able manifest), so
+snapshots are portable and auditable.
+
+Two consumers share the flattened form:
+
+* :meth:`AdapterPipeline.save` / :class:`repro.serve.PipelineRegistry`
+  publish it as a named, versioned artifact in the content-addressed
+  :class:`repro.runtime.ArtifactStore` — the blessed deployment path;
+* the legacy directory format (``save_pipeline`` / ``load_pipeline``,
+  one ``model.npz`` + ``head.npz`` + ``adapter.npz`` + JSON manifest
+  per directory) remains as a :class:`DeprecationWarning` shim.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from .. import nn
 from ..adapters import make_adapter
-from ..adapters.base import Adapter, FittedAdapter, IdentityAdapter
+from ..adapters.base import Adapter, FittedAdapter
 from ..adapters.linear_combiner import LinearCombinerAdapter
-from ..adapters.pca import PatchPCAAdapter, PCAAdapter, ScaledPCAAdapter
-from ..adapters.variance import VarianceSelectorAdapter
+from ..adapters.pca import PatchPCAAdapter
 from ..models import build_model
 from .pipeline import AdapterPipeline
 
-__all__ = ["save_pipeline", "load_pipeline"]
+__all__ = [
+    "pipeline_state",
+    "pipeline_from_state",
+    "save_pipeline",
+    "load_pipeline",
+]
 
 _MANIFEST = "pipeline.json"
 
@@ -74,29 +87,26 @@ def _restore_adapter_state(adapter: Adapter, state: dict[str, np.ndarray]) -> No
                 setattr(adapter, attr, state[attr].copy())
 
 
-def save_pipeline(pipeline: AdapterPipeline, directory: str | Path) -> Path:
-    """Persist a fitted pipeline to ``directory``; returns the path."""
-    if not pipeline.fitted_:
-        raise ValueError("pipeline must be fitted before saving")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def _adapter_kwargs(adapter: Adapter) -> dict:
+    if isinstance(adapter, PatchPCAAdapter):
+        return {"patch_window_size": adapter.patch_window_size}
+    if isinstance(adapter, LinearCombinerAdapter) and adapter.top_k is not None:
+        return {"top_k": adapter.top_k}
+    return {}
 
-    nn.save_checkpoint(pipeline.model, directory / "model.npz")
-    nn.save_checkpoint(pipeline.head, directory / "head.npz")
 
+def _manifest_for(pipeline: AdapterPipeline) -> dict:
+    """The JSON-able reconstruction recipe of a fitted pipeline."""
     adapter = pipeline.adapter
     type_name = type(adapter).__name__
     if type_name not in _ADAPTER_REGISTRY_NAMES:
         raise ValueError(
             f"adapter type {type_name} is not registered for persistence"
         )
-    adapter_state = _adapter_state(adapter)
-    np.savez(directory / "adapter.npz", **adapter_state)
-
     registry_name = _ADAPTER_REGISTRY_NAMES[type_name]
     if isinstance(adapter, LinearCombinerAdapter) and adapter.top_k is not None:
         registry_name = "lcomb_top_k"
-    manifest = {
+    return {
         "model_config": pipeline.model.config.name,
         "num_classes": pipeline.num_classes,
         "seed": pipeline.seed,
@@ -108,32 +118,14 @@ def save_pipeline(pipeline: AdapterPipeline, directory: str | Path) -> Path:
             "kwargs": _adapter_kwargs(adapter),
         },
     }
-    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
-    return directory
 
 
-def _adapter_kwargs(adapter: Adapter) -> dict:
-    if isinstance(adapter, PatchPCAAdapter):
-        return {"patch_window_size": adapter.patch_window_size}
-    if isinstance(adapter, LinearCombinerAdapter) and adapter.top_k is not None:
-        return {"top_k": adapter.top_k}
-    return {}
-
-
-def load_pipeline(directory: str | Path) -> AdapterPipeline:
-    """Reconstruct a pipeline saved by :func:`save_pipeline`."""
-    directory = Path(directory)
-    manifest = json.loads((directory / _MANIFEST).read_text())
-
-    model = build_model(manifest["model_config"], seed=manifest["seed"])
-    nn.load_checkpoint(model, directory / "model.npz")
-    model.eval()
-
-    spec = manifest["adapter"]
+def _build_adapter(spec: dict, seed: int) -> Adapter:
+    """Re-instantiate an adapter from its manifest spec (unfitted)."""
     adapter = make_adapter(
         spec["registry_name"],
         spec["output_channels"] if spec["registry_name"] != "none" else 1,
-        seed=manifest["seed"],
+        seed=seed,
         **spec["kwargs"],
     )
     adapter.input_channels = spec["input_channels"]
@@ -147,8 +139,100 @@ def load_pipeline(directory: str | Path) -> AdapterPipeline:
             in_channels=spec["input_channels"],
             out_channels=spec["output_channels"],
             top_k=spec["kwargs"].get("top_k"),
-            rng=np.random.default_rng(manifest["seed"]),
+            rng=np.random.default_rng(seed),
         )
+    return adapter
+
+
+# ----------------------------------------------------------------------
+# Flattened (arrays, manifest) form — the registry payload
+# ----------------------------------------------------------------------
+def pipeline_state(pipeline: AdapterPipeline) -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten a fitted pipeline to ``(arrays, manifest)``.
+
+    Array names are prefixed by component (``model/``, ``head/``,
+    ``adapter/``) so one flat dict can ride in a single store
+    artifact.  The manifest carries everything needed to rebuild the
+    object graph before the arrays are loaded into it.
+    """
+    if not pipeline.fitted_:
+        raise ValueError("pipeline must be fitted before saving")
+    manifest = _manifest_for(pipeline)
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in pipeline.model.state_dict().items():
+        arrays[f"model/{name}"] = value
+    for name, value in pipeline.head.state_dict().items():
+        arrays[f"head/{name}"] = value
+    for name, value in _adapter_state(pipeline.adapter).items():
+        arrays[f"adapter/{name}"] = value
+    return arrays, manifest
+
+
+def pipeline_from_state(
+    arrays: dict[str, np.ndarray], manifest: dict
+) -> AdapterPipeline:
+    """Reconstruct a fitted pipeline from :func:`pipeline_state` output."""
+    seed = manifest["seed"]
+    model = build_model(manifest["model_config"], seed=seed)
+    model_state = {
+        name.split("/", 1)[1]: value
+        for name, value in arrays.items()
+        if name.startswith("model/")
+    }
+    model.load_state_dict(model_state, preserve_dtype=True)
+    model.eval()
+
+    adapter = _build_adapter(manifest["adapter"], seed)
+    adapter_state = {
+        name.split("/", 1)[1]: value
+        for name, value in arrays.items()
+        if name.startswith("adapter/")
+    }
+    _restore_adapter_state(adapter, adapter_state)
+
+    pipeline = AdapterPipeline(
+        model,
+        adapter,
+        manifest["num_classes"],
+        seed=seed,
+        normalize_reduced=manifest.get("normalize_reduced", True),
+    )
+    head_state = {
+        name.split("/", 1)[1]: value
+        for name, value in arrays.items()
+        if name.startswith("head/")
+    }
+    pipeline.head.load_state_dict(head_state, preserve_dtype=True)
+    pipeline.head.eval()
+    pipeline.fitted_ = True
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# Legacy directory format (DeprecationWarning shims)
+# ----------------------------------------------------------------------
+def _save_pipeline_dir(pipeline: AdapterPipeline, directory: str | Path) -> Path:
+    if not pipeline.fitted_:
+        raise ValueError("pipeline must be fitted before saving")
+    manifest = _manifest_for(pipeline)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    nn.save_checkpoint(pipeline.model, directory / "model.npz")
+    nn.save_checkpoint(pipeline.head, directory / "head.npz")
+    np.savez(directory / "adapter.npz", **_adapter_state(pipeline.adapter))
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def _load_pipeline_dir(directory: str | Path) -> AdapterPipeline:
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+
+    model = build_model(manifest["model_config"], seed=manifest["seed"])
+    nn.load_checkpoint(model, directory / "model.npz")
+    model.eval()
+
+    adapter = _build_adapter(manifest["adapter"], manifest["seed"])
     with np.load(directory / "adapter.npz") as archive:
         state = {key: archive[key] for key in archive.files}
     _restore_adapter_state(adapter, state)
@@ -164,3 +248,33 @@ def load_pipeline(directory: str | Path) -> AdapterPipeline:
     pipeline.head.eval()
     pipeline.fitted_ = True
     return pipeline
+
+
+def save_pipeline(pipeline: AdapterPipeline, directory: str | Path) -> Path:
+    """Deprecated: persist a fitted pipeline to a directory.
+
+    Use ``pipeline.save(store, name)`` (backed by
+    :class:`repro.serve.PipelineRegistry`) for the versioned,
+    integrity-checked deployment path.
+    """
+    warnings.warn(
+        "save_pipeline(pipeline, directory) is deprecated; use "
+        "pipeline.save(store, name) to publish into a pipeline registry",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _save_pipeline_dir(pipeline, directory)
+
+
+def load_pipeline(directory: str | Path) -> AdapterPipeline:
+    """Deprecated: reconstruct a pipeline saved by :func:`save_pipeline`.
+
+    Use ``AdapterPipeline.load(store, name)`` for registry entries.
+    """
+    warnings.warn(
+        "load_pipeline(directory) is deprecated; use "
+        "AdapterPipeline.load(store, name) to load from a pipeline registry",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_pipeline_dir(directory)

@@ -109,6 +109,8 @@ class AdapterPipeline:
         #: Set by ``fit``; when False (the A2 cache ablation) every
         #: path — including prediction — bypasses the store entirely.
         self.use_embedding_cache_ = True
+        #: The :class:`FitReport` of the most recent ``fit`` call.
+        self.last_fit_report_: FitReport | None = None
 
     # ------------------------------------------------------------------
     def _normalize_array(self, reduced: np.ndarray) -> np.ndarray:
@@ -126,21 +128,25 @@ class AdapterPipeline:
         std = ((centered * centered).mean(axis=1, keepdims=True) + 1e-8).sqrt()
         return centered / std
 
-    def _encode_reduced(self, reduced: np.ndarray, batch_size: int) -> np.ndarray:
+    def _encode_reduced(
+        self, reduced: np.ndarray, batch_size: int, compiled: bool = True
+    ) -> np.ndarray:
         """Frozen-encoder embeddings of reduced input, via the store.
 
         Falls back to a direct inference pass when no store is wired
         or the last fit disabled caching (the A2 ablation).
         """
         if self.store is None or not self.use_embedding_cache_:
-            return compute_embeddings(self.model, reduced, batch_size=batch_size)
+            return compute_embeddings(
+                self.model, reduced, batch_size=batch_size, compiled=compiled
+            )
         cache = EmbeddingCache(
             self.model,
             batch_size=batch_size,
             store=self.store,
             adapter_fingerprint=fingerprint_adapter(self.adapter),
         )
-        return cache.get(reduced)
+        return cache.get(reduced, compiled=compiled)
 
     # ------------------------------------------------------------------
     def fit(
@@ -215,6 +221,7 @@ class AdapterPipeline:
         report.train_s = inst.seconds("train")
         report.total_s = inst.seconds("total")
         self.fitted_ = True
+        self.last_fit_report_ = report
         return report
 
     def _fit_head(
@@ -268,20 +275,116 @@ class AdapterPipeline:
         return result
 
     # ------------------------------------------------------------------
-    def predict_logits(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
-        """Class logits for (N, T, D) inputs (inference mode)."""
+    # Prediction surface (fixed-width padded execution)
+    # ------------------------------------------------------------------
+    def _predict_chunk(
+        self,
+        chunk: np.ndarray,
+        width: int,
+        compiled: bool = True,
+        inst: Instrumentation | None = None,
+        use_store: bool = True,
+    ) -> np.ndarray:
+        """Logits of one ``len(chunk) <= width`` chunk, run at ``width``.
+
+        The chunk is zero-padded to exactly ``width`` samples before the
+        adapter -> encoder -> head pass and the padding rows sliced off
+        the result.  BLAS GEMM rounding depends on the batch dimension M
+        (an M=1 and an M=64 product round differently) but — at fixed M
+        — each output row is independent of the other rows' contents, so
+        padding cannot perturb real rows.  Running *every* chunk at one
+        fixed width therefore makes logits a pure per-sample function,
+        bit-identical across arbitrary batch compositions: offline
+        prediction, the serve micro-batcher (whatever mix of requests it
+        coalesces) and single-sample calls all agree exactly.  It also
+        pins the compiled-graph shape to a single bucket.
+        """
+        k = len(chunk)
+        if k < width:
+            pad = np.zeros((width - k, *chunk.shape[1:]), dtype=chunk.dtype)
+            chunk = np.concatenate([chunk, pad], axis=0)
+        span = inst.span if inst is not None else (lambda name: contextlib.nullcontext())
+        with span("adapter"):
+            reduced = self._normalize_array(self.adapter.transform(chunk))
+        with span("encode"):
+            if use_store:
+                embeddings = self._encode_reduced(reduced, width, compiled=compiled)
+            else:
+                embeddings = compute_embeddings(
+                    self.model, reduced, batch_size=width, compiled=compiled
+                )
+        with span("head"):
+            with nn.no_grad():
+                logits = self.head(nn.Tensor(embeddings)).data
+        return logits[:k]
+
+    def predict_logits(
+        self, x: np.ndarray, batch_size: int = 64, compiled: bool = True
+    ) -> np.ndarray:
+        """Class logits for (N, T, D) inputs (inference mode).
+
+        Inputs are processed in fixed-width chunks of exactly
+        ``batch_size`` samples (the last chunk zero-padded), so the
+        logits of a given sample do not depend on how many other
+        samples share the call — see :meth:`_predict_chunk`.
+        ``compiled=False`` forces the eager tensor path (results are
+        bit-identical either way).
+        """
         if not self.fitted_:
             raise RuntimeError("pipeline used before fit()")
-        reduced = self._normalize_array(self.adapter.transform(np.asarray(x)))
-        embeddings = self._encode_reduced(reduced, batch_size)
-        with nn.no_grad():
-            return self.head(nn.Tensor(embeddings)).data
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        x = np.asarray(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (N, T, D) input, got shape {x.shape}")
+        if len(x) == 0:
+            return np.zeros((0, self.num_classes), dtype=self.model.dtype)
+        outputs = [
+            self._predict_chunk(x[start : start + batch_size], batch_size, compiled)
+            for start in range(0, len(x), batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(
+        self, x: np.ndarray, batch_size: int = 64, compiled: bool = True
+    ) -> np.ndarray:
         """Predicted class labels."""
-        return self.predict_logits(x).argmax(axis=1)
+        return self.predict_logits(x, batch_size=batch_size, compiled=compiled).argmax(
+            axis=1
+        )
+
+    def predict_proba(
+        self, x: np.ndarray, batch_size: int = 64, compiled: bool = True
+    ) -> np.ndarray:
+        """Class probabilities (softmax over :meth:`predict_logits`)."""
+        logits = self.predict_logits(x, batch_size=batch_size, compiled=compiled)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
 
     def score(self, x: np.ndarray, y: np.ndarray) -> float:
         """Classification accuracy on ``(x, y)``."""
         y = np.asarray(y)
         return float((self.predict(x) == y).mean())
+
+    # ------------------------------------------------------------------
+    # Registry round-trip
+    # ------------------------------------------------------------------
+    def save(self, store, name: str):
+        """Publish this fitted pipeline into a registry under ``name``.
+
+        ``store`` is an :class:`~repro.runtime.ArtifactStore` (or a
+        cache directory path); returns the published
+        :class:`~repro.serve.PipelineRecord` carrying the allocated
+        version and content digest.
+        """
+        from ..serve import PipelineRegistry
+
+        return PipelineRegistry(store).publish(self, name)
+
+    @classmethod
+    def load(cls, store, name: str, version: int | None = None) -> "AdapterPipeline":
+        """Load ``name`` (latest version by default) from a registry."""
+        from ..serve import PipelineRegistry
+
+        return PipelineRegistry(store).load(name, version=version)

@@ -1,0 +1,115 @@
+"""PipelineRegistry: publish / load round-trips, versioning, integrity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import make_adapter
+from repro.data import load_dataset
+from repro.models import build_model
+from repro.runtime import ArtifactStore
+from repro.serve import (
+    PipelineNotFoundError,
+    PipelineRegistry,
+    RegistryIntegrityError,
+)
+from repro.training import AdapterPipeline, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("JapaneseVowels", seed=0, scale=0.1, max_length=32, normalize=False)
+
+
+@pytest.fixture(scope="module")
+def pipeline(dataset):
+    model = build_model("moment-tiny", seed=0)
+    model.eval()
+    pipe = AdapterPipeline(model, make_adapter("pca", 4, seed=0), dataset.num_classes, seed=0)
+    pipe.fit(dataset.x_train, dataset.y_train,
+             config=TrainConfig(epochs=2, batch_size=16, seed=0))
+    return pipe
+
+
+class TestPublishLoad:
+    def test_round_trip_bit_identical(self, tmp_path, dataset, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg")
+        record = registry.publish(pipeline, "vowels")
+        assert record.name == "vowels"
+        assert record.version == 1
+        assert record.ref == "vowels@v1"
+        restored = registry.load("vowels")
+        np.testing.assert_array_equal(
+            pipeline.predict_logits(dataset.x_test),
+            restored.predict_logits(dataset.x_test),
+        )
+
+    def test_memory_store_round_trip(self, dataset, pipeline):
+        registry = PipelineRegistry(ArtifactStore(max_memory_entries=8))
+        registry.publish(pipeline, "vowels")
+        restored = registry.load("vowels")
+        np.testing.assert_array_equal(
+            pipeline.predict_logits(dataset.x_test[:4]),
+            restored.predict_logits(dataset.x_test[:4]),
+        )
+
+    def test_versions_are_immutable_and_monotonic(self, tmp_path, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg")
+        first = registry.publish(pipeline, "p")
+        second = registry.publish(pipeline, "p")
+        assert (first.version, second.version) == (1, 2)
+        assert registry.record("p").version == 2          # latest by default
+        assert registry.record("p", version=1).digest == first.digest
+        assert registry.versions("p") == [1, 2]
+
+    def test_names_are_isolated(self, tmp_path, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg")
+        registry.publish(pipeline, "a")
+        registry.publish(pipeline, "b")
+        assert registry.names() == ["a", "b"]
+        assert registry.record("a").version == 1
+
+    def test_load_is_cached_hot(self, tmp_path, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg", max_hot=2)
+        registry.publish(pipeline, "p")
+        assert registry.load("p") is registry.load("p")
+
+    def test_bad_name_rejected(self, tmp_path, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg")
+        with pytest.raises(ValueError, match="name"):
+            registry.publish(pipeline, "bad/name")
+
+    def test_unfitted_pipeline_rejected(self, tmp_path, dataset):
+        model = build_model("moment-tiny", seed=0)
+        pipe = AdapterPipeline(model, make_adapter("pca", 4), dataset.num_classes)
+        registry = PipelineRegistry(tmp_path / "reg")
+        with pytest.raises(ValueError):
+            registry.publish(pipe, "nope")
+
+
+class TestFailureModes:
+    def test_unknown_name(self, tmp_path):
+        registry = PipelineRegistry(tmp_path / "reg")
+        with pytest.raises(PipelineNotFoundError):
+            registry.load("ghost")
+
+    def test_unknown_version(self, tmp_path, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg")
+        registry.publish(pipeline, "p")
+        with pytest.raises(PipelineNotFoundError):
+            registry.load("p", version=7)
+
+    def test_corrupt_payload_is_a_hard_error(self, tmp_path, pipeline):
+        registry = PipelineRegistry(tmp_path / "reg")
+        record = registry.publish(pipeline, "p")
+        # Flip bits in the stored npz payload on disk.
+        payloads = sorted((tmp_path / "reg" / "pipeline").glob("*.npz"))
+        assert payloads, "expected the published payload on disk"
+        for path in payloads:
+            raw = bytearray(path.read_bytes())
+            raw[len(raw) // 2] ^= 0xFF
+            path.write_bytes(bytes(raw))
+        fresh = PipelineRegistry(tmp_path / "reg")  # no hot cache
+        with pytest.raises((RegistryIntegrityError, PipelineNotFoundError)):
+            fresh.load("p", version=record.version)

@@ -20,13 +20,7 @@ from repro.models import (
     synthetic_pretraining_corpus,
 )
 from repro.resources import RunStatus, simulate_finetuning
-from repro.training import (
-    AdapterPipeline,
-    FineTuneStrategy,
-    TrainConfig,
-    load_pipeline,
-    save_pipeline,
-)
+from repro.training import AdapterPipeline, FineTuneStrategy, TrainConfig
 
 
 @pytest.fixture(scope="module")
@@ -91,8 +85,8 @@ class TestTrainPersistReload:
             strategy=FineTuneStrategy.ADAPTER_HEAD,
             config=TrainConfig(epochs=3, batch_size=32, learning_rate=5e-3, seed=0),
         )
-        save_pipeline(pipeline, tmp_path / "deployed")
-        restored = load_pipeline(tmp_path / "deployed")
+        pipeline.save(tmp_path / "registry", "deployed")
+        restored = AdapterPipeline.load(tmp_path / "registry", "deployed")
         np.testing.assert_allclose(
             pipeline.predict_logits(heartbeat.x_test),
             restored.predict_logits(heartbeat.x_test),

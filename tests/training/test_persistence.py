@@ -1,8 +1,6 @@
-"""Tests for pipeline save/load."""
+"""Tests for pipeline state flattening (the registry's payload format)."""
 
 from __future__ import annotations
-
-import json
 
 import numpy as np
 import pytest
@@ -14,8 +12,8 @@ from repro.training import (
     AdapterPipeline,
     FineTuneStrategy,
     TrainConfig,
-    load_pipeline,
-    save_pipeline,
+    pipeline_from_state,
+    pipeline_state,
 )
 
 
@@ -40,10 +38,9 @@ def fitted_pipeline(dataset, adapter_name, epochs=2):
 @pytest.mark.parametrize(
     "adapter_name", ["pca", "scaled_pca", "svd", "rand_proj", "var", "lcomb", "lcomb_top_k", "none"]
 )
-def test_round_trip_predictions_identical(tmp_path, dataset, adapter_name):
+def test_round_trip_predictions_identical(dataset, adapter_name):
     pipe = fitted_pipeline(dataset, adapter_name)
-    save_pipeline(pipe, tmp_path / adapter_name)
-    restored = load_pipeline(tmp_path / adapter_name)
+    restored = pipeline_from_state(*pipeline_state(pipe))
     np.testing.assert_allclose(
         pipe.predict_logits(dataset.x_test),
         restored.predict_logits(dataset.x_test),
@@ -51,31 +48,32 @@ def test_round_trip_predictions_identical(tmp_path, dataset, adapter_name):
     )
 
 
-def test_unfitted_pipeline_rejected(tmp_path, dataset):
+def test_unfitted_pipeline_rejected(dataset):
     model = build_model("moment-tiny", seed=0)
     pipe = AdapterPipeline(model, make_adapter("pca", 4), dataset.num_classes)
     with pytest.raises(ValueError):
-        save_pipeline(pipe, tmp_path / "nope")
+        pipeline_state(pipe)
 
 
-def test_manifest_contents(tmp_path, dataset):
+def test_manifest_contents(dataset):
     pipe = fitted_pipeline(dataset, "pca")
-    save_pipeline(pipe, tmp_path / "p")
-    manifest = json.loads((tmp_path / "p" / "pipeline.json").read_text())
+    arrays, manifest = pipeline_state(pipe)
     assert manifest["model_config"] == "moment-tiny"
     assert manifest["adapter"]["registry_name"] == "pca"
     assert manifest["adapter"]["output_channels"] == 4
     assert manifest["num_classes"] == dataset.num_classes
+    # Arrays are flattened under their component prefixes.
+    prefixes = {name.split("/", 1)[0] for name in arrays}
+    assert prefixes >= {"model", "head"}
 
 
-def test_patch_pca_kwargs_preserved(tmp_path, dataset):
+def test_patch_pca_kwargs_preserved(dataset):
     model = build_model("moment-tiny", seed=0)
     model.eval()
     adapter = make_adapter("patch_pca", 4, patch_window_size=4)
     pipe = AdapterPipeline(model, adapter, dataset.num_classes, seed=0)
     pipe.fit(dataset.x_train, dataset.y_train, config=TrainConfig(epochs=1, batch_size=16, seed=0))
-    save_pipeline(pipe, tmp_path / "ppca")
-    restored = load_pipeline(tmp_path / "ppca")
+    restored = pipeline_from_state(*pipeline_state(pipe))
     assert restored.adapter.patch_window_size == 4
     np.testing.assert_allclose(
         pipe.predict_logits(dataset.x_test),
@@ -84,10 +82,9 @@ def test_patch_pca_kwargs_preserved(tmp_path, dataset):
     )
 
 
-def test_loaded_pipeline_is_usable_for_scoring(tmp_path, dataset):
+def test_restored_pipeline_is_usable_for_scoring(dataset):
     pipe = fitted_pipeline(dataset, "var")
-    save_pipeline(pipe, tmp_path / "v")
-    restored = load_pipeline(tmp_path / "v")
+    restored = pipeline_from_state(*pipeline_state(pipe))
     assert restored.score(dataset.x_test, dataset.y_test) == pipe.score(
         dataset.x_test, dataset.y_test
     )
