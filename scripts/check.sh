@@ -17,7 +17,13 @@
 #                   (deterministic, well under a minute)
 #   7. serve smoke  registry round-trip + a seeded in-process request
 #                   burst (bit-identity + saturation errors), then the
-#                   micro-batching bench in --smoke mode
+#                   micro-batching bench in --smoke mode (whose
+#                   streaming section also gates the O(changed
+#                   windows) re-encode economy)
+#   8. stream smoke the streaming equivalence contract (sample-at-a-
+#                   time == offline bits, push-granularity invariance)
+#                   plus the measured-vs-predicted peak-memory bound
+#                   for chunked long-series encoding (< 20 s)
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
@@ -84,3 +90,11 @@ echo "== serve smoke (registry + request burst) =="
 python -m pytest tests/serve/test_registry.py::TestPublishLoad \
                  tests/serve/test_serving.py -q
 python benchmarks/bench_serve.py --smoke
+
+# Streaming gate: the equivalence contract property (streamed bits ==
+# offline fixed-width bits, push granularity invisible) and the
+# cost-model peak-memory bound on a 100k-step chunked encode.
+echo "== stream smoke (parity + memory bound) =="
+python -m pytest "tests/properties/test_stream_parity.py::TestStreamOfflineParity::test_sample_at_a_time_matches_offline_compiled" \
+                 "tests/properties/test_stream_parity.py::TestChunkingInvariance::test_push_granularity_is_invisible" \
+                 "tests/stream/test_memory_bound.py::test_peak_memory_within_cost_model_bound" -q

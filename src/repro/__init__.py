@@ -23,7 +23,10 @@ from scratch on numpy:
   ``grid``) and the fault-tolerant parallel job executor;
 * :mod:`repro.experiments` — one entry point per paper table/figure;
 * :mod:`repro.serve` — pipeline registry + micro-batched online
-  inference (``deploy`` / ``client``).
+  inference (``deploy`` / ``client``);
+* :mod:`repro.stream` — streaming & long-context inference: chunked
+  ``encode_long`` over arbitrarily long series and the incremental
+  ``StreamingClassifier`` (bit-identical to offline prediction).
 
 Quickstart (see ``docs/api.md`` for the full tour)::
 
@@ -46,6 +49,7 @@ from . import nn  # noqa: F401  (import order: nn first, it has no siblings)
 from . import runtime  # noqa: F401  (second: only depends on nn)
 from . import adapters, baselines, data, evaluation, models, resources, training
 from . import exec  # noqa: A004  (shadows no builtin at module scope)
+from . import stream  # before serve: serve's sessions build on repro.stream
 from . import experiments, serve
 from .api import (
     FittedPipeline,
@@ -58,6 +62,7 @@ from .api import (
     run_sweep,
     undeploy,
 )
+from .stream import StreamingClassifier, encode_long
 
 __version__ = "1.0.0"
 
@@ -74,6 +79,9 @@ __all__ = [
     "exec",
     "experiments",
     "serve",
+    "stream",
+    "StreamingClassifier",
+    "encode_long",
     "JobSpec",
     "run_experiment",
     "run_sweep",

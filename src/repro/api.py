@@ -159,6 +159,72 @@ class FittedPipeline(NamedTuple):
         """Publish into a registry: ``fitted.save(store_or_dir, name)``."""
         return self.pipeline.save(store, name)
 
+    def stream(
+        self,
+        window: int,
+        stride: int,
+        *,
+        batch_size: int = 16,
+        compiled: bool = True,
+        **kwargs: Any,
+    ):
+        """An incremental :class:`~repro.stream.StreamingClassifier`.
+
+        ``push(samples)`` classifies every window that completes, with
+        logits bit-identical to
+        ``predict_logits(windows, batch_size=batch_size)`` offline::
+
+            stream = fitted.stream(window=64, stride=16)
+            for chunk in live_feed:
+                prediction = stream.push(chunk)
+        """
+        from .stream import StreamingClassifier
+
+        return StreamingClassifier(
+            self.pipeline,
+            window,
+            stride,
+            batch_size=batch_size,
+            compiled=compiled,
+            **kwargs,
+        )
+
+    def encode_long(
+        self,
+        x: np.ndarray,
+        window: int,
+        stride: int,
+        *,
+        agg: str = "mean",
+        batch_windows: int = 16,
+        compiled: bool = True,
+        return_windows: bool = False,
+    ):
+        """Bounded-memory chunked encoding of one very long series.
+
+        Cuts the ``(T, D)`` series into sliding windows, routes them
+        through this pipeline's adapter + frozen encoder in
+        ``batch_windows``-sized chunks and returns an aggregated
+        :class:`~repro.stream.LongSeriesEncoding` (see
+        :func:`repro.stream.encode_long`).
+        """
+        from .stream import encode_long as _encode_long
+
+        pipeline = self.pipeline
+        return _encode_long(
+            pipeline.model,
+            x,
+            window,
+            stride,
+            agg=agg,
+            batch_windows=batch_windows,
+            compiled=compiled,
+            transform=lambda wins: pipeline._normalize_array(
+                pipeline.adapter.transform(wins)
+            ),
+            return_windows=return_windows,
+        )
+
     def deploy(
         self, name: str, *, store=None, config: ServeConfig | None = None
     ) -> "PipelineRecord":

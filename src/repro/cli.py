@@ -40,6 +40,12 @@ Subcommands
 ``repro predict``
     One-shot offline prediction from a registered pipeline against an
     ``.npz`` input file (labels, logits or probabilities).
+``repro stream``
+    Incremental streaming classification of one long class-switching
+    series (generated, or an ``.npz`` with an ``x`` array) through a
+    registered pipeline: per-window labels as the stream advances,
+    sustained windows/sec and rolling-cache counters.  See
+    ``docs/stream.md``.
 
 Invoke as ``python -m repro.cli ...`` or the installed ``repro``
 script.
@@ -319,6 +325,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     predict_cmd.add_argument(
         "--limit", type=int, default=8, metavar="N", help="print at most N rows"
+    )
+
+    stream_cmd = sub.add_parser(
+        "stream",
+        help="incremental streaming classification of one long series",
+    )
+    stream_cmd.add_argument("--registry", required=True, metavar="DIR")
+    stream_cmd.add_argument("--name", required=True, help="deployment name")
+    stream_cmd.add_argument("--version", type=int, default=None, help="version (default: latest)")
+    stream_cmd.add_argument(
+        "--input", metavar="FILE.npz",
+        help="npz with an 'x' (T, D) array (default: generate with --dataset)",
+    )
+    stream_cmd.add_argument(
+        "--dataset", default=None,
+        help="generate a class-switching stream from this dataset's surrogate",
+    )
+    stream_cmd.add_argument(
+        "--length", type=int, default=4096, help="generated stream length"
+    )
+    stream_cmd.add_argument("--window", type=int, default=64, help="window size")
+    stream_cmd.add_argument("--stride", type=int, default=16, help="window stride")
+    stream_cmd.add_argument(
+        "--chunk", type=int, default=32, help="samples pushed per chunk"
+    )
+    stream_cmd.add_argument(
+        "--batch-size", type=int, default=16,
+        help="fixed execution width (the offline batch_size that reproduces "
+        "streamed logits bit-for-bit)",
+    )
+    stream_cmd.add_argument("--seed", type=int, default=0, help="stream generator seed")
+    stream_cmd.add_argument(
+        "--no-compiled", action="store_true", help="disable compiled graph replay"
+    )
+    stream_cmd.add_argument(
+        "--limit", type=int, default=8, metavar="N", help="print at most N window rows"
     )
 
     baseline = sub.add_parser("baseline", help="run a classical baseline (ROCKET / 1-NN DTW)")
@@ -931,6 +973,78 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .data import dataset_info
+    from .data.generators import generate_stream
+    from .serve import PipelineRegistry
+    from .stream import StreamingClassifier
+
+    registry = PipelineRegistry(args.registry)
+    pipeline = registry.load(args.name, version=args.version)
+    record = registry.record(args.name, version=args.version)
+    labels = None
+    if args.input:
+        with np.load(args.input, allow_pickle=False) as payload:
+            if "x" not in payload:
+                print(f"error   : {args.input} has no 'x' array", file=sys.stderr)
+                return 2
+            x = np.asarray(payload["x"])
+            if "labels" in payload:
+                labels = np.asarray(payload["labels"])
+    else:
+        if not args.dataset:
+            print("error   : pass --input FILE.npz or --dataset NAME", file=sys.stderr)
+            return 2
+        info = dataset_info(args.dataset)
+        x, labels = generate_stream(info, seed=args.seed, total_length=args.length)
+    if x.ndim != 2:
+        print(f"error   : expected one (T, D) series, got shape {x.shape}", file=sys.stderr)
+        return 2
+
+    classifier = StreamingClassifier(
+        pipeline,
+        window=args.window,
+        stride=args.stride,
+        batch_size=args.batch_size,
+        compiled=not args.no_compiled,
+    )
+    print(f"pipeline: {record.ref} (digest {record.digest[:12]})")
+    print(f"stream  : {x.shape[0]} samples x {x.shape[1]} channels")
+    print(f"windows : window={args.window} stride={args.stride} chunk={args.chunk}")
+    watch = Stopwatch()
+    for lo in range(0, len(x), max(1, args.chunk)):
+        classifier.push(x[lo : lo + max(1, args.chunk)])
+    elapsed = watch.elapsed()
+
+    emitted = classifier.emitted
+    shown = min(len(emitted), max(0, args.limit))
+    for prediction in emitted[:shown]:
+        print(
+            f"[{prediction.window_index}] samples {prediction.start}:{prediction.end} "
+            f"label={prediction.label}"
+        )
+    if shown < len(emitted):
+        print(f"... ({len(emitted) - shown} more; use --limit to print them)")
+    stats = classifier.stats()
+    rate = len(emitted) / elapsed if elapsed > 0 else float("inf")
+    print(f"emitted : {len(emitted)} windows in {elapsed:.2f} s ({rate:.1f} windows/s)")
+    print(
+        f"cache   : {stats['cache']['hits']} hits, {stats['cache']['misses']} misses, "
+        f"{stats['cache']['encoded_windows']} windows encoded"
+    )
+    if labels is not None and len(emitted):
+        # A window's ground truth is the majority per-step label it covers.
+        correct = 0
+        for prediction in emitted:
+            segment = labels[prediction.start : prediction.end]
+            majority = int(np.bincount(segment).argmax())
+            correct += int(prediction.label == majority)
+        print(f"accuracy: {correct / len(emitted):.3f} (vs majority step label)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     try:
@@ -975,6 +1089,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "predict":
         return _cmd_predict(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

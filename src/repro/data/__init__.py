@@ -1,6 +1,11 @@
 """Data substrate: UEA dataset registry and synthetic surrogates."""
 
-from .generators import GeneratorConfig, LatentFactorGenerator, generate_split
+from .generators import (
+    GeneratorConfig,
+    LatentFactorGenerator,
+    generate_split,
+    generate_stream,
+)
 from .io import load_dataset_file, save_dataset
 from .metadata import DATASETS, DatasetInfo, dataset_info, dataset_names
 from .preprocessing import (
@@ -20,6 +25,7 @@ __all__ = [
     "GeneratorConfig",
     "LatentFactorGenerator",
     "generate_split",
+    "generate_stream",
     "Standardizer",
     "pad_or_truncate",
     "subsample",

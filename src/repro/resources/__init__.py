@@ -13,6 +13,7 @@ from .cost_model import (
     head_training_flops,
     inference_memory_bytes,
     peak_training_memory_bytes,
+    streaming_inference_memory_bytes,
     training_step_flops,
 )
 from .gpu import V100_32GB, GpuSpec, regime_for_adapter, simulate_finetuning
@@ -34,6 +35,7 @@ __all__ = [
     "adapter_fit_flops",
     "peak_training_memory_bytes",
     "inference_memory_bytes",
+    "streaming_inference_memory_bytes",
     "GpuSpec",
     "V100_32GB",
     "simulate_finetuning",

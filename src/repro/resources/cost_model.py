@@ -41,6 +41,7 @@ __all__ = [
     "head_training_flops",
     "peak_training_memory_bytes",
     "inference_memory_bytes",
+    "streaming_inference_memory_bytes",
 ]
 
 #: Bytes per float32 value.
@@ -105,6 +106,13 @@ class CostModelParams:
     activation_multiplier_per_layer: float
     inference_activation_multiplier: float = 4.0
     head_batch_size: int = 64
+    #: Per-layer activation multiplier of a *captured* inference pass
+    #: (graph capture retains the full intermediate-tensor tape, unlike
+    #: steady-state replay) — the constant behind
+    #: :func:`streaming_inference_memory_bytes`, calibrated against
+    #: tracemalloc peaks of ``repro.stream.encode_long`` on this
+    #: machine (stable to ~1% across channel counts and families).
+    streaming_capture_multiplier_per_layer: float = 7.15
 
 
 #: Calibrated against the Table-1 OK/TO/COM pattern.
@@ -244,3 +252,51 @@ def inference_memory_bytes(job: TrainingJob) -> float:
     batch = min(params.batch_size, max(1, job.train_size))
     chunk_tokens = batch * min(job.channels, 64) * job.tokens_per_channel
     return chunk_tokens * cfg.d_model * params.inference_activation_multiplier * FLOAT_BYTES
+
+
+def streaming_inference_memory_bytes(
+    config: ModelConfig,
+    *,
+    window: int,
+    channels: int,
+    batch_windows: int,
+    agg: str = "mean",
+    num_windows: int = 0,
+    input_dtype_bytes: int = 8,
+) -> float:
+    """Predicted peak allocation of ``repro.stream.encode_long``.
+
+    The streaming encoder's peak is independent of the series length:
+    only ``batch_windows`` windows are live at once, and the ``mean`` /
+    ``last`` aggregators fold into constant-size accumulators.  Three
+    terms:
+
+    * encoder activations — the dominant term.  Long-context encoding
+      runs each batch through *graph capture* once per shape bucket,
+      and capture retains the full intermediate-tensor tape, so the
+      multiplier is the calibrated
+      ``streaming_capture_multiplier_per_layer x num_layers`` rather
+      than the steady-state ``inference_activation_multiplier``;
+    * window staging — the fancy-index window copy, its padded
+      concatenation and the float32 cast inside the encoder (three
+      transient copies of one ``(batch_windows, window, D)`` batch);
+    * aggregation state — O(1) for ``mean``/``last``; ``attention``
+      retains all ``num_windows`` embeddings and scales with the
+      series.
+
+    The measured-vs-predicted contract (±20%) is pinned by
+    ``tests/stream/test_memory_bound.py``.
+    """
+    params = FAMILY_PARAMS[config.family]
+    tokens_per_channel = config.tokens_per_channel(config.max_sequence_length)
+    chunk_tokens = batch_windows * min(channels, 64) * tokens_per_channel
+    capture_multiplier = (
+        params.streaming_capture_multiplier_per_layer * config.num_layers
+    )
+    activations = chunk_tokens * config.d_model * capture_multiplier * FLOAT_BYTES
+    staging = 3.0 * batch_windows * window * channels * input_dtype_bytes
+    if agg == "attention":
+        aggregation = num_windows * config.d_model * FLOAT_BYTES
+    else:
+        aggregation = config.d_model * 2 * FLOAT_BYTES  # float64 accumulator
+    return activations + staging + aggregation

@@ -16,7 +16,12 @@ subsystem makes it *servable*.  Four parts:
 * :mod:`repro.serve.server` / :mod:`repro.serve.service` — the
   :class:`PipelineServer` front end and the module-level
   ``deploy(pipeline, name)`` / ``client(name)`` facade re-exported
-  from the package root.
+  from the package root;
+* :mod:`repro.serve.sessions` — per-session incremental streaming
+  (``server.open_stream`` / ``client(name).stream``): each session's
+  completed windows enter the same micro-batch queue as every other
+  request, so concurrent streams share batches and inherit the pool's
+  crashed-worker resubmission.
 
 Responses are bit-identical to offline
 :meth:`~repro.training.AdapterPipeline.predict_logits` because both
@@ -36,6 +41,7 @@ from .errors import (
 from .registry import PipelineRecord, PipelineRegistry
 from .server import PipelineServer
 from .service import ServeClient, client, deploy, undeploy
+from .sessions import StreamSession
 from .workers import ServePool
 
 __all__ = [
@@ -53,6 +59,7 @@ __all__ = [
     "ServePool",
     "PipelineServer",
     "ServeClient",
+    "StreamSession",
     "deploy",
     "client",
     "undeploy",

@@ -26,6 +26,7 @@ from ..runtime import ArtifactStore, Instrumentation
 from .batching import MicroBatcher, ServeConfig, ServeFuture, resolve_batch
 from .errors import ServerClosedError
 from .registry import PipelineRegistry
+from .sessions import StreamSession
 from .workers import ServePool
 
 __all__ = ["PipelineServer"]
@@ -90,6 +91,10 @@ class PipelineServer:
         self._batcher = MicroBatcher(self.config, dispatch)
         if self._pool is not None:
             self._pool.on_result = self._batcher.record_latency
+        self._streams: dict[int, StreamSession] = {}
+        self._stream_lock = threading.Lock()
+        self._streams_opened = 0
+        self._stream_windows = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -149,6 +154,39 @@ class PipelineServer:
         logits = self.predict_logits(x, deadline_s=deadline_s)
         return np.argmax(logits, axis=-1)
 
+    # ------------------------------------------------------------------
+    # Streaming sessions
+    # ------------------------------------------------------------------
+    def open_stream(
+        self, window: int, stride: int, deadline_s: float | None = None
+    ) -> StreamSession:
+        """Open one incremental streaming session against this server.
+
+        Each session keeps its own rolling buffer and submits completed
+        windows as ordinary requests, so concurrent sessions share
+        micro-batches and pool fault tolerance.  Raises
+        :class:`~repro.stream.WindowGeometryError` for a bad geometry
+        and :class:`ServerClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        with self._stream_lock:
+            session_id = self._streams_opened
+            self._streams_opened += 1
+            session = StreamSession(
+                self, session_id, window, stride, deadline_s=deadline_s
+            )
+            self._streams[session_id] = session
+        return session
+
+    def _note_stream_windows(self, count: int) -> None:
+        with self._stream_lock:
+            self._stream_windows += count
+
+    def _forget_stream(self, session_id: int) -> None:
+        with self._stream_lock:
+            self._streams.pop(session_id, None)
+
     def predict_proba(
         self, x: np.ndarray, deadline_s: float | None = None
     ) -> np.ndarray:
@@ -202,7 +240,16 @@ class PipelineServer:
             "batcher": self._batcher.snapshot(),
             "phases_s": dict(summary.phase_seconds),
             "pool": self._pool.snapshot() if self._pool is not None else None,
+            "streams": self._stream_snapshot(),
         }
+
+    def _stream_snapshot(self) -> dict:
+        with self._stream_lock:
+            return {
+                "open": len(self._streams),
+                "opened": self._streams_opened,
+                "windows_submitted": self._stream_windows,
+            }
 
     def close(self, drain: bool = True) -> None:
         """Stop accepting requests; drain (by default) then shut down."""
@@ -210,6 +257,11 @@ class PipelineServer:
             if self._closed:
                 return
             self._closed = True
+        if drain:
+            with self._stream_lock:
+                sessions = list(self._streams.values())
+            for session in sessions:
+                session.close(timeout=self.config.drain_timeout_s)
         self._batcher.close(drain=drain, timeout=self.config.drain_timeout_s)
         if self._pool is not None:
             self._pool.close(drain=drain, timeout=self.config.drain_timeout_s)

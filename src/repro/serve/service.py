@@ -101,6 +101,18 @@ class ServeClient:
         self._check_kwargs(batch_size, compiled)
         return self._server.predict_proba(x, deadline_s=deadline_s)
 
+    def stream(self, window: int, stride: int, deadline_s: float | None = None):
+        """Open an incremental :class:`~repro.serve.sessions.StreamSession`.
+
+        ::
+
+            with client("heartbeat").stream(window=64, stride=16) as session:
+                for chunk in live_feed:
+                    session.push(chunk)
+                predictions = session.results()
+        """
+        return self._server.open_stream(window, stride, deadline_s=deadline_s)
+
     def stats(self) -> dict:
         """The deployment's ``/stats`` snapshot."""
         return self._server.stats()

@@ -29,6 +29,7 @@ from multiprocessing import connection as mp_connection
 
 import numpy as np
 
+from ..exec.chaos import chaos_point
 from ..exec.executor import _worker_main
 from .batching import _Request
 from .errors import ServeError, ServerClosedError
@@ -58,6 +59,10 @@ def _serve_worker_init(
 
 def _serve_predict(batch: np.ndarray) -> np.ndarray:
     """Logits of one stacked (k, T, D) micro-batch."""
+    # Instrumented for fault drills: a ChaosPlan(site="serve.predict")
+    # carried in $REPRO_CHAOS (inherited by spawned workers) can kill
+    # this worker at a chosen batch; the pool resubmits and respawns.
+    chaos_point("serve.predict", rows=len(batch))
     return _SERVE_PIPELINE._predict_chunk(
         np.asarray(batch), _SERVE_WIDTH, compiled=_SERVE_COMPILED, use_store=False
     )

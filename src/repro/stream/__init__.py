@@ -1,0 +1,47 @@
+"""Streaming & long-context inference for adapter pipelines.
+
+Two complementary surfaces over the same frozen-encoder execution
+path:
+
+* :func:`encode_long` — offline chunked sliding-window encoding of one
+  arbitrarily long ``(T, D)`` series into a single pooled embedding,
+  under a bounded peak-memory footprint predicted by
+  :func:`repro.resources.cost_model.streaming_inference_memory_bytes`.
+* :class:`StreamingClassifier` — incremental ``push(samples)``
+  classification with a rolling sample buffer and a rolling
+  content-fingerprinted window-embedding cache; bit-identical to the
+  offline prediction path by a property-tested equivalence contract.
+
+The serving layer (:mod:`repro.serve`) builds per-session streaming on
+top of these pieces.
+"""
+
+from .cache import WindowEmbeddingCache
+from .classifier import StreamingClassifier, StreamPrediction
+from .encode import AGGREGATIONS, LongSeriesEncoding, encode_long
+from .errors import (
+    ChannelMismatchError,
+    SeriesTooShortError,
+    StreamError,
+    StreamSessionClosedError,
+    WindowGeometryError,
+)
+from .windows import num_windows, validate_geometry, window_batch, window_starts
+
+__all__ = [
+    "AGGREGATIONS",
+    "ChannelMismatchError",
+    "LongSeriesEncoding",
+    "SeriesTooShortError",
+    "StreamError",
+    "StreamPrediction",
+    "StreamSessionClosedError",
+    "StreamingClassifier",
+    "WindowEmbeddingCache",
+    "WindowGeometryError",
+    "encode_long",
+    "num_windows",
+    "validate_geometry",
+    "window_batch",
+    "window_starts",
+]

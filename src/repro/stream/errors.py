@@ -1,0 +1,50 @@
+"""Typed streaming errors.
+
+Mirrors the :mod:`repro.serve.errors` philosophy: every failure mode a
+caller can act on gets its own class, so a bad window geometry, a
+too-short series, a channel-count mismatch mid-stream and a closed
+session are all distinguishable without string matching — and tests
+can assert on them *by name*.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StreamError",
+    "WindowGeometryError",
+    "SeriesTooShortError",
+    "ChannelMismatchError",
+    "StreamSessionClosedError",
+]
+
+
+class StreamError(RuntimeError):
+    """Base class for every streaming-layer error."""
+
+
+class WindowGeometryError(StreamError, ValueError):
+    """Invalid (window, stride) geometry.
+
+    Raised for non-positive values and for ``stride > window`` — a
+    stride larger than the window would silently *drop* samples
+    between consecutive windows, which is never what a classification
+    stream wants (use a larger window, or accept gaps explicitly by
+    slicing upstream).
+    """
+
+
+class SeriesTooShortError(StreamError, ValueError):
+    """The series is shorter than one window (``len(x) < window``).
+
+    Offline :func:`~repro.stream.encode_long` refuses such inputs; the
+    incremental :class:`~repro.stream.StreamingClassifier` simply keeps
+    buffering until the first window fills.
+    """
+
+
+class ChannelMismatchError(StreamError, ValueError):
+    """Pushed samples disagree with the stream's channel count D."""
+
+
+class StreamSessionClosedError(StreamError):
+    """The streaming session was closed; no further pushes accepted."""

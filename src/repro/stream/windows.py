@@ -1,0 +1,77 @@
+"""Sliding-window geometry over long series.
+
+One source of truth for how an arbitrarily long ``(T, D)`` series maps
+to fixed-geometry ``(window, D)`` classification windows: window
+``w`` covers samples ``[w * stride, w * stride + window)``.  Both the
+offline chunked encoder (:func:`repro.stream.encode_long`) and the
+incremental :class:`repro.stream.StreamingClassifier` derive their
+window boundaries from these helpers, which is what makes the
+streaming-vs-offline equivalence contract testable at all: the two
+paths cannot disagree about *which* windows exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import SeriesTooShortError, WindowGeometryError
+
+__all__ = ["validate_geometry", "num_windows", "window_starts", "window_batch"]
+
+
+def validate_geometry(window: int, stride: int) -> tuple[int, int]:
+    """Check a (window, stride) pair; returns it as plain ints.
+
+    Raises :class:`WindowGeometryError` for non-positive values and for
+    ``stride > window`` (which would drop samples between windows).
+    """
+    window = int(window)
+    stride = int(stride)
+    if window <= 0:
+        raise WindowGeometryError(f"window must be positive, got {window}")
+    if stride <= 0:
+        raise WindowGeometryError(f"stride must be positive, got {stride}")
+    if stride > window:
+        raise WindowGeometryError(
+            f"stride ({stride}) > window ({window}) would drop "
+            f"{stride - window} samples between consecutive windows; "
+            "use stride <= window"
+        )
+    return window, stride
+
+
+def num_windows(length: int, window: int, stride: int) -> int:
+    """Complete windows a length-``length`` series yields (may be 0)."""
+    window, stride = validate_geometry(window, stride)
+    if length < window:
+        return 0
+    return (int(length) - window) // stride + 1
+
+
+def window_starts(length: int, window: int, stride: int) -> np.ndarray:
+    """Start indices of every complete window of a length-T series.
+
+    Raises :class:`SeriesTooShortError` when not even one window fits
+    (``length < window``) — the offline contract; the incremental
+    classifier instead keeps buffering.
+    """
+    window, stride = validate_geometry(window, stride)
+    if length < window:
+        raise SeriesTooShortError(
+            f"series of length {length} is shorter than one window "
+            f"({window}); encode_long needs at least one complete window"
+        )
+    return np.arange(num_windows(length, window, stride), dtype=np.int64) * stride
+
+
+def window_batch(
+    x: np.ndarray, starts: np.ndarray, window: int
+) -> np.ndarray:
+    """Materialise the ``(len(starts), window, D)`` windows at ``starts``.
+
+    Only the requested windows are copied out of ``x`` — callers batch
+    over ``starts`` to keep peak memory at one batch of windows rather
+    than the full ``num_windows x window x D`` expansion.
+    """
+    index = np.asarray(starts, dtype=np.int64)[:, None] + np.arange(window)[None, :]
+    return x[index]

@@ -1,0 +1,46 @@
+"""Shared fixtures for the streaming tests.
+
+Fitting a pipeline dominates test wall-clock, so the two fitted
+pipelines (fit-once PCA adapter, trainable lcomb adapter) are built
+once per package and shared read-mostly; tests that mutate weights
+(``partial_fit``) say so and restore nothing — they run against the
+lcomb pipeline whose exact weights no other assertion depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.training import TrainConfig
+
+
+@pytest.fixture(scope="package")
+def fitted():
+    """JapaneseVowels surrogate (D=12, 9 classes) + PCA adapter."""
+    from repro import fit_pipeline
+
+    return fit_pipeline(
+        "JapaneseVowels",
+        adapter="pca",
+        channels=4,
+        seed=0,
+        scale=0.1,
+        max_length=32,
+        train_config=TrainConfig(epochs=2, batch_size=16, seed=0),
+    )
+
+
+@pytest.fixture(scope="package")
+def fitted_lcomb():
+    """Same surrogate with the trainable linear-combiner adapter."""
+    from repro import fit_pipeline
+
+    return fit_pipeline(
+        "JapaneseVowels",
+        adapter="lcomb",
+        channels=4,
+        seed=0,
+        scale=0.05,
+        max_length=32,
+        train_config=TrainConfig(epochs=1, batch_size=16, seed=0),
+    )

@@ -1,0 +1,89 @@
+"""Measured-vs-predicted peak memory for long-series encoding.
+
+The acceptance geometry: a 100k-step, 8-channel series through
+``encode_long`` at window=stride=128, 16 windows per encoder pass.
+Peak traced allocation must land within ±20% of
+:func:`repro.resources.streaming_inference_memory_bytes` — the model
+the grid planner uses to admit streaming jobs, so an unnoticed drift
+here silently breaks admission control.
+
+The model is loaded *inside* the trace: the dominant term is the
+compiled-graph capture tape of the first encoder pass, and a model
+that already encoded something replays warm with a far smaller
+footprint (pre-allocated buffers).  A fresh model is the worst — and
+predicted — case.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+from repro.models import load_pretrained
+from repro.resources import streaming_inference_memory_bytes
+from repro.stream import encode_long
+
+WINDOW = 128
+STRIDE = 128
+CHANNELS = 8
+BATCH_WINDOWS = 16
+LENGTH = 100_000
+
+
+def test_peak_memory_within_cost_model_bound():
+    x = np.random.default_rng(7).normal(size=(LENGTH, CHANNELS))
+
+    tracemalloc.start()
+    try:
+        model = load_pretrained("moment-tiny", seed=0)
+        tracemalloc.reset_peak()
+        baseline = tracemalloc.get_traced_memory()[0]
+        encoding = encode_long(
+            model, x, WINDOW, STRIDE, batch_windows=BATCH_WINDOWS, agg="mean"
+        )
+        measured = tracemalloc.get_traced_memory()[1] - baseline
+    finally:
+        tracemalloc.stop()
+
+    assert encoding.num_windows == (LENGTH - WINDOW) // STRIDE + 1
+
+    predicted = streaming_inference_memory_bytes(
+        model.config,
+        window=WINDOW,
+        channels=CHANNELS,
+        batch_windows=BATCH_WINDOWS,
+        agg="mean",
+    )
+    ratio = measured / predicted
+    assert 0.8 <= ratio <= 1.2, (
+        f"streaming peak memory drifted from the cost model: measured "
+        f"{measured / 2**20:.2f} MiB vs predicted {predicted / 2**20:.2f} MiB "
+        f"(ratio {ratio:.3f}, allowed 0.8..1.2)"
+    )
+
+
+def test_peak_memory_is_flat_in_series_length():
+    """The bounded-memory claim itself: 4x the stream, ~same peak.
+
+    Both runs use a fresh model so each traces a cold capture; the
+    peak must track ``batch_windows``, not ``num_windows``.
+    """
+
+    def peak_for(length: int) -> int:
+        x = np.random.default_rng(11).normal(size=(length, CHANNELS))
+        tracemalloc.start()
+        try:
+            model = load_pretrained("moment-tiny", seed=0)
+            tracemalloc.reset_peak()
+            baseline = tracemalloc.get_traced_memory()[0]
+            encode_long(model, x, WINDOW, STRIDE, batch_windows=BATCH_WINDOWS)
+            return tracemalloc.get_traced_memory()[1] - baseline
+        finally:
+            tracemalloc.stop()
+
+    short, long = peak_for(10_000), peak_for(40_000)
+    assert long <= short * 1.1, (
+        f"peak grew with stream length: {short / 2**20:.2f} MiB at 10k steps "
+        f"vs {long / 2**20:.2f} MiB at 40k steps"
+    )

@@ -1,0 +1,92 @@
+"""Window geometry: the shared source of truth for stream slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    SeriesTooShortError,
+    WindowGeometryError,
+    num_windows,
+    validate_geometry,
+    window_batch,
+    window_starts,
+)
+
+
+class TestValidateGeometry:
+    def test_accepts_and_normalises_valid_pairs(self):
+        assert validate_geometry(8, 8) == (8, 8)
+        assert validate_geometry(np.int64(16), np.int64(4)) == (16, 4)
+        assert all(isinstance(v, int) for v in validate_geometry(np.int64(8), 2))
+
+    def test_stride_larger_than_window_is_a_typed_error(self):
+        # The negative contract is asserted by *name*: a gapped stream
+        # would silently drop samples, so it must be the dedicated
+        # geometry error, not a generic ValueError from deeper down.
+        with pytest.raises(WindowGeometryError):
+            validate_geometry(8, 9)
+
+    @pytest.mark.parametrize("window,stride", [(0, 1), (-4, 1), (8, 0), (8, -2)])
+    def test_non_positive_values_rejected(self, window, stride):
+        with pytest.raises(WindowGeometryError):
+            validate_geometry(window, stride)
+
+    def test_geometry_error_is_also_a_value_error(self):
+        # Callers that only know ValueError still catch it.
+        with pytest.raises(ValueError):
+            validate_geometry(4, 5)
+
+
+class TestNumWindows:
+    def test_short_series_yields_zero_not_error(self):
+        assert num_windows(7, 8, 1) == 0
+
+    def test_exact_fit(self):
+        assert num_windows(8, 8, 8) == 1
+        assert num_windows(24, 8, 8) == 3
+
+    def test_overlapping(self):
+        # length 10, window 4, stride 2 -> starts 0, 2, 4, 6
+        assert num_windows(10, 4, 2) == 4
+
+    def test_trailing_partial_window_dropped(self):
+        assert num_windows(11, 4, 2) == 4  # sample 10 never completes a window
+
+    @pytest.mark.parametrize("length", range(4, 30))
+    def test_matches_explicit_enumeration(self, length):
+        window, stride = 4, 3
+        explicit = len([s for s in range(0, length, stride) if s + window <= length])
+        assert num_windows(length, window, stride) == explicit
+
+
+class TestWindowStarts:
+    def test_short_series_raises_series_too_short(self):
+        with pytest.raises(SeriesTooShortError):
+            window_starts(5, 8, 2)
+
+    def test_starts_are_stride_multiples(self):
+        starts = window_starts(20, 6, 3)
+        np.testing.assert_array_equal(starts, [0, 3, 6, 9, 12])
+        assert starts.dtype == np.int64
+
+    def test_consistent_with_num_windows(self):
+        for length in (8, 13, 21, 64):
+            assert len(window_starts(length, 8, 5)) == num_windows(length, 8, 5)
+
+
+class TestWindowBatch:
+    def test_materialises_requested_windows(self, rng):
+        x = rng.normal(size=(30, 3))
+        starts = window_starts(len(x), 10, 5)
+        batch = window_batch(x, starts, 10)
+        assert batch.shape == (5, 10, 3)
+        for i, start in enumerate(starts):
+            np.testing.assert_array_equal(batch[i], x[start : start + 10])
+
+    def test_returns_a_copy_not_a_view(self, rng):
+        x = rng.normal(size=(12, 2))
+        batch = window_batch(x, np.array([0]), 8)
+        batch[0, 0, 0] = 1e9
+        assert x[0, 0] != 1e9

@@ -137,6 +137,38 @@ class TestSweepArgs:
             )
 
 
+class TestStreamArgs:
+    def test_defaults(self, parser, tmp_path):
+        args = parser.parse_args(
+            ["stream", "--registry", str(tmp_path), "--name", "heart"]
+        )
+        assert args.registry == str(tmp_path)
+        assert args.name == "heart"
+        assert args.version is None
+        assert args.input is None and args.dataset is None
+        assert (args.length, args.window, args.stride) == (4096, 64, 16)
+        assert args.chunk == 32 and args.batch_size == 16
+        assert args.no_compiled is False and args.limit == 8
+
+    def test_registry_and_name_are_required(self, parser, tmp_path):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream", "--name", "heart"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream", "--registry", str(tmp_path)])
+
+    def test_geometry_flags_parse(self, parser, tmp_path):
+        args = parser.parse_args(
+            ["stream", "--registry", str(tmp_path), "--name", "heart",
+             "--dataset", "Heartbeat", "--length", "1000", "--window", "32",
+             "--stride", "8", "--chunk", "5", "--batch-size", "4",
+             "--no-compiled", "--limit", "3"]
+        )
+        assert args.dataset == "Heartbeat"
+        assert (args.length, args.window, args.stride) == (1000, 32, 8)
+        assert args.chunk == 5 and args.batch_size == 4
+        assert args.no_compiled is True and args.limit == 3
+
+
 class TestGridStatusArgs:
     def test_status_parses(self, parser, tmp_path):
         args = parser.parse_args(["grid", "status", str(tmp_path)])
